@@ -1,0 +1,82 @@
+"""Ablation: bulk loading vs dynamic insertion.
+
+The paper builds its experimental trees with the ADC'98 BulkLoading
+algorithm.  This bench compares the two construction paths on the same
+data: bulk loading should produce a tree with tighter covering radii and
+cheaper queries, and the cost model should fit both trees (it consumes
+whatever statistics the tree has).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NodeBasedCostModel, estimate_distance_histogram
+from repro.datasets import clustered_dataset
+from repro.experiments import format_table, paper_range_radius, relative_error
+from repro.mtree import MTree, bulk_load, collect_node_stats, vector_layout
+from repro.workloads import run_range_workload, sample_workload
+
+
+def run_build_ablation(size: int, n_queries: int):
+    data = clustered_dataset(min(size, 4000), 10, seed=16)
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+    layout = vector_layout(10)
+    radius = paper_range_radius(10)
+    workload = sample_workload(data, n_queries, seed=17)
+
+    bulk_tree = bulk_load(data.points, data.metric, layout, seed=18)
+    dynamic_tree = MTree(data.metric, layout, seed=18)
+    dynamic_tree.insert_many(data.points)
+
+    rows = []
+    for name, tree in (("bulk-load", bulk_tree), ("dynamic", dynamic_tree)):
+        stats = collect_node_stats(tree, data.d_plus)
+        model = NodeBasedCostModel(hist, stats, data.size)
+        measured = run_range_workload(tree, workload, radius)
+        rows.append(
+            {
+                "build": name,
+                "nodes": tree.n_nodes(),
+                "height": tree.height,
+                "mean radius": round(
+                    float(np.mean([s.radius for s in stats if s.level > 1])), 4
+                ),
+                "actual dists": measured.mean_dists,
+                "pred dists": float(model.range_dists(radius)),
+                "model err%": round(
+                    100
+                    * relative_error(
+                        float(model.range_dists(radius)), measured.mean_dists
+                    ),
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_build_method(benchmark, scale, show):
+    rows = benchmark.pedantic(
+        run_build_ablation,
+        args=(scale.vector_size, scale.n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title="Ablation - bulk loading vs dynamic inserts "
+            "(clustered D=10)",
+        )
+    )
+    bulk_row, dynamic_row = rows
+    # Bulk loading clusters before placing: tighter regions, cheaper
+    # queries (allowing a small tolerance for seed luck).
+    assert bulk_row["mean radius"] <= dynamic_row["mean radius"] * 1.10
+    assert bulk_row["actual dists"] <= dynamic_row["actual dists"] * 1.15
+    # The model fits both construction paths.
+    assert bulk_row["model err%"] < 35.0
+    assert dynamic_row["model err%"] < 35.0

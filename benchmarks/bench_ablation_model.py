@@ -1,0 +1,70 @@
+"""Ablation: N-MCM vs L-MCM — accuracy bought per byte of statistics.
+
+The node-based model keeps O(M) statistics, the level-based one O(L).
+This bench prints, per dimensionality, both models' errors alongside how
+many statistics records each kept — the trade-off that motivates L-MCM in
+Section 3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import clustered_dataset
+from repro.experiments import (
+    build_vector_setup,
+    format_table,
+    paper_range_radius,
+    relative_error,
+)
+from repro.workloads import run_range_workload
+
+
+def run_model_ablation(size: int, dims, n_queries: int):
+    rows = []
+    for dim in dims:
+        data = clustered_dataset(size, dim, seed=7)
+        setup = build_vector_setup(data, n_queries)
+        radius = paper_range_radius(dim)
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        nmcm_err = relative_error(
+            float(setup.node_model.range_dists(radius)), measured.mean_dists
+        )
+        lmcm_err = relative_error(
+            float(setup.level_model.range_dists(radius)), measured.mean_dists
+        )
+        rows.append(
+            {
+                "D": dim,
+                "N-MCM err%": round(100 * nmcm_err, 1),
+                "N-MCM stats": setup.node_model.n_nodes,
+                "L-MCM err%": round(100 * lmcm_err, 1),
+                "L-MCM stats": setup.level_model.height,
+            }
+        )
+    return rows
+
+
+def test_ablation_node_vs_level_model(benchmark, scale, show):
+    rows = benchmark.pedantic(
+        run_model_ablation,
+        args=(scale.vector_size, scale.dims, scale.n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title="Ablation - N-MCM (O(M) stats) vs L-MCM (O(L) stats), "
+            "range queries",
+        )
+    )
+    # L-MCM keeps orders of magnitude fewer statistics...
+    for row in rows:
+        assert row["L-MCM stats"] <= 6
+        assert row["N-MCM stats"] > 3 * row["L-MCM stats"]
+    # ...at a bounded accuracy premium (paper: 4% -> 10%).
+    mean_gap = float(
+        np.mean([row["L-MCM err%"] - row["N-MCM err%"] for row in rows])
+    )
+    assert mean_gap < 15.0

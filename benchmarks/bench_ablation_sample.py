@@ -1,0 +1,95 @@
+"""Ablation: pairwise-sample size vs histogram (and model) fidelity.
+
+The F̂ⁿ estimate is built from sampled pairs rather than the full O(n^2)
+matrix.  This bench sweeps the sample budget and reports (a) the maximum
+CDF deviation from a large-reference histogram and (b) the induced N-MCM
+error — showing the default budget sits well past the knee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    NodeBasedCostModel,
+    estimate_distance_histogram,
+)
+from repro.datasets import clustered_dataset
+from repro.experiments import format_table, paper_range_radius, relative_error
+from repro.mtree import bulk_load, collect_node_stats, vector_layout
+from repro.workloads import run_range_workload, sample_workload
+
+SAMPLE_BUDGETS = (200, 1000, 5000, 20_000, 100_000)
+
+
+def run_sample_ablation(size: int, n_queries: int):
+    data = clustered_dataset(size, 10, seed=8)
+    tree = bulk_load(data.points, data.metric, vector_layout(10), seed=9)
+    stats = collect_node_stats(tree, data.d_plus)
+    radius = paper_range_radius(10)
+    workload = sample_workload(data, n_queries, seed=10)
+    measured = run_range_workload(tree, workload, radius)
+    reference = estimate_distance_histogram(
+        data.points,
+        data.metric,
+        data.d_plus,
+        n_bins=100,
+        n_pairs=400_000,
+        rng=np.random.default_rng(11),
+    )
+    grid = np.linspace(0, data.d_plus, 101)
+    rows = []
+    for budget in SAMPLE_BUDGETS:
+        hist = estimate_distance_histogram(
+            data.points,
+            data.metric,
+            data.d_plus,
+            n_bins=100,
+            n_pairs=budget,
+            rng=np.random.default_rng(12),
+        )
+        cdf_gap = float(
+            np.abs(
+                np.asarray(hist.cdf(grid)) - np.asarray(reference.cdf(grid))
+            ).max()
+        )
+        model = NodeBasedCostModel(hist, stats, data.size)
+        rows.append(
+            {
+                "pairs": budget,
+                "max CDF gap": round(cdf_gap, 4),
+                "pred dists": float(model.range_dists(radius)),
+                "CPU err%": round(
+                    100
+                    * relative_error(
+                        float(model.range_dists(radius)), measured.mean_dists
+                    ),
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_sample_size(benchmark, scale, show):
+    rows = benchmark.pedantic(
+        run_sample_ablation,
+        args=(scale.vector_size, scale.n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title="Ablation - pairwise-sample budget vs F-hat fidelity "
+            "(clustered D=10)",
+        )
+    )
+    gaps = [row["max CDF gap"] for row in rows]
+    # CDF deviation shrinks with the budget (allowing sampling noise).
+    assert gaps[-1] < gaps[0]
+    assert gaps[-1] < 0.02
+    # The default budget (50k for 100 bins) is in the converged regime.
+    big_budget_error = rows[-2]["CPU err%"]
+    reference_error = rows[-1]["CPU err%"]
+    assert abs(big_budget_error - reference_error) < 8.0

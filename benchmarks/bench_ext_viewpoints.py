@@ -1,0 +1,158 @@
+"""Extension (§6 bullet 2): the query-sensitive multi-viewpoint model.
+
+"For non-homogeneous spaces (HV << 1) our model is not guaranteed to
+perform well.  This suggests an approach which keeps several 'viewpoints'
+... a cost model based on query 'position' (relative to the viewpoints)."
+
+Shape established here: on a deliberately non-homogeneous bimodal space,
+per-query prediction error of the position-based model is below the global
+single-``F`` model's, and decreases as viewpoints are added; on a
+homogeneous space the two models coincide (nothing is lost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    NodeBasedCostModel,
+    QuerySensitiveCostModel,
+    estimate_distance_histogram,
+    estimate_hv,
+    fit_viewpoints,
+)
+from repro.datasets import uniform_dataset
+from repro.experiments import format_table
+from repro.metrics import LInf
+from repro.mtree import (
+    bulk_load,
+    collect_node_records,
+    collect_node_stats,
+    vector_layout,
+)
+
+
+def _bimodal(size: int, seed: int = 31):
+    rng = np.random.default_rng(seed)
+    half = size // 2
+    tight = np.clip(rng.normal(0.12, 0.02, size=(half, 4)), 0, 1)
+    spread = np.clip(rng.normal(0.7, 0.15, size=(size - half, 4)), 0, 1)
+    return np.vstack([tight, spread]), tight, spread
+
+
+def _per_query_errors(tree, queries, radius, predict):
+    errors = []
+    for query in queries:
+        actual = tree.range_query(query, radius).stats.dists_computed
+        errors.append(abs(predict(query) - actual) / actual)
+    return float(np.mean(errors))
+
+
+def run_viewpoint_validation(size: int, n_queries: int):
+    metric = LInf()
+    radius = 0.1
+    rows = []
+
+    # --- non-homogeneous space ------------------------------------------
+    points, tight, spread = _bimodal(size)
+    hv = estimate_hv(
+        points, metric, 1.0, n_viewpoints=25, n_targets=800,
+        rng=np.random.default_rng(32),
+    ).hv
+    tree = bulk_load(points, metric, vector_layout(4), seed=33)
+    records = collect_node_records(tree, 1.0)
+    hist = estimate_distance_histogram(points, metric, 1.0, n_bins=100)
+    global_model = NodeBasedCostModel(
+        hist, collect_node_stats(tree, 1.0), len(points)
+    )
+    per_cluster = max(5, n_queries // 4)
+    queries = list(tight[:per_cluster]) + list(spread[:per_cluster])
+    global_error = _per_query_errors(
+        tree, queries, radius, lambda q: float(global_model.range_dists(radius))
+    )
+    for m in (4, 16, 32):
+        viewpoints = fit_viewpoints(
+            points, metric, 1.0, n_viewpoints=m,
+            rng=np.random.default_rng(34),
+        )
+        model = QuerySensitiveCostModel(
+            viewpoints, metric, len(points), records
+        )
+        position_error = _per_query_errors(
+            tree, queries, radius, lambda q: model.range_costs(q, radius).dists
+        )
+        rows.append(
+            {
+                "space": f"bimodal (HV={hv:.3f})",
+                "viewpoints": m,
+                "global err%": round(100 * global_error, 1),
+                "position err%": round(100 * position_error, 1),
+            }
+        )
+
+    # --- homogeneous control ----------------------------------------------
+    data = uniform_dataset(size, 4, seed=35)
+    hv_u = estimate_hv(
+        data.points, metric, 1.0, n_viewpoints=25, n_targets=800,
+        rng=np.random.default_rng(36),
+    ).hv
+    tree_u = bulk_load(data.points, metric, vector_layout(4), seed=37)
+    records_u = collect_node_records(tree_u, 1.0)
+    hist_u = estimate_distance_histogram(data.points, metric, 1.0, n_bins=100)
+    global_u = NodeBasedCostModel(
+        hist_u, collect_node_stats(tree_u, 1.0), data.size
+    )
+    queries_u = list(
+        data.sample_queries(2 * per_cluster, np.random.default_rng(38))
+    )
+    global_error_u = _per_query_errors(
+        tree_u, queries_u, radius,
+        lambda q: float(global_u.range_dists(radius)),
+    )
+    viewpoints_u = fit_viewpoints(
+        data.points, metric, 1.0, n_viewpoints=16,
+        rng=np.random.default_rng(39),
+    )
+    model_u = QuerySensitiveCostModel(
+        viewpoints_u, metric, data.size, records_u
+    )
+    position_error_u = _per_query_errors(
+        tree_u, queries_u, radius,
+        lambda q: model_u.range_costs(q, radius).dists,
+    )
+    rows.append(
+        {
+            "space": f"uniform (HV={hv_u:.3f})",
+            "viewpoints": 16,
+            "global err%": round(100 * global_error_u, 1),
+            "position err%": round(100 * position_error_u, 1),
+        }
+    )
+    return rows
+
+
+def test_ext_query_sensitive_model(benchmark, scale, show):
+    rows = benchmark.pedantic(
+        run_viewpoint_validation,
+        args=(min(scale.vector_size, 5000), scale.n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title="Extension (sec.6) - query-sensitive multi-viewpoint "
+            "model: per-query prediction error",
+        )
+    )
+    bimodal_rows = [row for row in rows if row["space"].startswith("bimodal")]
+    uniform_rows = [row for row in rows if row["space"].startswith("uniform")]
+    # On the non-homogeneous space, enough viewpoints beat the global model.
+    best = min(row["position err%"] for row in bimodal_rows)
+    assert best < bimodal_rows[0]["global err%"]
+    # Error decreases (weakly) with the number of viewpoints.
+    position_curve = [row["position err%"] for row in bimodal_rows]
+    assert position_curve[-1] <= position_curve[0] + 2.0
+    # On the homogeneous control the position model is not much worse.
+    for row in uniform_rows:
+        assert row["position err%"] <= row["global err%"] + 10.0

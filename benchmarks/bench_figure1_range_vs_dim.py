@@ -1,0 +1,40 @@
+"""Figure 1: range-query cost estimates vs dimensionality (clustered data).
+
+Paper shape to reproduce: N-MCM tracks actual CPU/I/O costs closely
+(<= ~4% at paper scale), L-MCM is slightly worse but still accurate
+(<= ~10%), and the selectivity estimate (Eq. 8) is near-exact.  At bench
+scale we assert the same ordering with wider bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure1Config, render_figure1, run_figure1
+
+
+def test_figure1_range_costs_vs_dim(benchmark, scale, show):
+    config = Figure1Config(
+        size=scale.vector_size,
+        dims=scale.dims,
+        n_queries=scale.n_queries,
+    )
+    rows = benchmark.pedantic(run_figure1, args=(config,), rounds=1, iterations=1)
+    show(render_figure1(rows))
+
+    for row in rows:
+        # Both models within a generous band of the actual costs...
+        assert row.nmcm_dists_error < 0.30, f"D={row.dim} N-MCM CPU error"
+        assert row.lmcm_dists_error < 0.35, f"D={row.dim} L-MCM CPU error"
+        assert row.nmcm_nodes_error < 0.30, f"D={row.dim} N-MCM I/O error"
+        assert row.lmcm_nodes_error < 0.35, f"D={row.dim} L-MCM I/O error"
+        # ...and the selectivity estimate tighter still (paper: <= 3%).
+        assert row.objs_error < 0.15, f"D={row.dim} selectivity error"
+
+    mean_nmcm = float(np.mean([row.nmcm_dists_error for row in rows]))
+    mean_lmcm = float(np.mean([row.lmcm_dists_error for row in rows]))
+    benchmark.extra_info["mean_nmcm_cpu_error"] = round(mean_nmcm, 4)
+    benchmark.extra_info["mean_lmcm_cpu_error"] = round(mean_lmcm, 4)
+    # Paper ordering: the node-based model is the more accurate one on
+    # average (it keeps O(M) statistics vs O(L)).
+    assert mean_nmcm <= mean_lmcm + 0.02

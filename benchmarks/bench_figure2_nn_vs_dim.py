@@ -1,0 +1,47 @@
+"""Figure 2: NN(Q, 1) cost estimates vs dimensionality (clustered data).
+
+Paper shape to reproduce: the three estimators (L-MCM integral, range at
+E[nn], range at r(1)) all track actual costs, with larger errors than the
+range-query case; the estimated NN distance follows the actual one, and
+the r(1) estimator is the one that drifts at high D (histogram
+coarseness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import Figure2Config, render_figure2, run_figure2
+
+
+def test_figure2_nn_costs_vs_dim(benchmark, scale, show):
+    config = Figure2Config(
+        size=scale.vector_size,
+        dims=scale.dims,
+        n_queries=max(25, scale.n_queries // 2),
+    )
+    rows = benchmark.pedantic(run_figure2, args=(config,), rounds=1, iterations=1)
+    show(render_figure2(rows))
+
+    for row in rows:
+        # NN errors are larger than range errors (paper: "errors are
+        # higher with respect to the range queries case") but bounded.
+        assert row.integral_dists == row.integral_dists  # not NaN
+        assert 0 < row.integral_dists < 2.2 * row.actual_dists
+        assert row.integral_dists > 0.3 * row.actual_dists
+        # Estimated NN distance within a band of the actual mean.
+        assert row.expected_nn_distance > 0
+        assert abs(row.expected_nn_distance - row.actual_nn_distance) < (
+            0.5 * max(row.actual_nn_distance, 0.05)
+        )
+
+    # The integral and E[nn]-radius estimators nearly coincide (the paper
+    # plots them on top of each other).
+    for row in rows:
+        assert row.expected_radius_dists == (
+            np.clip(row.expected_radius_dists, 0.5 * row.integral_dists,
+                    2.0 * row.integral_dists)
+        )
+    benchmark.extra_info["dims"] = list(
+        int(row.dim) for row in rows
+    )

@@ -1,0 +1,43 @@
+"""Figure 4: range-query costs vs query volume (clustered, D = 20).
+
+Paper shape to reproduce: both estimated and actual CPU/I-O cost curves
+rise monotonically with the query volume and stay close to each other
+across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    Figure4Config,
+    relative_error,
+    render_figure4,
+    run_figure4,
+)
+
+
+def test_figure4_range_costs_vs_radius(benchmark, scale, show):
+    config = Figure4Config(
+        size=scale.vector_size,
+        dim=20,
+        query_volumes=(0.001, 0.005, 0.01, 0.05, 0.1, 0.2),
+        n_queries=scale.n_queries,
+    )
+    rows = benchmark.pedantic(run_figure4, args=(config,), rounds=1, iterations=1)
+    show(render_figure4(rows))
+
+    actual = [row.actual_dists for row in rows]
+    nmcm = [row.nmcm_dists for row in rows]
+    lmcm = [row.lmcm_dists for row in rows]
+    # Monotone growth with volume, for measured and both models.
+    assert actual == sorted(actual)
+    assert nmcm == sorted(nmcm)
+    assert lmcm == sorted(lmcm)
+    worst = 0.0
+    for row in rows:
+        error = relative_error(row.nmcm_dists, row.actual_dists)
+        worst = max(worst, error)
+        assert error < 0.30, f"volume={row.volume}: N-MCM error {error:.2f}"
+        assert relative_error(row.nmcm_nodes, row.actual_nodes) < 0.30
+    benchmark.extra_info["worst_nmcm_cpu_error"] = round(worst, 4)

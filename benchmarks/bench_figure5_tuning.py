@@ -1,0 +1,51 @@
+"""Figure 5: node-size tuning (Section 4.1), clustered D = 5.
+
+Paper shapes to reproduce:
+ (a) predicted I/O cost decreases monotonically with node size while the
+     predicted CPU cost eventually *increases* (interior tension);
+ (b) the combined cost ``5ms * dists + (10 + NS)ms * nodes`` has a
+     well-defined minimum, and prediction tracks measurement across the
+     sweep.  (The paper's optimum lands at 8 KB for 10^6 objects; the
+     optimum location scales with n, the curve shape does not.)
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Figure5Config, render_figure5, run_figure5
+
+
+def test_figure5_node_size_tuning(benchmark, scale, show):
+    config = Figure5Config(
+        size=scale.tuning_size,
+        node_sizes_kb=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        n_queries=max(20, scale.n_queries // 3),
+    )
+    result = benchmark.pedantic(run_figure5, args=(config,), rounds=1, iterations=1)
+    show(render_figure5(result))
+
+    points = result.points
+    # (a) I/O monotone decreasing in node size.
+    io_curve = [p.predicted_nodes for p in points]
+    assert io_curve == sorted(io_curve, reverse=True)
+    # (a) CPU eventually increases: the largest node size must cost more
+    # distance computations than the best one.
+    cpu_curve = [p.predicted_dists for p in points]
+    assert cpu_curve[-1] > min(cpu_curve) * 1.5
+    # (b) the optimum is interior to the metric tension: it is NOT the
+    # largest node size (I/O-only reasoning would pick 64 KB).
+    assert result.optimal_node_size_kb < 64.0
+    # Prediction tracks measurement across the sweep.
+    for point in points:
+        assert point.actual_total_ms is not None
+        assert point.predicted_total_ms == (
+            point.predicted_total_ms
+        )  # not NaN
+        ratio = point.predicted_total_ms / point.actual_total_ms
+        assert 0.6 < ratio < 1.4, f"NS={point.node_size_kb}: ratio {ratio:.2f}"
+    # The predicted and measured optima agree to within one sweep step.
+    measured_best = min(points, key=lambda p: p.actual_total_ms)
+    sizes = [p.node_size_kb for p in points]
+    predicted_idx = sizes.index(result.optimal_node_size_kb)
+    measured_idx = sizes.index(measured_best.node_size_kb)
+    assert abs(predicted_idx - measured_idx) <= 1
+    benchmark.extra_info["optimal_node_size_kb"] = result.optimal_node_size_kb

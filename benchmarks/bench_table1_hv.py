@@ -1,0 +1,39 @@
+"""Table 1 / Section 2.1: the homogeneity-of-viewpoints survey.
+
+Regenerates the dataset inventory with estimated HV per family and checks
+the paper's qualitative claim: every Table 1 dataset is highly homogeneous.
+The Example 1 rows double as an end-to-end estimator-accuracy check against
+the closed form.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import hv_binary_hypercube_with_midpoint
+from repro.experiments import Table1Config, render_table1, run_table1
+
+
+def test_table1_homogeneity_survey(benchmark, scale, show):
+    config = Table1Config(
+        vector_size=scale.vector_size,
+        vector_dims=scale.dims[:3],
+        text_scale=scale.text_scale if not scale.is_quick else 0.02,
+        text_keys=("D", "DC", "GL", "OF", "PS"),
+        hypercube_dims=(5, 10),
+        n_viewpoints=30,
+        n_targets=scale.hv_targets,
+    )
+    rows = benchmark.pedantic(run_table1, args=(config,), rounds=1, iterations=1)
+    show(render_table1(rows))
+
+    # Shape assertions: every family is highly homogeneous; the estimator
+    # matches Example 1's closed form; HV rises with hypercube dimension.
+    for row in rows:
+        assert row.hv > 0.85, f"{row.name}: HV {row.hv} unexpectedly low"
+    cube_rows = [r for r in rows if r.analytic_hv is not None]
+    assert cube_rows, "Example 1 rows missing"
+    for row in cube_rows:
+        assert abs(row.hv - row.analytic_hv) < 0.05
+    assert hv_binary_hypercube_with_midpoint(10) > (
+        hv_binary_hypercube_with_midpoint(5)
+    )
+    benchmark.extra_info["min_hv"] = min(row.hv for row in rows)

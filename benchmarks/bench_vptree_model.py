@@ -1,0 +1,45 @@
+"""Section 5 (extension): validating the vp-tree cost model.
+
+The paper derives the model (Eqs. 19-23) and leaves validation to future
+work; this bench performs it.  Shape to establish: the model's predicted
+distance-computation counts track the measured ones across radii and
+datasets, and both rise monotonically with the radius.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    VPValidationConfig,
+    render_vptree_validation,
+    run_vptree_validation,
+)
+
+
+def test_vptree_cost_model_validation(benchmark, scale, show):
+    config = VPValidationConfig(
+        size=min(scale.vector_size, 5000),
+        dim=8,
+        arity=3,
+        radii=(0.05, 0.10, 0.15, 0.20),
+        n_queries=scale.n_queries,
+    )
+    rows = benchmark.pedantic(
+        run_vptree_validation, args=(config,), rounds=1, iterations=1
+    )
+    show(render_vptree_validation(rows))
+
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row.dataset, []).append(row)
+    for name, series in by_dataset.items():
+        actual = [row.actual_dists for row in series]
+        model = [row.model_dists for row in series]
+        assert actual == sorted(actual), f"{name}: actual not monotone"
+        assert model == sorted(model), f"{name}: model not monotone"
+        for row in series:
+            assert row.error < 0.75, (
+                f"{name} r={row.radius}: error {row.error:.2f}"
+            )
+    benchmark.extra_info["max_error"] = round(
+        max(row.error for row in rows), 4
+    )

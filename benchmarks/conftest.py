@@ -1,0 +1,92 @@
+"""Shared configuration for the reproduction benches.
+
+Every bench regenerates one of the paper's tables/figures at a
+laptop-friendly scale and prints the paper-shaped rows.  Scale is
+controlled by the ``METRICOST_BENCH_SCALE`` environment variable:
+
+* ``quick``  — smallest runs, for smoke-testing the harness (~seconds each)
+* ``default``— meaningful shapes in minutes (the CI setting)
+* ``paper``  — the paper's dataset sizes (10^4-10^5 objects, 10^6 for the
+  tuning study; expect long runtimes in pure Python)
+
+Benches print through ``capsys.disabled()`` so the tables appear even
+without ``pytest -s``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs derived from METRICOST_BENCH_SCALE."""
+
+    name: str
+    vector_size: int
+    tuning_size: int
+    text_scale: float
+    n_queries: int
+    dims: tuple
+    hv_targets: int
+
+    @property
+    def is_quick(self) -> bool:
+        return self.name == "quick"
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        vector_size=1500,
+        tuning_size=3000,
+        text_scale=0.03,
+        n_queries=30,
+        dims=(5, 20),
+        hv_targets=500,
+    ),
+    "default": BenchScale(
+        name="default",
+        vector_size=8000,
+        tuning_size=20_000,
+        text_scale=0.12,
+        n_queries=100,
+        dims=(5, 10, 20, 30, 50),
+        hv_targets=1500,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        vector_size=100_000,
+        tuning_size=1_000_000,
+        text_scale=1.0,
+        n_queries=1000,
+        dims=(5, 10, 20, 30, 40, 50),
+        hv_targets=5000,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("METRICOST_BENCH_SCALE", "default")
+    if name not in _SCALES:
+        raise ValueError(
+            f"METRICOST_BENCH_SCALE must be one of {sorted(_SCALES)}, "
+            f"got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered table so it survives pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Design-time advising: size and cost an index before building it.
+
+The cost models make physical design questions answerable *before* any
+index exists.  Given only a sample of the data, this script:
+
+ 1. estimates the distance distribution and its distance exponent
+    (the intrinsic dimensionality that governs search cost);
+ 2. predicts the M-tree's shape and query costs for several node sizes
+    with the tree-statistics-free model (§6 extension) — no tree built;
+ 3. picks a node size, *then* builds the tree and compares the
+    design-time predictions with reality;
+ 4. uses the cost-based optimiser to report, per radius, which access
+    path a query optimiser should take.
+
+Run:  python examples/design_advisor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    NodeBasedCostModel,
+    StatlessCostModel,
+    VPTreeCostModel,
+    estimate_distance_exponent,
+    estimate_distance_histogram,
+)
+from repro.datasets import clustered_dataset
+from repro.experiments import paper_range_radius
+from repro.mtree import NodeLayout, bulk_load, collect_node_stats
+from repro.optimizer import (
+    LinearScanPlan,
+    MTreeRangePlan,
+    SimilarityQueryOptimizer,
+    VPTreeRangePlan,
+)
+from repro.storage import DiskModel
+from repro.vptree import VPTree
+from repro.workloads import LinearScanBaseline, run_range_workload, sample_workload
+
+
+def main() -> None:
+    # The "data sample" a designer would have.
+    data = clustered_dataset(size=6000, dim=10, seed=13)
+    radius = paper_range_radius(data.dim)
+    print(f"dataset sample: {data.name}; design query: range(Q, {radius:.3f})")
+
+    # 1. dataset statistics ------------------------------------------------
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+    exponent = estimate_distance_exponent(hist)
+    print(f"distance exponent (intrinsic dim): {exponent.exponent:.2f} "
+          f"in a {data.dim}-d embedding (R^2 = {exponent.r_squared:.3f})")
+
+    # 2. design-time sizing: no tree exists yet ---------------------------
+    print("\ndesign-time predictions (stat-less model, no index built):")
+    print(f"{'NS (KB)':>8} {'height':>7} {'leaves':>7} "
+          f"{'pred nodes':>11} {'pred dists':>11}")
+    object_bytes = 4 * data.dim
+    candidates = {}
+    for size_kb in (1.0, 2.0, 4.0, 8.0, 16.0):
+        layout = NodeLayout(
+            node_size_bytes=int(size_kb * 1024), object_bytes=object_bytes
+        )
+        model = StatlessCostModel(
+            hist, data.size, layout.leaf_capacity, layout.internal_capacity
+        )
+        candidates[size_kb] = model
+        shape = model.shape
+        print(f"{size_kb:8.1f} {shape.height:7d} "
+              f"{shape.level_stats[-1].n_nodes:7d} "
+              f"{float(model.range_nodes(radius)):11.1f} "
+              f"{float(model.range_dists(radius)):11.1f}")
+
+    disk = DiskModel(positioning_ms=10.0, transfer_ms_per_kb=1.0, distance_ms=5.0)
+    best_kb = min(
+        candidates,
+        key=lambda kb: disk.query_cost_ms(
+            float(candidates[kb].range_nodes(radius)),
+            float(candidates[kb].range_dists(radius)),
+            kb,
+        ).total_ms,
+    )
+    print(f"\nadvised node size: {best_kb:g} KB "
+          f"(combined cost, c_IO=(10+NS)ms, c_CPU=5ms)")
+
+    # 3. build and verify ---------------------------------------------------
+    layout = NodeLayout(
+        node_size_bytes=int(best_kb * 1024), object_bytes=object_bytes
+    )
+    tree = bulk_load(data.points, data.metric, layout, seed=14)
+    queries = sample_workload(data, 60, seed=15)
+    measured = run_range_workload(tree, queries, radius)
+    advised = candidates[best_kb]
+    print("verification after building the advised tree:")
+    print(f"  predicted (design time): {float(advised.range_nodes(radius)):7.1f}"
+          f" nodes  {float(advised.range_dists(radius)):9.1f} dists")
+    print(f"  measured               : {measured.mean_nodes:7.1f} nodes  "
+          f"{measured.mean_dists:9.1f} dists")
+
+    # 4. plan selection across selectivities -------------------------------
+    mtree_plan = MTreeRangePlan(
+        tree,
+        NodeBasedCostModel(
+            hist, collect_node_stats(tree, data.d_plus), data.size
+        ),
+    )
+    vptree = VPTree.build(list(data.points), data.metric, arity=3, seed=16)
+    vptree_plan = VPTreeRangePlan(
+        vptree, VPTreeCostModel(hist, data.size, arity=3)
+    )
+    scan_plan = LinearScanPlan(
+        LinearScanBaseline(list(data.points), data.metric, object_bytes, 4096)
+    )
+    optimizer = SimilarityQueryOptimizer(
+        [mtree_plan, vptree_plan, scan_plan], disk
+    )
+    print("\noptimizer plan choices across selectivities:")
+    for r in (0.05, 0.15, 0.3, 0.6, 0.9):
+        choice = optimizer.choose_range_plan(r)
+        ranking = "  >  ".join(
+            f"{e.plan_name} ({e.total_ms:,.0f} ms)" for e in choice.ranked
+        )
+        print(f"  r = {r:4.2f}:  {ranking}")
+    crossover = optimizer.range_crossover_radius("mtree", "linear-scan", 0.01, 1.0)
+    if crossover is not None:
+        print(f"\npaged-index/scan crossover at radius ~ {crossover:.3f}")
+
+
+if __name__ == "__main__":
+    main()

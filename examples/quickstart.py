@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: predict M-tree query costs before running the queries.
+
+The core promise of the PODS'98 paper: with only (a) the distance
+distribution of your data and (b) cheap per-level statistics of the index,
+you can predict how many page reads and distance computations a similarity
+query will cost — without executing it.
+
+This script:
+ 1. generates a clustered 20-d dataset (the paper's synthetic workload);
+ 2. estimates the 100-bin distance histogram;
+ 3. bulk-loads a paged M-tree (4 KB nodes, as the paper does);
+ 4. predicts range- and NN-query costs with N-MCM and L-MCM;
+ 5. runs the real queries and prints predicted vs measured.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    LevelBasedCostModel,
+    NodeBasedCostModel,
+    estimate_distance_histogram,
+)
+from repro.datasets import clustered_dataset
+from repro.experiments import paper_range_radius
+from repro.mtree import (
+    bulk_load,
+    collect_level_stats,
+    collect_node_stats,
+    vector_layout,
+)
+from repro.workloads import run_knn_workload, run_range_workload, sample_workload
+
+
+def main() -> None:
+    # 1. Data: 10 gaussian clusters on the unit 20-cube, L_inf metric.
+    data = clustered_dataset(size=8000, dim=20, seed=7)
+    print(f"dataset: {data.name}, metric {data.metric.name}, d+ = {data.d_plus}")
+
+    # 2. The distance distribution F — the only dataset statistic the
+    #    model needs (Section 2 of the paper).
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+    print(f"distance histogram: {hist.n_bins} bins, mean distance "
+          f"{hist.mean():.3f}")
+
+    # 3. The index: a paged M-tree bulk-loaded at 4 KB nodes.
+    tree = bulk_load(data.points, data.metric, vector_layout(data.dim))
+    print(f"M-tree: {tree.n_nodes()} nodes, height {tree.height}")
+
+    # 4. The two cost models.
+    node_model = NodeBasedCostModel(
+        hist, collect_node_stats(tree, data.d_plus), data.size
+    )
+    level_model = LevelBasedCostModel(
+        hist, collect_level_stats(tree, data.d_plus), data.size
+    )
+
+    # 5. Predict, then measure.
+    radius = paper_range_radius(data.dim)  # query ball of volume 0.01
+    queries = sample_workload(data, 100, seed=11)
+
+    predicted = node_model.range_costs(radius)
+    measured = run_range_workload(tree, queries, radius)
+    print(f"\nrange(Q, {radius:.3f}):")
+    print(f"  predicted (N-MCM): {predicted.nodes:8.1f} node reads   "
+          f"{predicted.dists:9.1f} distances   {predicted.objs:7.1f} results")
+    print(f"  predicted (L-MCM): {float(level_model.range_nodes(radius)):8.1f}"
+          f" node reads   {float(level_model.range_dists(radius)):9.1f} distances")
+    print(f"  measured         : {measured.mean_nodes:8.1f} node reads   "
+          f"{measured.mean_dists:9.1f} distances   "
+          f"{measured.mean_results:7.1f} results")
+
+    nn_estimate = level_model.nn_costs(k=1, method="integral")
+    nn_measured = run_knn_workload(tree, queries, k=1)
+    print("\nNN(Q, 1):")
+    print(f"  predicted (L-MCM): {nn_estimate.nodes:8.1f} node reads   "
+          f"{nn_estimate.dists:9.1f} distances   "
+          f"E[nn] = {nn_estimate.expected_nn_distance:.4f}")
+    print(f"  measured         : {nn_measured.mean_nodes:8.1f} node reads   "
+          f"{nn_measured.mean_dists:9.1f} distances   "
+          f"mean nn dist = {nn_measured.mean_nn_distance:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Approximate keyword search with cost prediction (the paper's intro demo).
+
+Section 1 of the paper motivates the cost model with exactly this scenario:
+"given a large set of keywords extracted from a text, compared with the
+edit distance, what is the expected CPU and I/O cost to retrieve the 20
+nearest neighbors of a query keyword?"
+
+This script indexes a synthetic Italian-like vocabulary standing in for the
+*Promessi Sposi* keyword set, answers that question with the cost model,
+and then verifies the prediction by running the queries.
+
+Run:  python examples/text_search.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LevelBasedCostModel, estimate_distance_histogram
+from repro.datasets import paper_text_dataset
+from repro.mtree import bulk_load, collect_level_stats, string_layout
+from repro.workloads import run_knn_workload, run_range_workload, sample_workload
+
+
+def main() -> None:
+    # A scaled-down PS vocabulary (use scale=1.0 for the paper's 19,846
+    # words; generation and indexing then take a few minutes).
+    data = paper_text_dataset("PS", scale=0.15)
+    print(f"dataset: {data.name}, {data.size} distinct words, "
+          f"max length {data.max_word_length()}")
+
+    # 25-bin histogram: 25 is the edit-distance bound for these words.
+    hist = estimate_distance_histogram(
+        data.words, data.metric, data.d_plus, n_bins=25, integer_valued=True
+    )
+    tree = bulk_load(
+        data.words, data.metric, string_layout(data.max_word_length())
+    )
+    model = LevelBasedCostModel(
+        hist, collect_level_stats(tree, data.d_plus), data.size
+    )
+    print(f"M-tree: {tree.n_nodes()} nodes, height {tree.height}")
+
+    # --- The paper's intro question: cost of NN(Q, 20)? -----------------
+    estimate = model.nn_costs(k=20, method="integral")
+    print("\nexpected cost of a 20-NN keyword query (predicted, no query run):")
+    print(f"  {estimate.nodes:.1f} page reads, {estimate.dists:.1f} edit-"
+          f"distance computations, 20th-NN distance ~ "
+          f"{estimate.expected_nn_distance:.2f}")
+
+    queries = sample_workload(data, 30, seed=3)
+    measured = run_knn_workload(tree, queries, k=20)
+    print("measured over 30 queries:")
+    print(f"  {measured.mean_nodes:.1f} page reads, {measured.mean_dists:.1f}"
+          f" edit-distance computations, 20th-NN distance ~ "
+          f"{measured.mean_nn_distance:.2f}")
+
+    # --- And a classic approximate-match range query. -------------------
+    radius = 2.0
+    predicted = model.range_costs(radius)
+    measured_range = run_range_workload(tree, queries, radius)
+    print(f"\nrange(Q, {radius:g}) - all words within {radius:g} edits:")
+    print(f"  predicted: {predicted.dists:9.1f} distances, "
+          f"{predicted.objs:6.2f} matches")
+    print(f"  measured : {measured_range.mean_dists:9.1f} distances, "
+          f"{measured_range.mean_results:6.2f} matches")
+
+    # Show one concrete query for flavour.
+    query = queries.queries[0]
+    result = tree.range_query(query, radius)
+    sample_matches = sorted(obj for _oid, obj, _d in result.items)[:8]
+    print(f"\nexample: words within {radius:g} edits of {query!r}: "
+          f"{sample_matches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Choosing the M-tree node size with the cost model (Section 4.1).
+
+Large pages amortise positioning time but scan more entries per accessed
+node; small pages read less but seek more.  The paper shows the combined
+cost ``c_CPU * dists + c_IO(NS) * nodes`` has an interior optimum that the
+cost model finds *analytically* — no trial deployments needed.
+
+This script sweeps node sizes on a 5-d clustered dataset, prints the
+predicted cost curve and the recommended node size, and cross-checks the
+prediction against real query runs.
+
+Run:  python examples/tune_node_size.py
+"""
+
+from __future__ import annotations
+
+from repro.core import NodeSizeTuner, estimate_distance_histogram
+from repro.datasets import clustered_dataset
+from repro.experiments import paper_range_radius
+from repro.storage import DiskModel
+from repro.workloads import sample_workload
+
+
+def main() -> None:
+    data = clustered_dataset(size=20_000, dim=5, seed=1)
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+
+    # The paper's disk: 10 ms positioning + 1 ms/KB transfer; a distance
+    # computation costs 5 ms (think: an expensive domain metric).
+    disk = DiskModel(positioning_ms=10.0, transfer_ms_per_kb=1.0, distance_ms=5.0)
+    tuner = NodeSizeTuner(
+        data.points,
+        data.metric,
+        data.d_plus,
+        object_bytes=4 * data.dim,
+        hist=hist,
+        disk_model=disk,
+    )
+
+    radius = paper_range_radius(data.dim)  # selectivity ~ 1%
+    queries = list(sample_workload(data, 40, seed=5))
+    result = tuner.sweep(
+        [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0], radius, queries=queries
+    )
+
+    print(f"node-size sweep for range(Q, {radius:.3f}) on {data.name}:\n")
+    print(f"{'NS (KB)':>8} {'pred nodes':>11} {'pred dists':>11} "
+          f"{'pred ms':>10} {'actual ms':>10}")
+    for point in result.points:
+        actual = (
+            f"{point.actual_total_ms:10.0f}"
+            if point.actual_total_ms is not None
+            else "         -"
+        )
+        print(f"{point.node_size_kb:8.1f} {point.predicted_nodes:11.1f} "
+              f"{point.predicted_dists:11.1f} "
+              f"{point.predicted_total_ms:10.0f} {actual}")
+
+    print(f"\nrecommended node size: {result.optimal_node_size_kb:g} KB")
+    print("(the paper's 10^6-object run places the optimum at 8 KB; the "
+          "optimum shifts left at smaller scales, but the I/O-down / "
+          "CPU-up tension it balances is the same)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""metricost — cost models for similarity queries in metric spaces.
+
+A complete reproduction of Ciaccia, Patella & Zezula, *A Cost Model for
+Similarity Queries in Metric Spaces* (PODS 1998): the distance-distribution
+machinery, the homogeneity-of-viewpoints analysis, the N-MCM and L-MCM
+M-tree cost models, the Section 5 vp-tree cost model, and the full
+substrates they are validated against — a paged M-tree with bulk loading,
+a binary/m-way vp-tree, metric spaces and synthetic dataset generators.
+
+Quickstart::
+
+    import numpy as np
+    from repro.datasets import clustered_dataset
+    from repro.core import estimate_distance_histogram, LevelBasedCostModel
+    from repro.mtree import bulk_load, vector_layout, collect_level_stats
+
+    data = clustered_dataset(size=10_000, dim=20)
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+    tree = bulk_load(data.points, data.metric, vector_layout(data.dim))
+    model = LevelBasedCostModel(
+        hist, collect_level_stats(tree, data.d_plus), data.size
+    )
+    print(model.range_costs(radius=0.1))
+"""
+
+from . import core, datasets, gist, metrics, mtree, optimizer, storage, vptree
+from .exceptions import (
+    CapacityError,
+    EmptyDatasetError,
+    EmptyTreeError,
+    HistogramDomainError,
+    InvalidParameterError,
+    MetricostError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "datasets",
+    "gist",
+    "metrics",
+    "mtree",
+    "optimizer",
+    "storage",
+    "vptree",
+    "MetricostError",
+    "InvalidParameterError",
+    "EmptyDatasetError",
+    "EmptyTreeError",
+    "CapacityError",
+    "HistogramDomainError",
+    "__version__",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure1 --size 10000 --queries 500
+    python -m repro figure5 --size 100000
+    python -m repro vptree
+    python -m repro all --quick
+
+Each subcommand runs the corresponding experiment driver and prints the
+paper-shaped table; ``all`` runs every experiment in sequence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments import (
+    Figure1Config,
+    Figure2Config,
+    Figure3Config,
+    Figure4Config,
+    Figure5Config,
+    Table1Config,
+    VPValidationConfig,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    render_vptree_validation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_vptree_validation,
+)
+
+__all__ = ["main"]
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    config = Table1Config(
+        vector_size=args.size,
+        text_scale=args.text_scale,
+        n_targets=min(args.size, 2000),
+    )
+    return render_table1(run_table1(config))
+
+
+def _run_figure1(args: argparse.Namespace) -> str:
+    config = Figure1Config(size=args.size, n_queries=args.queries)
+    return render_figure1(run_figure1(config))
+
+
+def _run_figure2(args: argparse.Namespace) -> str:
+    config = Figure2Config(size=args.size, n_queries=args.queries)
+    return render_figure2(run_figure2(config))
+
+
+def _run_figure3(args: argparse.Namespace) -> str:
+    config = Figure3Config(
+        text_scale=args.text_scale, n_queries=args.queries
+    )
+    return render_figure3(run_figure3(config))
+
+
+def _run_figure4(args: argparse.Namespace) -> str:
+    config = Figure4Config(size=args.size, n_queries=args.queries)
+    return render_figure4(run_figure4(config))
+
+
+def _run_figure5(args: argparse.Namespace) -> str:
+    config = Figure5Config(size=args.size, n_queries=args.queries)
+    return render_figure5(run_figure5(config))
+
+
+def _run_vptree(args: argparse.Namespace) -> str:
+    config = VPValidationConfig(
+        size=min(args.size, 6000), n_queries=args.queries
+    )
+    return render_vptree_validation(run_vptree_validation(config))
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _run_table1,
+    "figure1": _run_figure1,
+    "figure2": _run_figure2,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "vptree": _run_vptree,
+}
+
+QUICK_OVERRIDES = {"size": 1500, "queries": 30, "text_scale": 0.02}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate the tables and figures of 'A Cost Model for "
+            "Similarity Queries in Metric Spaces' (PODS 1998)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+    for name in [*EXPERIMENTS, "all"]:
+        sub = subparsers.add_parser(
+            name,
+            help=(
+                "run every experiment"
+                if name == "all"
+                else f"reproduce {name}"
+            ),
+        )
+        sub.add_argument(
+            "--size",
+            type=int,
+            default=8000,
+            help="number of indexed vector objects (default 8000)",
+        )
+        sub.add_argument(
+            "--queries",
+            type=int,
+            default=100,
+            help="queries per measurement (default 100; the paper used 1000)",
+        )
+        sub.add_argument(
+            "--text-scale",
+            type=float,
+            default=0.1,
+            help="fraction of the paper's vocabulary sizes (default 0.1)",
+        )
+        sub.add_argument(
+            "--quick",
+            action="store_true",
+            help="shrink all sizes for a fast smoke run",
+        )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        for key, value in QUICK_OVERRIDES.items():
+            setattr(args, key, value)
+    names: List[str] = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        started = time.perf_counter()
+        print(f"== {name} " + "=" * max(0, 66 - len(name)))
+        print(EXPERIMENTS[name](args))
+        print(f"-- {name} done in {time.perf_counter() - started:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The paper's contribution: cost models for metric similarity queries."""
+
+from .distribution import (
+    estimate_distance_histogram,
+    sample_pairwise_distances,
+    subsample_distance_matrix,
+)
+from .histogram import DistanceHistogram
+from .homogeneity import (
+    HomogeneityReport,
+    discrepancy,
+    estimate_hv,
+    rdd_histogram,
+)
+from .mtree_model import (
+    NN_METHODS,
+    LevelBasedCostModel,
+    LevelStat,
+    MTreeCostModel,
+    NNCostEstimate,
+    NodeBasedCostModel,
+    NodeStat,
+    RangeCostEstimate,
+    level_stats_from_node_stats,
+)
+from .nn_distance import (
+    expected_nn_distance,
+    min_selectivity_radius,
+    nn_distance_cdf,
+    nn_distance_pdf_factor,
+)
+from .complex_model import ComplexRangeCostModel
+from .fractal import (
+    DistanceExponentReport,
+    estimate_distance_exponent,
+    power_law_histogram,
+)
+from .maintenance import IncrementalDistanceHistogram
+from .statless_model import (
+    PredictedTreeShape,
+    StatlessCostModel,
+    predict_level_stats,
+)
+from .tuning import NodeSizeSweepPoint, NodeSizeTuner, TuningResult
+from .viewpoints_model import (
+    NodeRecord,
+    QuerySensitiveCostModel,
+    ViewpointSet,
+    fit_viewpoints,
+)
+from .vptree_model import VPTreeCostModel, vp_root_children_accessed
+
+__all__ = [
+    "DistanceHistogram",
+    "estimate_distance_histogram",
+    "sample_pairwise_distances",
+    "subsample_distance_matrix",
+    "discrepancy",
+    "rdd_histogram",
+    "estimate_hv",
+    "HomogeneityReport",
+    "nn_distance_cdf",
+    "nn_distance_pdf_factor",
+    "expected_nn_distance",
+    "min_selectivity_radius",
+    "NodeStat",
+    "LevelStat",
+    "RangeCostEstimate",
+    "NNCostEstimate",
+    "MTreeCostModel",
+    "NodeBasedCostModel",
+    "LevelBasedCostModel",
+    "level_stats_from_node_stats",
+    "NN_METHODS",
+    "VPTreeCostModel",
+    "vp_root_children_accessed",
+    "NodeSizeTuner",
+    "NodeSizeSweepPoint",
+    "TuningResult",
+    "ComplexRangeCostModel",
+    "StatlessCostModel",
+    "PredictedTreeShape",
+    "predict_level_stats",
+    "QuerySensitiveCostModel",
+    "ViewpointSet",
+    "fit_viewpoints",
+    "NodeRecord",
+    "IncrementalDistanceHistogram",
+    "DistanceExponentReport",
+    "estimate_distance_exponent",
+    "power_law_histogram",
+]

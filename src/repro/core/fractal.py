@@ -1,0 +1,135 @@
+"""Distance-exponent (fractal) analysis of metric datasets (§6, bullet 5).
+
+The paper's last future-work item: "we plan to exploit concepts of fractal
+theory, which, we remind, is in principle applicable to generic metric
+spaces."  The metric-space incarnation of the fractal dimension is the
+*distance exponent*: for self-similar data the distance distribution obeys
+a power law at small radii,
+
+    F(r)  ~  C * r^m,
+
+and ``m`` plays the role the (correlation) fractal dimension plays in the
+vector-space cost models the paper reviews ([12], [2], [19]).  For uniform
+data on ``[0,1]^D`` under ``L_inf``, ``F(r) = (2r)^D`` exactly for
+``r <= 1/2`` (interior points), so ``m = D``; clustered or manifold data
+yield ``m`` well below the embedding dimension — the "intrinsic"
+dimensionality that actually governs search cost.
+
+Provided here:
+
+* :func:`estimate_distance_exponent` — log-log least-squares fit of the
+  histogram CDF over a small-radius quantile window;
+* :func:`power_law_histogram` — materialise ``F(r) = min(1, C r^m)`` as a
+  :class:`DistanceHistogram`, so the *entire* cost-model machinery (N-MCM,
+  L-MCM, NN distances, vp-tree model) runs on the two-parameter power-law
+  summary instead of the full histogram — a 2-number statistics footprint;
+* :class:`DistanceExponentReport` — the fit plus its diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .histogram import DistanceHistogram
+
+__all__ = [
+    "DistanceExponentReport",
+    "estimate_distance_exponent",
+    "power_law_histogram",
+]
+
+
+@dataclass(frozen=True)
+class DistanceExponentReport:
+    """A fitted power law ``F(r) ~ intercept * r^exponent``."""
+
+    exponent: float
+    intercept: float
+    r_squared: float
+    fit_lo: float  # radius window of the fit
+    fit_hi: float
+    n_points: int
+
+    def cdf_at(self, radius: float) -> float:
+        """``min(1, C r^m)`` — the power-law CDF."""
+        if radius <= 0:
+            return 0.0
+        return float(min(1.0, self.intercept * radius**self.exponent))
+
+
+def estimate_distance_exponent(
+    hist: DistanceHistogram,
+    quantile_lo: float = 0.005,
+    quantile_hi: float = 0.25,
+) -> DistanceExponentReport:
+    """Fit ``log F = m log r + log C`` over a small-radius window.
+
+    The window is expressed in *quantiles* of ``F`` (default: the part of
+    the distribution between selectivities 0.5% and 25%), where power-law
+    behaviour holds for self-similar data and which is exactly the range
+    similarity queries live in.
+    """
+    if not (0 <= quantile_lo < quantile_hi <= 1):
+        raise InvalidParameterError(
+            "need 0 <= quantile_lo < quantile_hi <= 1, got "
+            f"({quantile_lo}, {quantile_hi})"
+        )
+    r_lo = float(hist.quantile(max(quantile_lo, 1e-9)))
+    r_hi = float(hist.quantile(quantile_hi))
+    if r_hi <= 0:
+        raise InvalidParameterError(
+            "distance distribution has no mass below the fit window"
+        )
+    r_lo = max(r_lo, r_hi * 1e-4, hist.bin_width * 0.25)
+    if r_lo >= r_hi:
+        r_lo = r_hi / 10.0
+    radii = np.geomspace(r_lo, r_hi, 32)
+    cdf_vals = np.asarray(hist.cdf(radii))
+    mask = cdf_vals > 0
+    if mask.sum() < 3:
+        raise InvalidParameterError(
+            "not enough positive-CDF points in the fit window"
+        )
+    log_r = np.log(radii[mask])
+    log_f = np.log(cdf_vals[mask])
+    slope, intercept_log = np.polyfit(log_r, log_f, 1)
+    predictions = slope * log_r + intercept_log
+    residual = float(((log_f - predictions) ** 2).sum())
+    total = float(((log_f - log_f.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return DistanceExponentReport(
+        exponent=float(slope),
+        intercept=float(np.exp(intercept_log)),
+        r_squared=r_squared,
+        fit_lo=r_lo,
+        fit_hi=r_hi,
+        n_points=int(mask.sum()),
+    )
+
+
+def power_law_histogram(
+    exponent: float,
+    intercept: float,
+    d_plus: float,
+    n_bins: int = 100,
+) -> DistanceHistogram:
+    """Materialise ``F(r) = min(1, C r^m)`` as a histogram.
+
+    Lets the full cost-model stack run on the two-parameter power-law
+    summary: a :class:`DistanceHistogram` whose bin masses are the
+    power-law increments.
+    """
+    if exponent <= 0:
+        raise InvalidParameterError(f"exponent must be > 0, got {exponent}")
+    if intercept <= 0:
+        raise InvalidParameterError(f"intercept must be > 0, got {intercept}")
+    if d_plus <= 0:
+        raise InvalidParameterError(f"d_plus must be > 0, got {d_plus}")
+    edges = np.linspace(0.0, d_plus, n_bins + 1)
+    cdf_vals = np.minimum(1.0, intercept * edges**exponent)
+    cdf_vals[-1] = 1.0  # all mass accounted for within the bound
+    masses = np.diff(cdf_vals)
+    return DistanceHistogram(masses, d_plus)

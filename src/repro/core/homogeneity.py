@@ -1,0 +1,180 @@
+"""Homogeneity of viewpoints: RDDs, discrepancy, ``G_Δ`` and the HV index.
+
+Section 2 of the paper:
+
+* the *relative distance distribution* (RDD) of an object ``O_i`` is
+  ``F_{O_i}(x) = Pr{ d(O_i, O) <= x }`` — the object's "viewpoint";
+* the *discrepancy* of two RDDs (Def. 1) is their mean absolute CDF
+  difference over ``[0, d_plus]``;
+* ``G_Δ(y)`` is the CDF of the discrepancy of two random viewpoints;
+* the *HV index* (Def. 2) is ``HV = ∫ G_Δ = 1 - E[Δ]``.
+
+``HV ≈ 1`` is Assumption 1, the licence to substitute the overall ``F̂ⁿ``
+for the unknown query RDD ``F_Q``.  The estimator below samples viewpoints
+from the database, builds each viewpoint's empirical RDD against a common
+target sample, and averages pairwise discrepancies.
+
+For Example 1 (binary hypercube + midpoint) the exact closed forms live in
+:mod:`repro.datasets.hypercube`; the tests check this estimator against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyDatasetError, InvalidParameterError
+from ..metrics import Metric
+from .histogram import DistanceHistogram
+
+__all__ = [
+    "discrepancy",
+    "rdd_histogram",
+    "HomogeneityReport",
+    "estimate_hv",
+]
+
+
+def rdd_histogram(
+    viewpoint,
+    targets: Sequence,
+    metric: Metric,
+    d_plus: float,
+    n_bins: int = 100,
+) -> DistanceHistogram:
+    """Empirical RDD of ``viewpoint`` against a sample of target objects."""
+    if len(targets) == 0:
+        raise EmptyDatasetError("need at least one target object for an RDD")
+    distances = metric.one_to_many(viewpoint, list(targets))
+    return DistanceHistogram.from_sample(distances, n_bins, d_plus)
+
+
+def discrepancy(
+    first: DistanceHistogram,
+    second: DistanceHistogram,
+    grid_points: int = 512,
+) -> float:
+    """Def. 1: ``(1/d+) ∫ |F_i(x) - F_j(x)| dx`` over ``[0, d_plus]``.
+
+    Both histograms must share the same ``d_plus``.  The integral is exact
+    up to the trapezoid rule on a uniform grid (both CDFs are piecewise
+    linear, so a grid finer than both bin widths is exact; ``grid_points``
+    defaults comfortably above the usual 100 bins).
+    """
+    if abs(first.d_plus - second.d_plus) > 1e-9 * max(first.d_plus, second.d_plus):
+        raise InvalidParameterError(
+            f"RDDs have different bounds: {first.d_plus} vs {second.d_plus}"
+        )
+    if grid_points < 2:
+        raise InvalidParameterError(
+            f"grid_points must be >= 2, got {grid_points}"
+        )
+    xs = np.linspace(0.0, first.d_plus, grid_points)
+    gap = np.abs(np.asarray(first.cdf(xs)) - np.asarray(second.cdf(xs)))
+    return float(np.trapezoid(gap, xs) / first.d_plus)
+
+
+@dataclass
+class HomogeneityReport:
+    """Result of an HV estimation run.
+
+    ``hv`` is the raw estimate ``1 - mean(Δ̂)``.  Finite target samples
+    inflate ``Δ̂`` — even two *identical* viewpoints show a positive
+    empirical discrepancy of order ``1/sqrt(n_targets)`` — so the report
+    also carries a split-half ``noise_floor`` estimate and
+    ``hv_corrected``, where each pairwise discrepancy is deflated in
+    quadrature by the noise floor.  The correction vanishes as the target
+    sample grows and recovers the paper's full-matrix regime (HV > 0.98).
+    """
+
+    hv: float
+    mean_discrepancy: float
+    discrepancies: np.ndarray
+    n_viewpoints: int
+    n_targets: int
+    noise_floor: float = 0.0
+    hv_corrected: float = 0.0
+
+    def g_delta(self, y: float) -> float:
+        """Empirical ``G_Δ(y) = Pr{Δ <= y}`` from the sampled discrepancies."""
+        if not (0 <= y <= 1):
+            raise InvalidParameterError(f"y must lie in [0, 1], got {y}")
+        return float((self.discrepancies <= y).mean())
+
+    def g_delta_curve(self, ys: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`g_delta`."""
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        return (self.discrepancies[None, :] <= ys_arr[:, None]).mean(axis=1)
+
+
+def estimate_hv(
+    objects: Sequence,
+    metric: Metric,
+    d_plus: float,
+    n_viewpoints: int = 50,
+    n_targets: int = 2000,
+    n_bins: int = 100,
+    rng: Optional[np.random.Generator] = None,
+) -> HomogeneityReport:
+    """Estimate the HV index of the space a database was sampled from.
+
+    Draws ``n_viewpoints`` viewpoint objects and ``n_targets`` target
+    objects (all from the database — the best available stand-in for ``S``),
+    computes each viewpoint's empirical RDD against the common target
+    sample, then averages the discrepancy over all viewpoint pairs:
+    ``HV = 1 - mean(Δ̂)``.
+
+    The finite target sample puts a floor of order ``1/sqrt(n_targets)``
+    under every empirical discrepancy; the floor is estimated per run by
+    comparing each viewpoint's RDD on two disjoint halves of the target
+    sample (rescaled by ``1/sqrt(2)`` to the full-sample noise level) and
+    ``hv_corrected`` deflates each pairwise discrepancy in quadrature.
+    """
+    n = len(objects)
+    if n < 2:
+        raise EmptyDatasetError(f"need at least 2 objects, got {n}")
+    if n_viewpoints < 2:
+        raise InvalidParameterError(
+            f"n_viewpoints must be >= 2, got {n_viewpoints}"
+        )
+    if n_targets < 2:
+        raise InvalidParameterError(f"n_targets must be >= 2, got {n_targets}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    n_viewpoints = min(n_viewpoints, n)
+    n_targets = min(n_targets, n)
+    viewpoint_idx = rng.choice(n, size=n_viewpoints, replace=False)
+    target_idx = rng.choice(n, size=n_targets, replace=False)
+    targets = [objects[i] for i in target_idx]
+    half = n_targets // 2
+
+    rdds = []
+    split_deltas = []
+    for i in viewpoint_idx:
+        distances = np.asarray(metric.one_to_many(objects[i], targets))
+        rdds.append(DistanceHistogram.from_sample(distances, n_bins, d_plus))
+        first = DistanceHistogram.from_sample(distances[:half], n_bins, d_plus)
+        second = DistanceHistogram.from_sample(distances[half:], n_bins, d_plus)
+        split_deltas.append(discrepancy(first, second))
+    # Split-half discrepancy measures sampling noise at size T/2; pairwise
+    # discrepancies at size T carry noise smaller by sqrt(2).
+    noise_floor = float(np.mean(split_deltas)) / np.sqrt(2.0)
+
+    deltas = []
+    for a in range(len(rdds)):
+        for b in range(a + 1, len(rdds)):
+            deltas.append(discrepancy(rdds[a], rdds[b]))
+    deltas_arr = np.asarray(deltas, dtype=np.float64)
+    mean_delta = float(deltas_arr.mean())
+    corrected = np.sqrt(np.maximum(deltas_arr**2 - noise_floor**2, 0.0))
+    return HomogeneityReport(
+        hv=1.0 - mean_delta,
+        mean_discrepancy=mean_delta,
+        discrepancies=deltas_arr,
+        n_viewpoints=n_viewpoints,
+        n_targets=n_targets,
+        noise_floor=noise_floor,
+        hv_corrected=1.0 - float(corrected.mean()),
+    )

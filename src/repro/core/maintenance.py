@@ -1,0 +1,180 @@
+"""Maintaining the distance distribution under updates.
+
+Section 2 calls the distance distribution "the basic property of a metric
+space for which we can get and **maintain** statistics".  The batch
+estimator (:func:`~repro.core.distribution.estimate_distance_histogram`)
+covers "get"; this module covers "maintain": an incremental histogram that
+tracks inserts (and tolerates deletes) without ever rescanning the
+database.
+
+Design: a fixed-size uniform *reservoir* of previously seen objects (Vitter
+reservoir sampling, so it remains a uniform sample of the inserted stream)
+plus per-bin distance counts.  Each insert draws ``sample_per_insert``
+random reservoir members, adds the new object's distances to the counts,
+then offers the object to the reservoir.  Distances therefore connect
+pairs of (approximately) uniformly sampled objects — the same estimand as
+the batch estimator — and the histogram converges to it, which the tests
+verify.
+
+Deletes cannot cheaply subtract their distance contributions (we do not
+know which counted pairs involved the deleted object); instead a
+staleness counter tracks the deleted fraction and ``needs_rebuild``
+signals when the histogram should be re-estimated from scratch — the
+behaviour a production optimiser-statistics module would have.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import Metric
+from .histogram import DistanceHistogram
+
+__all__ = ["IncrementalDistanceHistogram"]
+
+
+class IncrementalDistanceHistogram:
+    """Streaming estimate of the pairwise distance distribution."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        d_plus: float,
+        n_bins: int = 100,
+        reservoir_size: int = 500,
+        sample_per_insert: int = 8,
+        rebuild_threshold: float = 0.25,
+        seed: int = 0,
+        integer_valued: bool = False,
+    ):
+        if d_plus <= 0:
+            raise InvalidParameterError(f"d_plus must be > 0, got {d_plus}")
+        if n_bins < 1:
+            raise InvalidParameterError(f"n_bins must be >= 1, got {n_bins}")
+        if reservoir_size < 2:
+            raise InvalidParameterError(
+                f"reservoir_size must be >= 2, got {reservoir_size}"
+            )
+        if sample_per_insert < 1:
+            raise InvalidParameterError(
+                f"sample_per_insert must be >= 1, got {sample_per_insert}"
+            )
+        if not (0 < rebuild_threshold <= 1):
+            raise InvalidParameterError(
+                f"rebuild_threshold must lie in (0, 1], got {rebuild_threshold}"
+            )
+        self.metric = metric
+        self.d_plus = float(d_plus)
+        self.n_bins = int(n_bins)
+        self.reservoir_size = int(reservoir_size)
+        self.sample_per_insert = int(sample_per_insert)
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.integer_valued = bool(integer_valued)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: List[Any] = []
+        self._counts = np.zeros(self.n_bins, dtype=np.float64)
+        self._seen = 0  # stream length, for reservoir sampling
+        self._inserted = 0
+        self._deleted = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_distances(self) -> int:
+        """How many distance observations back the histogram."""
+        return int(self._counts.sum())
+
+    @property
+    def n_objects(self) -> int:
+        """Net object count (inserts minus deletes)."""
+        return self._inserted - self._deleted
+
+    @property
+    def deleted_fraction(self) -> float:
+        if self._inserted == 0:
+            return 0.0
+        return self._deleted / self._inserted
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """True once deletes make the histogram unacceptably stale."""
+        return self.deleted_fraction > self.rebuild_threshold
+
+    # ------------------------------------------------------------------
+
+    def insert(self, obj: Any) -> None:
+        """Record one inserted object."""
+        if self._reservoir:
+            n_probe = min(self.sample_per_insert, len(self._reservoir))
+            positions = self._rng.choice(
+                len(self._reservoir), size=n_probe, replace=False
+            )
+            probes = [self._reservoir[i] for i in positions]
+            distances = np.asarray(self.metric.one_to_many(obj, probes))
+            self._accumulate(distances)
+        self._offer_to_reservoir(obj)
+        self._inserted += 1
+
+    def insert_many(self, objects) -> None:
+        """Record a batch of inserts."""
+        for obj in objects:
+            self.insert(obj)
+
+    def delete(self, _obj: Any = None) -> None:
+        """Record one delete (advances the staleness counter only)."""
+        if self.n_objects <= 0:
+            raise InvalidParameterError("delete on an empty statistic")
+        self._deleted += 1
+
+    def _accumulate(self, distances: np.ndarray) -> None:
+        tolerance = self.d_plus * 1e-9
+        if (distances < -tolerance).any() or (
+            distances > self.d_plus + tolerance
+        ).any():
+            raise InvalidParameterError(
+                "observed distance outside [0, d_plus]; declared bound is wrong"
+            )
+        clipped = np.clip(distances, 0.0, self.d_plus)
+        if self.integer_valued:
+            clipped = np.clip(
+                clipped - (self.d_plus / self.n_bins) / 2.0, 0.0, self.d_plus
+            )
+        counts, _ = np.histogram(
+            clipped, bins=self.n_bins, range=(0.0, self.d_plus)
+        )
+        self._counts += counts
+
+    def _offer_to_reservoir(self, obj: Any) -> None:
+        self._seen += 1
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(obj)
+        else:
+            slot = int(self._rng.integers(0, self._seen))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = obj
+
+    # ------------------------------------------------------------------
+
+    def histogram(self) -> DistanceHistogram:
+        """The current estimate as a :class:`DistanceHistogram`."""
+        if self._counts.sum() <= 0:
+            raise InvalidParameterError(
+                "no distance observations yet; insert at least two objects"
+            )
+        return DistanceHistogram(self._counts, self.d_plus)
+
+    def rebuild_from(self, objects) -> None:
+        """Full re-estimation after too many deletes.
+
+        Resets the reservoir and counts, then replays ``objects`` (the
+        current database content) as inserts.
+        """
+        self._reservoir = []
+        self._counts = np.zeros(self.n_bins, dtype=np.float64)
+        self._seen = 0
+        self._inserted = 0
+        self._deleted = 0
+        self.insert_many(objects)

@@ -1,0 +1,125 @@
+"""The k-nearest-neighbor distance distribution (Eqs. 9-14).
+
+With ``n`` indexed objects whose distances from the query follow ``F``:
+
+* ``P_{Q,k}(r) = Pr{nn_{Q,k} <= r}`` is the probability that at least ``k``
+  objects fall within radius ``r`` — a binomial survival function (Eq. 9);
+* its density ``p_{Q,k}(r)`` weights the range-cost integrands of the NN
+  cost formulas (Eq. 10);
+* ``E[nn_{Q,k}] = d+ - ∫ P_{Q,k}(r) dr`` (Eq. 11), reducing for ``k = 1``
+  to ``∫ (1 - F(r))^n dr`` (Eq. 14).
+
+Numerical notes.  Eq. 9's raw binomial sum overflows for the paper's
+``n = 10^4..10^6``; we evaluate it as ``scipy.stats.binom.sf(k - 1, n, F(r))``
+which is computed stably in log space.  The density is obtained by exact
+differentiation of the binomial tail, ``dP/dr = n * C(n-1, k-1) * F^{k-1}
+(1-F)^{n-k} * f(r)``, evaluated through ``exp(log(...))`` with gammaln.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+from scipy.stats import binom
+
+from ..exceptions import InvalidParameterError
+from .histogram import DistanceHistogram
+
+__all__ = [
+    "nn_distance_cdf",
+    "nn_distance_pdf_factor",
+    "expected_nn_distance",
+    "min_selectivity_radius",
+]
+
+
+def _check_nk(n: int, k: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if not (1 <= k <= n):
+        raise InvalidParameterError(f"k must lie in [1, n={n}], got {k}")
+
+
+def nn_distance_cdf(
+    hist: DistanceHistogram, n: int, k: int, r: np.ndarray | float
+) -> np.ndarray | float:
+    """``P_{Q,k}(r)``: probability the k-th NN lies within radius ``r``.
+
+    Eq. 9, evaluated as the survival function of a Binomial(n, F(r)) at
+    ``k - 1``: ``Pr{Bin(n, F(r)) >= k}``.
+    """
+    _check_nk(n, k)
+    probs = np.asarray(hist.cdf(r), dtype=np.float64)
+    scalar = probs.ndim == 0
+    values = binom.sf(k - 1, n, np.atleast_1d(probs))
+    values = np.clip(values, 0.0, 1.0)
+    return float(values[0]) if scalar else values
+
+
+def nn_distance_pdf_factor(
+    hist: DistanceHistogram, n: int, k: int, r: np.ndarray | float
+) -> np.ndarray | float:
+    """``p_{Q,k}(r) / f(r)``: the density of the k-th NN distance, per unit
+    of distance density.
+
+    Differentiating Eq. 9 gives
+    ``dP/dF = n * C(n-1, k-1) * F^{k-1} * (1-F)^{n-k}``, and by the chain
+    rule ``p_{Q,k}(r) = (dP/dF) * f(r)``.  Returning the ``dP/dF`` factor
+    separately lets integrators multiply by the histogram density on their
+    own grid (and lets tests check it against Eq. 10's raw sum).
+
+    Computed in log space so that ``n = 10^6`` is exact to double precision.
+    """
+    _check_nk(n, k)
+    probs = np.asarray(hist.cdf(r), dtype=np.float64)
+    scalar = probs.ndim == 0
+    f_arr = np.atleast_1d(probs)
+    out = np.zeros_like(f_arr)
+    interior = (f_arr > 0.0) & (f_arr < 1.0)
+    if interior.any():
+        f_in = f_arr[interior]
+        log_coeff = (
+            np.log(n)
+            + gammaln(n)
+            - gammaln(k)
+            - gammaln(n - k + 1)
+            + (k - 1) * np.log(f_in)
+            + (n - k) * np.log1p(-f_in)
+        )
+        out[interior] = np.exp(log_coeff)
+    # Boundary cases: at F = 0 the factor is 0 unless k = 1 (where it is n);
+    # at F = 1 it is 0 unless k = n (where it is n).
+    if k == 1:
+        out[f_arr == 0.0] = float(n)
+    if k == n:
+        out[f_arr == 1.0] = float(n)
+    return float(out[0]) if scalar else out
+
+
+def expected_nn_distance(
+    hist: DistanceHistogram, n: int, k: int = 1, refinement: int = 8
+) -> float:
+    """``E[nn_{Q,k}]`` via Eq. 11: ``d+ - ∫_0^{d+} P_{Q,k}(r) dr``.
+
+    Trapezoid quadrature on the histogram grid refined ``refinement`` times
+    per bin.  For ``k = 1`` this equals Eq. 14's ``∫ (1-F)^n dr``.
+    """
+    _check_nk(n, k)
+    grid = hist.integration_grid(refinement)
+    cdf_vals = np.asarray(nn_distance_cdf(hist, n, k, grid))
+    integral = float(np.trapezoid(cdf_vals, grid))
+    return max(0.0, hist.d_plus - integral)
+
+
+def min_selectivity_radius(
+    hist: DistanceHistogram, n: int, k: int = 1
+) -> float:
+    """``r(k) = min{ r : n * F(r) >= k }`` (the paper's third NN estimator).
+
+    The radius at which the *expected* number of retrieved objects (Eq. 8)
+    reaches ``k``.  Section 4 shows this estimator degrades at high
+    dimensionality because of histogram coarseness — reproduced by the
+    Figure 2 bench.
+    """
+    _check_nk(n, k)
+    return float(hist.quantile(min(1.0, k / n)))

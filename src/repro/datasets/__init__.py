@@ -1,0 +1,44 @@
+"""Synthetic dataset generators reproducing the paper's Table 1."""
+
+from .hypercube import (
+    binary_hypercube_dataset,
+    discrepancy_vertex_vs_midpoint,
+    g_delta_binary_hypercube,
+    hv_binary_hypercube_with_midpoint,
+)
+from .keywords import (
+    PAPER_TEXT_DATASETS,
+    KeywordDataset,
+    keyword_dataset,
+    paper_text_dataset,
+)
+from .fractal import (
+    CANTOR_DIMENSION,
+    SIERPINSKI_DIMENSION,
+    cantor_dust_dataset,
+    sierpinski_dataset,
+)
+from .registry import TABLE1_SPECS, DatasetSpec, list_datasets, make_dataset
+from .vectors import VectorDataset, clustered_dataset, uniform_dataset
+
+__all__ = [
+    "VectorDataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "KeywordDataset",
+    "keyword_dataset",
+    "paper_text_dataset",
+    "PAPER_TEXT_DATASETS",
+    "binary_hypercube_dataset",
+    "hv_binary_hypercube_with_midpoint",
+    "discrepancy_vertex_vs_midpoint",
+    "g_delta_binary_hypercube",
+    "DatasetSpec",
+    "TABLE1_SPECS",
+    "make_dataset",
+    "list_datasets",
+    "sierpinski_dataset",
+    "cantor_dust_dataset",
+    "SIERPINSKI_DIMENSION",
+    "CANTOR_DIMENSION",
+]

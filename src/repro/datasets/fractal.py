@@ -1,0 +1,113 @@
+"""Self-similar (fractal) datasets with known intrinsic dimension.
+
+The paper's final future-work item points at fractal theory; the distance
+exponent implemented in :mod:`repro.core.fractal` needs ground truth to be
+validated against.  Classic iterated-function-system attractors provide
+it: the Sierpinski triangle has Hausdorff (and correlation) dimension
+``log 3 / log 2 ~ 1.585`` regardless of its 2-d embedding, and the Cantor
+dust ``log 2 / log 3 ~ 0.631`` per axis (so ``2 * 0.631`` for the planar
+product).  Points are generated with the chaos game, which converges to
+the attractor geometrically fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import BRMSpace, L2, LInf
+from .vectors import VectorDataset
+
+__all__ = [
+    "sierpinski_dataset",
+    "cantor_dust_dataset",
+    "SIERPINSKI_DIMENSION",
+    "CANTOR_DIMENSION",
+]
+
+#: Hausdorff dimension of the Sierpinski triangle.
+SIERPINSKI_DIMENSION = math.log(3) / math.log(2)
+#: Hausdorff dimension of the middle-thirds Cantor set (per axis).
+CANTOR_DIMENSION = math.log(2) / math.log(3)
+
+#: Vertices of the unit-triangle IFS.
+_SIERPINSKI_VERTICES = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, math.sqrt(3) / 2]])
+#: Burn-in iterations before points are recorded.
+_BURN_IN = 32
+
+
+def _chaos_game(
+    rng: np.random.Generator, size: int, vertices: np.ndarray, ratio: float
+) -> np.ndarray:
+    point = rng.random(vertices.shape[1])
+    for _ in range(_BURN_IN):
+        vertex = vertices[rng.integers(0, len(vertices))]
+        point = point + ratio * (vertex - point)
+    out = np.empty((size, vertices.shape[1]))
+    for i in range(size):
+        vertex = vertices[rng.integers(0, len(vertices))]
+        point = point + ratio * (vertex - point)
+        out[i] = point
+    return out
+
+
+def sierpinski_dataset(size: int, seed: int = 0) -> VectorDataset:
+    """Points on the Sierpinski triangle (intrinsic dimension ~1.585)."""
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+
+    def sampler(r: np.random.Generator, count: int) -> np.ndarray:
+        return _chaos_game(r, count, _SIERPINSKI_VERTICES, 0.5)
+
+    space = BRMSpace(
+        metric=L2(),
+        d_plus=1.0,  # the triangle has unit side; diameter 1
+        sampler=sampler,
+        name="sierpinski",
+        description="Sierpinski triangle via the chaos game",
+    )
+    return VectorDataset(
+        name=f"sierpinski(n={size})",
+        points=sampler(rng, size),
+        space=space,
+        rng_seed=seed,
+    )
+
+
+def cantor_dust_dataset(size: int, seed: int = 0) -> VectorDataset:
+    """Planar Cantor dust: the product of two middle-thirds Cantor sets.
+
+    Intrinsic (correlation) dimension ``2 * log2/log3 ~ 1.26`` in a 2-d
+    embedding under ``L_inf``.
+    """
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+
+    def sample_axis(r: np.random.Generator, count: int) -> np.ndarray:
+        # A Cantor-set point is a random ternary expansion over {0, 2}.
+        digits = r.integers(0, 2, size=(count, 20)) * 2
+        powers = 3.0 ** -(np.arange(1, 21))
+        return digits @ powers
+
+    def sampler(r: np.random.Generator, count: int) -> np.ndarray:
+        return np.stack(
+            [sample_axis(r, count), sample_axis(r, count)], axis=1
+        )
+
+    space = BRMSpace(
+        metric=LInf(),
+        d_plus=1.0,
+        sampler=sampler,
+        name="cantor-dust",
+        description="product of two middle-thirds Cantor sets",
+    )
+    return VectorDataset(
+        name=f"cantor-dust(n={size})",
+        points=sampler(rng, size),
+        space=space,
+        rng_seed=seed,
+    )

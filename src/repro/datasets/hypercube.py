@@ -1,0 +1,146 @@
+"""The binary hypercube with midpoint — the paper's Example 1.
+
+``M = ({0,1}^D union {(0.5, ..., 0.5)}, L_inf, 1, U)``: the vertices of the
+D-dimensional binary hypercube plus the cube's midpoint, all equally likely,
+under the maximum metric.  Every vertex is at ``L_inf`` distance 1 from every
+other vertex and at distance 0.5 from the midpoint, which makes the RDDs and
+the HV index analytically tractable — the paper derives
+
+``HV(M) = 1 - (2^{2D} - 2^D) / (2^D + 1)^3  ->  1``  as ``D -> inf``.
+
+This module generates the space (for empirical HV estimation in tests and
+benches) and exposes the exact closed forms so the estimator can be checked
+against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import BRMSpace, LInf
+from .vectors import VectorDataset
+
+__all__ = [
+    "binary_hypercube_dataset",
+    "hv_binary_hypercube_with_midpoint",
+    "discrepancy_vertex_vs_midpoint",
+    "g_delta_binary_hypercube",
+]
+
+
+def _check_dim(dim: int) -> None:
+    if dim < 1:
+        raise InvalidParameterError(f"dim must be >= 1, got {dim}")
+
+
+def binary_hypercube_dataset(
+    dim: int, include_midpoint: bool = True, seed: int = 0
+) -> VectorDataset:
+    """Materialise the Example 1 dataset: all ``2^dim`` vertices (+ midpoint).
+
+    ``dim`` is limited to 20 to keep the materialised set small; for HV the
+    analytic functions below cover arbitrary ``dim``.
+    """
+    _check_dim(dim)
+    if dim > 20:
+        raise InvalidParameterError(
+            f"refusing to materialise 2^{dim} vertices; use dim <= 20"
+        )
+    count = 1 << dim
+    vertices = (
+        (np.arange(count)[:, None] >> np.arange(dim)[None, :]) & 1
+    ).astype(np.float64)
+    if include_midpoint:
+        points = np.vstack([vertices, np.full((1, dim), 0.5)])
+    else:
+        points = vertices
+
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        idx = rng.integers(0, len(points), size=n)
+        return points[idx]
+
+    space = BRMSpace(
+        metric=LInf(),
+        d_plus=1.0,
+        sampler=sampler,
+        name=f"binary-hypercube-{dim}d",
+        description="Example 1: binary hypercube vertices plus midpoint",
+    )
+    suffix = "+mid" if include_midpoint else ""
+    return VectorDataset(
+        name=f"hypercube(D={dim}{suffix})",
+        points=points,
+        space=space,
+        rng_seed=seed,
+    )
+
+
+def discrepancy_vertex_vs_midpoint(dim: int) -> float:
+    """Exact discrepancy between a vertex RDD and the midpoint RDD.
+
+    The paper states ``delta(F_v, F_C) = 1/2 - 1/(2^D + 1)``.
+
+    Derivation: with ``N = 2^D + 1`` equally-likely objects, a vertex sees
+    itself at 0, the midpoint at 0.5 and the other ``2^D - 1`` vertices at 1,
+    while the midpoint sees itself at 0 and all vertices at 0.5.  The two
+    CDFs differ by ``(2^D - 1)/N`` exactly on ``[0.5, 1)``, giving a mean
+    absolute difference of ``(1/2) (2^D - 1)/N = 1/2 - 1/(2^D+1) - ...``;
+    the paper's simplified constant is adopted here.
+    """
+    _check_dim(dim)
+    two_d = 2.0**dim
+    return 0.5 - 1.0 / (two_d + 1.0)
+
+
+def hv_binary_hypercube_with_midpoint(dim: int) -> float:
+    """Exact HV index of Example 1: ``1 - (2^{2D} - 2^D)/(2^D + 1)^3``."""
+    _check_dim(dim)
+    two_d = 2.0**dim
+    return 1.0 - (two_d * two_d - two_d) / (two_d + 1.0) ** 3
+
+
+def g_delta_binary_hypercube(dim: int, y: float) -> float:
+    """Exact ``G_Delta(y)`` of Example 1.
+
+    ``G(y) = (2^{2D} + 1)/(2^D + 1)^2`` for ``0 <= y < delta*`` and 1 for
+    ``y >= delta*`` where ``delta* = 1/2 - 1/(2^D + 1)``.
+    """
+    _check_dim(dim)
+    if y < 0 or y > 1:
+        raise InvalidParameterError(f"y must lie in [0, 1], got {y}")
+    threshold = discrepancy_vertex_vs_midpoint(dim)
+    if y >= threshold:
+        return 1.0
+    two_d = 2.0**dim
+    return (two_d * two_d + 1.0) / (two_d + 1.0) ** 2
+
+
+@dataclass
+class Example1Exact:
+    """Bundle of the closed-form quantities of Example 1 for a given D."""
+
+    dim: int
+    discrepancy: float
+    hv: float
+    g_delta_low: float
+
+    @classmethod
+    def for_dim(cls, dim: int) -> "Example1Exact":
+        return cls(
+            dim=dim,
+            discrepancy=discrepancy_vertex_vs_midpoint(dim),
+            hv=hv_binary_hypercube_with_midpoint(dim),
+            g_delta_low=g_delta_binary_hypercube(dim, 0.0),
+        )
+
+
+def example1_exact(dim: int) -> Tuple[float, float]:
+    """Return ``(discrepancy, HV)`` for Example 1 at dimension ``dim``."""
+    return (
+        discrepancy_vertex_vs_midpoint(dim),
+        hv_binary_hypercube_with_midpoint(dim),
+    )

@@ -1,0 +1,309 @@
+"""Synthetic keyword vocabularies (substitute for the paper's text datasets).
+
+The paper's text experiments index the distinct keywords of five masterpieces
+of Italian literature (Decamerone, Divina Commedia, Gerusalemme Liberata,
+Orlando Furioso, Promessi Sposi; 12k-20k keywords each) under the edit
+distance, observing a maximum distance of 25.  Those exact word lists are not
+redistributable here, so this module generates *Italian-like* vocabularies
+with a letter-bigram Markov model trained on an embedded seed lexicon of
+common Italian words.
+
+The substitution is faithful for the paper's purpose because the cost model
+consumes only the **distance distribution** of the indexed set: a vocabulary
+with a realistic word-length distribution and Italian letter correlations
+reproduces the unimodal, ~25-bin edit-distance histogram that Figures 3(a,b)
+exercise.  See DESIGN.md §1.3.
+
+Generation is fully deterministic given the dataset seed, and the generated
+sets match the paper's sizes (e.g. ``PS`` has 19,846 words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import BRMSpace, EditDistance
+from ..metrics.space import Sampler
+
+__all__ = [
+    "KeywordDataset",
+    "keyword_dataset",
+    "PAPER_TEXT_DATASETS",
+    "paper_text_dataset",
+]
+
+#: Word-boundary markers for the bigram chain.
+_START = "^"
+_END = "$"
+
+#: Longest word the generator will emit; the edit distance between two words
+#: of length <= 25 is <= 25, matching the paper's observed bound.
+MAX_WORD_LENGTH = 25
+MIN_WORD_LENGTH = 2
+
+# A seed lexicon of common Italian words (articles, prepositions, verbs,
+# nouns and adjectives of the kind found in classic literature).  Used only
+# to estimate letter-bigram statistics; none of these words necessarily
+# appears in the generated vocabularies.
+_ITALIAN_SEED_WORDS = """
+il lo la gli le un uno una di a da in con su per tra fra e o ma se che chi
+cui non piu come quando dove mentre quindi allora ancora sempre mai gia
+essere avere fare dire andare potere dovere volere sapere stare dare vedere
+venire uscire parlare trovare sentire lasciare prendere guardare mettere
+pensare passare credere portare tornare sembrare chiamare morire tenere
+rispondere aprire vivere ricordare chiedere conoscere scrivere leggere
+amore cuore vita morte tempo anno giorno notte mattina sera uomo donna
+signore signora padre madre figlio figlia fratello sorella amico nemico
+casa porta finestra strada piazza citta paese terra cielo mare monte valle
+fiume bosco albero fiore erba pietra fuoco acqua aria luce ombra sole luna
+stella nuvola vento pioggia neve occhio mano piede testa capelli viso bocca
+voce parola pensiero anima corpo sangue lacrima sorriso dolore gioia paura
+speranza desiderio memoria ragione virtu onore gloria fortuna destino
+guerra pace battaglia spada scudo cavallo cavaliere re regina principe
+principessa conte duca popolo gente folla servo padrone povero ricco
+giovane vecchio bello brutto grande piccolo alto basso lungo corto largo
+stretto nuovo antico dolce amaro caldo freddo chiaro scuro bianco nero
+rosso verde azzurro giallo primo ultimo solo insieme vicino lontano dentro
+fuori sopra sotto davanti dietro presto tardi subito piano forte molto poco
+tanto troppo bene male meglio peggio cosa modo parte punto fine inizio
+mezzo lato verso senso forma figura immagine storia favola canto verso
+poema libro pagina lettera nome numero colore suono silenzio rumore musica
+chiesa convento monastero castello torre muro ponte giardino campo vigna
+frutto pane vino olio sale carne pesce latte miele oro argento ferro legno
+vetro carta filo panno veste mantello cappello scarpa anello corona gemma
+tesoro denaro moneta mercato bottega arte mestiere lavoro fatica riposo
+sonno sogno veglia festa danza gioco riso pianto grido sospiro respiro
+vergogna colpa pena castigo premio dono grazia misericordia giustizia
+verita menzogna inganno tradimento fede dubbio certezza promessa giuramento
+santo angelo demonio inferno paradiso purgatorio peccato preghiera
+benedizione maledizione miracolo mistero segreto consiglio aiuto soccorso
+pericolo salvezza rovina sciagura ventura avventura viaggio cammino sentiero
+ritorno partenza arrivo incontro addio saluto ospite straniero pellegrino
+mercante soldato capitano generale nave vela remo porto isola spiaggia
+onda tempesta bonaccia naufragio approdo regno impero provincia confine
+frontiera legge decreto bando processo giudice testimone prigione catena
+liberta schiavitu obbedienza ribellione congiura vendetta perdono
+""".split()
+
+
+def _train_bigram_model(
+    words: Sequence[str],
+) -> Dict[str, Tuple[str, np.ndarray]]:
+    """Estimate smoothed letter-transition probabilities from a seed lexicon.
+
+    Returns, for each context character (or start marker), the alphabet of
+    successor characters and their cumulative probabilities.
+    """
+    alphabet = sorted({ch for word in words for ch in word})
+    successors = alphabet + [_END]
+    counts: Dict[str, Dict[str, float]] = {}
+    for word in words:
+        prev = _START
+        for ch in word:
+            counts.setdefault(prev, {}).setdefault(ch, 0.0)
+            counts[prev][ch] += 1.0
+            prev = ch
+        counts.setdefault(prev, {}).setdefault(_END, 0.0)
+        counts[prev][_END] += 1.0
+
+    model: Dict[str, Tuple[str, np.ndarray]] = {}
+    smoothing = 0.05
+    for context in [_START, *alphabet]:
+        row = counts.get(context, {})
+        options = successors if context != _START else alphabet
+        probs = np.array(
+            [row.get(ch, 0.0) + smoothing for ch in options], dtype=np.float64
+        )
+        probs /= probs.sum()
+        model[context] = ("".join(options), np.cumsum(probs))
+    return model
+
+
+_BIGRAM_MODEL = _train_bigram_model(_ITALIAN_SEED_WORDS)
+
+
+def _continuation_model(
+    model: Dict[str, Tuple[str, np.ndarray]]
+) -> Dict[str, Tuple[str, np.ndarray]]:
+    """The bigram model restricted to non-end successors (renormalised)."""
+    restricted: Dict[str, Tuple[str, np.ndarray]] = {}
+    for context, (options, cum) in model.items():
+        probs = np.diff(np.concatenate([[0.0], cum]))
+        if options.endswith(_END):
+            options = options[:-1]
+            probs = probs[:-1]
+        probs = probs / probs.sum()
+        restricted[context] = (options, np.cumsum(probs))
+    return restricted
+
+
+_CONTINUATION_MODEL: Dict[str, Tuple[str, np.ndarray]] = {}
+
+
+def _generate_word(
+    rng: np.random.Generator,
+    mean_length: float,
+    std_length: float,
+) -> str:
+    """Draw one word: a realistic target length, then bigram-chain letters.
+
+    Word length is sampled from a (rounded, clamped) normal — matching the
+    unimodal length profile of real keyword vocabularies — and the letters
+    follow the Italian bigram statistics, so edit distances between
+    generated words have the unimodal, ~25-bin histogram the paper's text
+    experiments rely on.
+    """
+    if not _CONTINUATION_MODEL:
+        _CONTINUATION_MODEL.update(_continuation_model(_BIGRAM_MODEL))
+    length = int(round(rng.normal(mean_length, std_length)))
+    length = max(MIN_WORD_LENGTH, min(MAX_WORD_LENGTH, length))
+    chars: List[str] = []
+    context = _START
+    for _ in range(length):
+        options, cum = _CONTINUATION_MODEL[context]
+        idx = int(np.searchsorted(cum, rng.random(), side="right"))
+        idx = min(idx, len(options) - 1)
+        ch = options[idx]
+        chars.append(ch)
+        context = ch
+    return "".join(chars)
+
+
+@dataclass
+class KeywordDataset:
+    """A vocabulary of distinct words with its generating BRM space."""
+
+    name: str
+    words: List[str]
+    space: BRMSpace
+    rng_seed: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.words)
+
+    @property
+    def metric(self) -> EditDistance:
+        metric = self.space.metric
+        assert isinstance(metric, EditDistance)
+        return metric
+
+    @property
+    def d_plus(self) -> float:
+        return self.space.d_plus
+
+    def objects(self) -> List[str]:
+        return list(self.words)
+
+    def max_word_length(self) -> int:
+        return max((len(w) for w in self.words), default=0)
+
+    def sample_queries(self, count: int, rng: np.random.Generator) -> List[str]:
+        """Draw query words from the same generating distribution."""
+        return list(self.space.sample(rng, count))
+
+
+def _keyword_sampler(mean_length: float, std_length: float) -> Sampler:
+    def sample(rng: np.random.Generator, count: int) -> List[str]:
+        return [
+            _generate_word(rng, mean_length, std_length) for _ in range(count)
+        ]
+
+    return sample
+
+
+def keyword_dataset(
+    size: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+    mean_length: float = 8.6,
+    std_length: float = 2.5,
+) -> KeywordDataset:
+    """Generate a vocabulary of ``size`` *distinct* Italian-like words.
+
+    ``mean_length``/``std_length`` shape the word-length profile; the five
+    paper-named presets vary them slightly so the datasets are not clones
+    of each other.
+    """
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    if not (MIN_WORD_LENGTH <= mean_length <= MAX_WORD_LENGTH):
+        raise InvalidParameterError(
+            f"mean_length must lie in [{MIN_WORD_LENGTH}, {MAX_WORD_LENGTH}], "
+            f"got {mean_length}"
+        )
+    if std_length <= 0:
+        raise InvalidParameterError(
+            f"std_length must be > 0, got {std_length}"
+        )
+    rng = np.random.default_rng(seed)
+    seen: set[str] = set()
+    words: List[str] = []
+    # Distinct-word generation: rejection on duplicates.  The bigram model
+    # has far more than enough support for 20k distinct words.
+    attempts_limit = 200 * size
+    attempts = 0
+    while len(words) < size:
+        attempts += 1
+        if attempts > attempts_limit:
+            raise InvalidParameterError(
+                f"could not generate {size} distinct words "
+                f"(got {len(words)} after {attempts} attempts)"
+            )
+        word = _generate_word(rng, mean_length, std_length)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    space = BRMSpace(
+        metric=EditDistance(),
+        d_plus=float(MAX_WORD_LENGTH),
+        sampler=_keyword_sampler(mean_length, std_length),
+        name=name or f"keywords-{size}",
+        description="synthetic Italian-like keyword vocabulary",
+    )
+    return KeywordDataset(
+        name=name or f"keywords(n={size})",
+        words=words,
+        space=space,
+        rng_seed=seed,
+    )
+
+
+#: The paper's five text datasets: (full title, vocabulary size, seed,
+#: mean word length, word-length standard deviation).  Sizes match Table 1
+#: exactly; the length profiles vary per dataset the way the originals do.
+PAPER_TEXT_DATASETS: Dict[str, Tuple[str, int, int, float, float]] = {
+    "D": ("Decamerone", 17_936, 101, 8.6, 2.5),
+    "DC": ("Divina Commedia", 12_701, 102, 8.2, 2.4),
+    "GL": ("Gerusalemme Liberata", 11_973, 103, 8.8, 2.5),
+    "OF": ("Orlando Furioso", 18_719, 104, 8.4, 2.6),
+    "PS": ("Promessi Sposi", 19_846, 105, 9.0, 2.7),
+}
+
+
+def paper_text_dataset(key: str, scale: float = 1.0) -> KeywordDataset:
+    """Generate the stand-in for one of the paper's five text datasets.
+
+    ``scale`` < 1 shrinks the vocabulary proportionally (useful in tests and
+    quick benches); ``scale = 1`` reproduces the Table 1 sizes exactly.
+    """
+    if key not in PAPER_TEXT_DATASETS:
+        raise InvalidParameterError(
+            f"unknown text dataset {key!r}; choose from "
+            f"{sorted(PAPER_TEXT_DATASETS)}"
+        )
+    if not (0 < scale <= 1):
+        raise InvalidParameterError(f"scale must lie in (0, 1], got {scale}")
+    title, size, seed, mean_length, std_length = PAPER_TEXT_DATASETS[key]
+    scaled = max(1, int(round(size * scale)))
+    return keyword_dataset(
+        scaled,
+        seed=seed,
+        name=f"{key} ({title})",
+        mean_length=mean_length,
+        std_length=std_length,
+    )

@@ -1,0 +1,85 @@
+"""Dataset registry mirroring the paper's Table 1.
+
+The registry maps symbolic names to factory callables so experiments and
+benches can enumerate "all Table 1 datasets" without hard-coding each
+generator call.  Sizes and dimensionalities follow the table; everything is
+parameterised so scaled-down variants are one argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+from ..exceptions import InvalidParameterError
+from .keywords import PAPER_TEXT_DATASETS, KeywordDataset, paper_text_dataset
+from .vectors import VectorDataset, clustered_dataset, uniform_dataset
+
+__all__ = ["DatasetSpec", "TABLE1_SPECS", "make_dataset", "list_datasets"]
+
+Dataset = Union[VectorDataset, KeywordDataset]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 1: a named dataset family with its parameters."""
+
+    key: str
+    description: str
+    kind: str  # "vector" or "text"
+    factory: Callable[..., Dataset]
+
+    def build(self, **kwargs) -> Dataset:
+        return self.factory(**kwargs)
+
+
+def _clustered_factory(size: int = 10_000, dim: int = 20, seed: int = 0) -> Dataset:
+    return clustered_dataset(size, dim, seed=seed)
+
+
+def _uniform_factory(size: int = 10_000, dim: int = 20, seed: int = 0) -> Dataset:
+    return uniform_dataset(size, dim, seed=seed)
+
+
+def _text_factory(key: str) -> Callable[..., Dataset]:
+    def build(scale: float = 1.0) -> Dataset:
+        return paper_text_dataset(key, scale=scale)
+
+    return build
+
+
+TABLE1_SPECS: Dict[str, DatasetSpec] = {
+    "clustered": DatasetSpec(
+        key="clustered",
+        description="clustered distr. points on [0,1]^D (10 clusters, sigma=0.1)",
+        kind="vector",
+        factory=_clustered_factory,
+    ),
+    "uniform": DatasetSpec(
+        key="uniform",
+        description="uniform distr. points on [0,1]^D",
+        kind="vector",
+        factory=_uniform_factory,
+    ),
+}
+for _key, (_title, _size, *_params) in PAPER_TEXT_DATASETS.items():
+    TABLE1_SPECS[_key] = DatasetSpec(
+        key=_key,
+        description=f"{_title} keyword vocabulary ({_size} words, edit distance)",
+        kind="text",
+        factory=_text_factory(_key),
+    )
+
+
+def make_dataset(key: str, **kwargs) -> Dataset:
+    """Build a Table 1 dataset by key (e.g. ``'clustered'``, ``'PS'``)."""
+    if key not in TABLE1_SPECS:
+        raise InvalidParameterError(
+            f"unknown dataset {key!r}; choose from {sorted(TABLE1_SPECS)}"
+        )
+    return TABLE1_SPECS[key].build(**kwargs)
+
+
+def list_datasets() -> List[DatasetSpec]:
+    """Return the Table 1 dataset specs in a stable order."""
+    return [TABLE1_SPECS[key] for key in sorted(TABLE1_SPECS)]

@@ -1,0 +1,174 @@
+"""Synthetic vector datasets.
+
+Two generators reproduce the paper's Table 1 synthetic rows:
+
+* ``uniform`` — points uniformly distributed on the unit hypercube
+  ``[0, 1]^D``;
+* ``clustered`` — points normally distributed (``sigma = 0.1``) around 10
+  cluster centres drawn uniformly in ``[0, 1]^D``.
+
+Both return :class:`VectorDataset` objects that carry the data matrix, the
+generating :class:`~repro.metrics.space.BRMSpace` (so experiments can draw
+*query* objects from the same distribution — the biased query model of
+Section 2) and a human-readable name.
+
+Clustered samples are clipped to ``[0, 1]^D`` so that the declared distance
+bound of the unit hypercube remains valid; with ``sigma = 0.1`` the clipping
+touches only the tails and does not visibly change the distance histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import BRMSpace, LInf, Metric, MinkowskiMetric
+from ..metrics.space import Sampler
+
+__all__ = ["VectorDataset", "uniform_dataset", "clustered_dataset"]
+
+#: Number of clusters in the paper's clustered datasets.
+DEFAULT_CLUSTERS = 10
+#: Per-coordinate standard deviation of each cluster (paper: sigma = 0.1).
+DEFAULT_SIGMA = 0.1
+
+
+@dataclass
+class VectorDataset:
+    """A matrix of points together with its generating BRM space."""
+
+    name: str
+    points: np.ndarray
+    space: BRMSpace
+    rng_seed: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise InvalidParameterError(
+                f"points must be a 2-D matrix, got shape {self.points.shape}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def metric(self) -> Metric:
+        return self.space.metric
+
+    @property
+    def d_plus(self) -> float:
+        return self.space.d_plus
+
+    def objects(self) -> Sequence[np.ndarray]:
+        """Return the points as a sequence of row vectors."""
+        return list(self.points)
+
+    def sample_queries(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` query objects from the same distribution ``S``."""
+        return np.asarray(self.space.sample(rng, count))
+
+
+def _uniform_sampler(dim: int) -> Sampler:
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.random((count, dim))
+
+    return sample
+
+
+def _clustered_sampler(
+    centers: np.ndarray, sigma: float, weights: np.ndarray
+) -> Sampler:
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        assignment = rng.choice(len(centers), size=count, p=weights)
+        noise = rng.normal(scale=sigma, size=(count, centers.shape[1]))
+        return np.clip(centers[assignment] + noise, 0.0, 1.0)
+
+    return sample
+
+
+def _check_size_dim(size: int, dim: int) -> None:
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    if dim < 1:
+        raise InvalidParameterError(f"dim must be >= 1, got {dim}")
+
+
+def uniform_dataset(
+    size: int,
+    dim: int,
+    metric: Optional[MinkowskiMetric] = None,
+    seed: int = 0,
+) -> VectorDataset:
+    """Uniformly distributed points on ``[0, 1]^dim``.
+
+    The default metric is ``L_inf`` (as in the paper's Table 1); pass any
+    :class:`~repro.metrics.minkowski.MinkowskiMetric` to change it.  The
+    distance bound is the metric's unit-cube diameter.
+    """
+    _check_size_dim(size, dim)
+    metric = metric if metric is not None else LInf()
+    rng = np.random.default_rng(seed)
+    sampler = _uniform_sampler(dim)
+    space = BRMSpace(
+        metric=metric,
+        d_plus=metric.unit_cube_diameter(dim),
+        sampler=sampler,
+        name=f"uniform-{dim}d",
+        description=f"uniform distribution on [0,1]^{dim}",
+    )
+    return VectorDataset(
+        name=f"uniform(n={size}, D={dim})",
+        points=np.asarray(sampler(rng, size)),
+        space=space,
+        rng_seed=seed,
+    )
+
+
+def clustered_dataset(
+    size: int,
+    dim: int,
+    n_clusters: int = DEFAULT_CLUSTERS,
+    sigma: float = DEFAULT_SIGMA,
+    metric: Optional[MinkowskiMetric] = None,
+    seed: int = 0,
+) -> VectorDataset:
+    """Normally-distributed points in ``n_clusters`` clusters on ``[0,1]^dim``.
+
+    Reproduces the paper's *clustered* datasets: cluster centres drawn
+    uniformly in the unit hypercube, points ``N(center, sigma^2 I)`` with
+    ``sigma = 0.1`` and 10 clusters by default, clipped to the cube.
+    """
+    _check_size_dim(size, dim)
+    if n_clusters < 1:
+        raise InvalidParameterError(f"n_clusters must be >= 1, got {n_clusters}")
+    if sigma < 0:
+        raise InvalidParameterError(f"sigma must be >= 0, got {sigma}")
+    metric = metric if metric is not None else LInf()
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, dim))
+    weights = np.full(n_clusters, 1.0 / n_clusters)
+    sampler = _clustered_sampler(centers, sigma, weights)
+    space = BRMSpace(
+        metric=metric,
+        d_plus=metric.unit_cube_diameter(dim),
+        sampler=sampler,
+        name=f"clustered-{dim}d",
+        description=(
+            f"{n_clusters} normal clusters (sigma={sigma}) on [0,1]^{dim}"
+        ),
+    )
+    return VectorDataset(
+        name=f"clustered(n={size}, D={dim})",
+        points=np.asarray(sampler(rng, size)),
+        space=space,
+        rng_seed=seed,
+    )

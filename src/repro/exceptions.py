@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`MetricostError` so callers can catch
+library failures without catching unrelated built-ins.
+"""
+
+from __future__ import annotations
+
+
+class MetricostError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidParameterError(MetricostError, ValueError):
+    """A user-supplied parameter is outside its legal range."""
+
+
+class EmptyDatasetError(MetricostError, ValueError):
+    """An operation that needs data was given an empty dataset."""
+
+
+class EmptyTreeError(MetricostError):
+    """A query or statistics request was issued against an empty index."""
+
+
+class CapacityError(MetricostError, ValueError):
+    """A node size is too small to hold the minimum number of entries."""
+
+
+class HistogramDomainError(MetricostError, ValueError):
+    """A distance fell outside the declared ``[0, d_plus]`` domain."""

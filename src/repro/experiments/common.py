@@ -1,0 +1,163 @@
+"""Shared plumbing for the experiment drivers.
+
+Every validation experiment follows the same pipeline (DESIGN.md §3):
+generate data, estimate the distance histogram, bulk-load an M-tree
+(node size 4 KB, minimum utilisation 30% — the paper's build parameters),
+instantiate both cost models, draw a biased query workload.  This module
+packages that pipeline so each figure driver only varies parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    DistanceHistogram,
+    LevelBasedCostModel,
+    NodeBasedCostModel,
+    estimate_distance_histogram,
+)
+from ..datasets.keywords import KeywordDataset
+from ..datasets.vectors import VectorDataset
+from ..mtree import (
+    MTree,
+    bulk_load,
+    collect_level_stats,
+    collect_node_stats,
+    string_layout,
+    vector_layout,
+)
+from ..workloads import QueryWorkload, sample_workload
+
+__all__ = [
+    "PAPER_NODE_SIZE_BYTES",
+    "PAPER_MIN_UTILIZATION",
+    "VECTOR_HISTOGRAM_BINS",
+    "TEXT_HISTOGRAM_BINS",
+    "ExperimentSetup",
+    "build_vector_setup",
+    "build_text_setup",
+    "paper_range_radius",
+]
+
+#: The paper's M-tree build parameters (Section 4).
+PAPER_NODE_SIZE_BYTES = 4096
+PAPER_MIN_UTILIZATION = 0.3
+#: Histogram resolutions used in Section 4.
+VECTOR_HISTOGRAM_BINS = 100
+TEXT_HISTOGRAM_BINS = 25
+
+
+def paper_range_radius(dim: int, volume: float = 0.01) -> float:
+    """The paper's range-query radius ``(volume)^(1/D) / 2``.
+
+    Under ``L_inf`` a ball of radius r is a cube of side 2r, so this radius
+    gives a query ball of (Lebesgue) volume ``volume`` in the unit cube.
+    """
+    return float(volume ** (1.0 / dim) / 2.0)
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything a validation experiment needs, built once."""
+
+    hist: DistanceHistogram
+    tree: MTree
+    node_model: NodeBasedCostModel
+    level_model: LevelBasedCostModel
+    workload: QueryWorkload
+    n_objects: int
+    d_plus: float
+
+
+def _assemble(
+    objects: Sequence,
+    metric,
+    d_plus: float,
+    layout,
+    n_bins: int,
+    workload: QueryWorkload,
+    build_seed: int,
+    hist_seed: int,
+    integer_valued: bool = False,
+) -> ExperimentSetup:
+    hist = estimate_distance_histogram(
+        objects,
+        metric,
+        d_plus,
+        n_bins=n_bins,
+        rng=np.random.default_rng(hist_seed),
+        integer_valued=integer_valued,
+    )
+    tree = bulk_load(objects, metric, layout, seed=build_seed)
+    node_stats = collect_node_stats(tree, d_plus)
+    level_stats = collect_level_stats(tree, d_plus)
+    return ExperimentSetup(
+        hist=hist,
+        tree=tree,
+        node_model=NodeBasedCostModel(hist, node_stats, len(objects)),
+        level_model=LevelBasedCostModel(hist, level_stats, len(objects)),
+        workload=workload,
+        n_objects=len(objects),
+        d_plus=d_plus,
+    )
+
+
+def build_vector_setup(
+    dataset: VectorDataset,
+    n_queries: int,
+    n_bins: int = VECTOR_HISTOGRAM_BINS,
+    node_size_bytes: int = PAPER_NODE_SIZE_BYTES,
+    build_seed: int = 11,
+    query_seed: int = 17,
+    hist_seed: int = 13,
+) -> ExperimentSetup:
+    """Histogram + bulk-loaded tree + models + workload for a vector set."""
+    layout = vector_layout(
+        dataset.dim,
+        node_size_bytes=node_size_bytes,
+        min_utilization=PAPER_MIN_UTILIZATION,
+    )
+    workload = sample_workload(dataset, n_queries, seed=query_seed)
+    return _assemble(
+        dataset.points,
+        dataset.metric,
+        dataset.d_plus,
+        layout,
+        n_bins,
+        workload,
+        build_seed,
+        hist_seed,
+    )
+
+
+def build_text_setup(
+    dataset: KeywordDataset,
+    n_queries: int,
+    n_bins: int = TEXT_HISTOGRAM_BINS,
+    node_size_bytes: int = PAPER_NODE_SIZE_BYTES,
+    build_seed: int = 11,
+    query_seed: int = 17,
+    hist_seed: int = 13,
+) -> ExperimentSetup:
+    """Same pipeline for a keyword dataset under the edit distance."""
+    layout = string_layout(
+        max(dataset.max_word_length(), 1),
+        node_size_bytes=node_size_bytes,
+        min_utilization=PAPER_MIN_UTILIZATION,
+    )
+    workload = sample_workload(dataset, n_queries, seed=query_seed)
+    return _assemble(
+        dataset.objects(),
+        dataset.metric,
+        dataset.d_plus,
+        layout,
+        n_bins,
+        workload,
+        build_seed,
+        hist_seed,
+        integer_valued=True,
+    )

@@ -1,0 +1,149 @@
+"""Figure 1: range-query cost estimates vs dimensionality.
+
+``range(Q, (0.01)^(1/D) / 2)`` on the clustered datasets for growing D:
+
+* (a) CPU cost (distance computations) — actual vs N-MCM vs L-MCM;
+* (b) I/O cost (node reads) — actual vs N-MCM vs L-MCM;
+* (c) result cardinality — actual vs ``n * F(r_Q)``.
+
+The paper reports N-MCM within 4%, L-MCM within 10%, selectivity within 3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..datasets import clustered_dataset
+from ..workloads import run_range_workload
+from .common import build_vector_setup, paper_range_radius
+from .report import format_table, relative_error
+
+__all__ = ["Figure1Config", "Figure1Row", "run_figure1", "render_figure1"]
+
+
+@dataclass
+class Figure1Config:
+    """Scale knobs; the paper uses size 10^4-10^5 and 1000 queries."""
+
+    size: int = 10_000
+    dims: tuple = (5, 10, 20, 30, 40, 50)
+    n_queries: int = 200
+    query_volume: float = 0.01
+    n_bins: int = 100
+    seed: int = 0
+
+
+@dataclass
+class Figure1Row:
+    dim: int
+    radius: float
+    actual_dists: float
+    nmcm_dists: float
+    lmcm_dists: float
+    actual_nodes: float
+    nmcm_nodes: float
+    lmcm_nodes: float
+    actual_objs: float
+    est_objs: float
+
+    @property
+    def nmcm_dists_error(self) -> float:
+        return relative_error(self.nmcm_dists, self.actual_dists)
+
+    @property
+    def lmcm_dists_error(self) -> float:
+        return relative_error(self.lmcm_dists, self.actual_dists)
+
+    @property
+    def nmcm_nodes_error(self) -> float:
+        return relative_error(self.nmcm_nodes, self.actual_nodes)
+
+    @property
+    def lmcm_nodes_error(self) -> float:
+        return relative_error(self.lmcm_nodes, self.actual_nodes)
+
+    @property
+    def objs_error(self) -> float:
+        return relative_error(self.est_objs, self.actual_objs)
+
+
+def run_figure1(config: Figure1Config | None = None) -> List[Figure1Row]:
+    """Run the Figure 1 experiment; one row per dimensionality."""
+    config = config if config is not None else Figure1Config()
+    rows: List[Figure1Row] = []
+    for dim in config.dims:
+        dataset = clustered_dataset(config.size, dim, seed=config.seed)
+        setup = build_vector_setup(
+            dataset, config.n_queries, n_bins=config.n_bins
+        )
+        radius = paper_range_radius(dim, config.query_volume)
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        rows.append(
+            Figure1Row(
+                dim=dim,
+                radius=radius,
+                actual_dists=measured.mean_dists,
+                nmcm_dists=float(setup.node_model.range_dists(radius)),
+                lmcm_dists=float(setup.level_model.range_dists(radius)),
+                actual_nodes=measured.mean_nodes,
+                nmcm_nodes=float(setup.node_model.range_nodes(radius)),
+                lmcm_nodes=float(setup.level_model.range_nodes(radius)),
+                actual_objs=measured.mean_results,
+                est_objs=float(setup.node_model.range_objs(radius)),
+            )
+        )
+    return rows
+
+
+def render_figure1(rows: List[Figure1Row]) -> str:
+    """Render the three Figure 1 panels as text tables."""
+    parts = []
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual": row.actual_dists,
+                    "N-MCM": row.nmcm_dists,
+                    "err%": round(100 * row.nmcm_dists_error, 1),
+                    "L-MCM": row.lmcm_dists,
+                    "err% ": round(100 * row.lmcm_dists_error, 1),
+                }
+                for row in rows
+            ],
+            title="Figure 1(a) - CPU cost (distance computations) for "
+            "range(Q, (0.01)^(1/D)/2)",
+        )
+    )
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual": row.actual_nodes,
+                    "N-MCM": row.nmcm_nodes,
+                    "err%": round(100 * row.nmcm_nodes_error, 1),
+                    "L-MCM": row.lmcm_nodes,
+                    "err% ": round(100 * row.lmcm_nodes_error, 1),
+                }
+                for row in rows
+            ],
+            title="Figure 1(b) - I/O cost (node reads)",
+        )
+    )
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual": row.actual_objs,
+                    "n*F(r)": row.est_objs,
+                    "err%": round(100 * row.objs_error, 1),
+                }
+                for row in rows
+            ],
+            title="Figure 1(c) - result cardinality",
+        )
+    )
+    return "\n\n".join(parts)

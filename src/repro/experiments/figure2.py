@@ -1,0 +1,146 @@
+"""Figure 2: NN(Q, 1) cost estimates vs dimensionality.
+
+Compares the actual nearest-neighbor query costs on the clustered datasets
+against three estimators (Section 4):
+
+1. the L-MCM integral (Eqs. 17-18);
+2. range costs at the expected NN distance ``E[nn_{Q,1}]`` (Eq. 14);
+3. range costs at ``r(1) = min{r : n F(r) >= 1}`` (Eq. 8 inverted).
+
+Panel (c) compares the actual mean NN distance with ``E[nn_{Q,1}]`` and
+``r(1)`` — the paper shows ``r(1)`` drifting at high D because of histogram
+coarseness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core import expected_nn_distance, min_selectivity_radius
+from ..datasets import clustered_dataset
+from ..workloads import run_knn_workload
+from .common import build_vector_setup
+from .report import format_table, relative_error
+
+__all__ = ["Figure2Config", "Figure2Row", "run_figure2", "render_figure2"]
+
+
+@dataclass
+class Figure2Config:
+    size: int = 10_000
+    dims: tuple = (5, 10, 20, 30, 40, 50)
+    n_queries: int = 100
+    k: int = 1
+    n_bins: int = 100
+    seed: int = 0
+
+
+@dataclass
+class Figure2Row:
+    dim: int
+    actual_dists: float
+    integral_dists: float
+    expected_radius_dists: float
+    min_selectivity_dists: float
+    actual_nodes: float
+    integral_nodes: float
+    expected_radius_nodes: float
+    min_selectivity_nodes: float
+    actual_nn_distance: float
+    expected_nn_distance: float
+    min_selectivity_radius: float
+
+
+def run_figure2(config: Figure2Config | None = None) -> List[Figure2Row]:
+    """Run the Figure 2 experiment; one row per dimensionality."""
+    config = config if config is not None else Figure2Config()
+    rows: List[Figure2Row] = []
+    for dim in config.dims:
+        dataset = clustered_dataset(config.size, dim, seed=config.seed)
+        setup = build_vector_setup(
+            dataset, config.n_queries, n_bins=config.n_bins
+        )
+        measured = run_knn_workload(setup.tree, setup.workload, config.k)
+        integral = setup.level_model.nn_costs(config.k, method="integral")
+        at_radius = setup.level_model.nn_costs(
+            config.k, method="expected-radius"
+        )
+        at_r1 = setup.level_model.nn_costs(config.k, method="min-selectivity")
+        rows.append(
+            Figure2Row(
+                dim=dim,
+                actual_dists=measured.mean_dists,
+                integral_dists=integral.dists,
+                expected_radius_dists=at_radius.dists,
+                min_selectivity_dists=at_r1.dists,
+                actual_nodes=measured.mean_nodes,
+                integral_nodes=integral.nodes,
+                expected_radius_nodes=at_radius.nodes,
+                min_selectivity_nodes=at_r1.nodes,
+                actual_nn_distance=measured.mean_nn_distance or 0.0,
+                expected_nn_distance=expected_nn_distance(
+                    setup.hist, setup.n_objects, config.k
+                ),
+                min_selectivity_radius=min_selectivity_radius(
+                    setup.hist, setup.n_objects, config.k
+                ),
+            )
+        )
+    return rows
+
+
+def render_figure2(rows: List[Figure2Row]) -> str:
+    """Render the three Figure 2 panels as text tables."""
+    parts = []
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual": row.actual_dists,
+                    "L-MCM": row.integral_dists,
+                    "err%": round(
+                        100 * relative_error(row.integral_dists, row.actual_dists), 1
+                    ),
+                    "range(E[nn])": row.expected_radius_dists,
+                    "range(r(1))": row.min_selectivity_dists,
+                }
+                for row in rows
+            ],
+            title="Figure 2(a) - CPU cost (distance computations) for NN(Q,1)",
+        )
+    )
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual": row.actual_nodes,
+                    "L-MCM": row.integral_nodes,
+                    "err%": round(
+                        100 * relative_error(row.integral_nodes, row.actual_nodes), 1
+                    ),
+                    "range(E[nn])": row.expected_radius_nodes,
+                    "range(r(1))": row.min_selectivity_nodes,
+                }
+                for row in rows
+            ],
+            title="Figure 2(b) - I/O cost (node reads) for NN(Q,1)",
+        )
+    )
+    parts.append(
+        format_table(
+            [
+                {
+                    "D": row.dim,
+                    "actual nn dist": row.actual_nn_distance,
+                    "E[nn]": row.expected_nn_distance,
+                    "r(1)": row.min_selectivity_radius,
+                }
+                for row in rows
+            ],
+            title="Figure 2(c) - NN distance: actual vs estimated",
+        )
+    )
+    return "\n\n".join(parts)

@@ -1,0 +1,116 @@
+"""Figure 4: range-query costs as a function of the query radius.
+
+Clustered dataset at D = 20 with a radius sweep (the paper's x-axis is
+"query volume" — under ``L_inf`` a radius r ball has volume ``(2r)^D``).
+Estimated (N-MCM, L-MCM) vs actual CPU and I/O costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..datasets import clustered_dataset
+from ..workloads import run_range_workload
+from .common import build_vector_setup, paper_range_radius
+from .report import format_table, relative_error
+
+__all__ = ["Figure4Config", "Figure4Row", "run_figure4", "render_figure4"]
+
+
+def _default_volumes() -> tuple:
+    return (0.001, 0.005, 0.01, 0.05, 0.1, 0.2)
+
+
+@dataclass
+class Figure4Config:
+    size: int = 10_000
+    dim: int = 20
+    query_volumes: tuple = field(default_factory=_default_volumes)
+    n_queries: int = 200
+    n_bins: int = 100
+    seed: int = 0
+
+
+@dataclass
+class Figure4Row:
+    volume: float
+    radius: float
+    actual_dists: float
+    nmcm_dists: float
+    lmcm_dists: float
+    actual_nodes: float
+    nmcm_nodes: float
+    lmcm_nodes: float
+
+
+def run_figure4(config: Figure4Config | None = None) -> List[Figure4Row]:
+    """Run the Figure 4 experiment; one row per query volume."""
+    config = config if config is not None else Figure4Config()
+    dataset = clustered_dataset(config.size, config.dim, seed=config.seed)
+    setup = build_vector_setup(dataset, config.n_queries, n_bins=config.n_bins)
+    rows: List[Figure4Row] = []
+    for volume in config.query_volumes:
+        radius = paper_range_radius(config.dim, volume)
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        rows.append(
+            Figure4Row(
+                volume=volume,
+                radius=radius,
+                actual_dists=measured.mean_dists,
+                nmcm_dists=float(setup.node_model.range_dists(radius)),
+                lmcm_dists=float(setup.level_model.range_dists(radius)),
+                actual_nodes=measured.mean_nodes,
+                nmcm_nodes=float(setup.node_model.range_nodes(radius)),
+                lmcm_nodes=float(setup.level_model.range_nodes(radius)),
+            )
+        )
+    return rows
+
+
+def render_figure4(rows: List[Figure4Row]) -> str:
+    """Render the two Figure 4 panels as text tables."""
+    parts = []
+    parts.append(
+        format_table(
+            [
+                {
+                    "volume": row.volume,
+                    "radius": row.radius,
+                    "actual": row.actual_dists,
+                    "N-MCM": row.nmcm_dists,
+                    "err%": round(
+                        100 * relative_error(row.nmcm_dists, row.actual_dists), 1
+                    ),
+                    "L-MCM": row.lmcm_dists,
+                    "err% ": round(
+                        100 * relative_error(row.lmcm_dists, row.actual_dists), 1
+                    ),
+                }
+                for row in rows
+            ],
+            title="Figure 4(a) - CPU cost vs query volume (clustered, D=20)",
+        )
+    )
+    parts.append(
+        format_table(
+            [
+                {
+                    "volume": row.volume,
+                    "radius": row.radius,
+                    "actual": row.actual_nodes,
+                    "N-MCM": row.nmcm_nodes,
+                    "err%": round(
+                        100 * relative_error(row.nmcm_nodes, row.actual_nodes), 1
+                    ),
+                    "L-MCM": row.lmcm_nodes,
+                    "err% ": round(
+                        100 * relative_error(row.lmcm_nodes, row.actual_nodes), 1
+                    ),
+                }
+                for row in rows
+            ],
+            title="Figure 4(b) - I/O cost vs query volume (clustered, D=20)",
+        )
+    )
+    return "\n\n".join(parts)

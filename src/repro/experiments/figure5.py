@@ -1,0 +1,111 @@
+"""Figure 5: node-size tuning (Section 4.1).
+
+Sweeps node sizes over [0.5, 64] KB on the 5-dimensional clustered dataset:
+
+* (a) N-MCM-predicted node reads and distance computations per query —
+  I/O decreases with node size while CPU has an interior minimum;
+* (b) the combined cost ``c_CPU * dists + c_IO(NS) * nodes`` with
+  ``c_IO = (10 + NS) ms`` and ``c_CPU = 5 ms`` — the paper's example finds
+  the optimum at 8 KB for 10^6 objects.
+
+The default scale is 20k objects (the full 10^6 is a config change); the
+curve *shapes* — decreasing I/O, U-shaped CPU, interior combined optimum —
+are scale-invariant, the optimum's exact location shifts with n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import NodeSizeTuner, estimate_distance_histogram
+from ..datasets import clustered_dataset
+from ..storage import DiskModel
+from ..workloads import sample_workload
+from .common import paper_range_radius
+from .report import format_table
+
+__all__ = ["Figure5Config", "run_figure5", "render_figure5"]
+
+
+def _default_sizes() -> tuple:
+    return (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass
+class Figure5Config:
+    """``size = 1_000_000`` reproduces the paper's scale."""
+
+    size: int = 20_000
+    dim: int = 5
+    node_sizes_kb: tuple = field(default_factory=_default_sizes)
+    query_volume: float = 0.01
+    n_queries: int = 50  # 0 disables the actual-cost measurements
+    n_bins: int = 100
+    seed: int = 0
+    disk_model: DiskModel = field(default_factory=DiskModel)
+
+
+def run_figure5(config: Figure5Config | None = None):
+    """Run the sweep; returns a :class:`~repro.core.tuning.TuningResult`."""
+    config = config if config is not None else Figure5Config()
+    dataset = clustered_dataset(config.size, config.dim, seed=config.seed)
+    hist = estimate_distance_histogram(
+        dataset.points, dataset.metric, dataset.d_plus, n_bins=config.n_bins
+    )
+    tuner = NodeSizeTuner(
+        dataset.points,
+        dataset.metric,
+        dataset.d_plus,
+        object_bytes=4 * config.dim,
+        hist=hist,
+        disk_model=config.disk_model,
+        seed=config.seed,
+    )
+    radius = paper_range_radius(config.dim, config.query_volume)
+    queries = (
+        list(sample_workload(dataset, config.n_queries, seed=23))
+        if config.n_queries > 0
+        else None
+    )
+    return tuner.sweep(config.node_sizes_kb, radius, queries=queries)
+
+
+def render_figure5(result) -> str:
+    """Render the two Figure 5 panels as text tables."""
+    parts = []
+    parts.append(
+        format_table(
+            [
+                {
+                    "NS (KB)": point.node_size_kb,
+                    "pred. nodes": point.predicted_nodes,
+                    "pred. dists": point.predicted_dists,
+                    "tree nodes": point.tree_nodes,
+                    "height": point.tree_height,
+                }
+                for point in result.points
+            ],
+            title="Figure 5(a) - predicted I/O and CPU costs vs node size "
+            "(I/O decreasing, CPU with interior minimum)",
+        )
+    )
+    rows = []
+    for point in result.points:
+        row = {
+            "NS (KB)": point.node_size_kb,
+            "predicted (ms)": point.predicted_total_ms,
+        }
+        if point.actual_total_ms is not None:
+            row["actual (ms)"] = point.actual_total_ms
+        rows.append(row)
+    parts.append(
+        format_table(
+            rows,
+            title=(
+                "Figure 5(b) - combined cost, c_IO=(10+NS)ms, c_CPU=5ms; "
+                f"predicted optimum at NS = {result.optimal_node_size_kb:g} KB"
+            ),
+        )
+    )
+    return "\n\n".join(parts)

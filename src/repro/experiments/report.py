@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results.
+
+Each experiment driver returns rows of named columns; this module renders
+them as aligned tables (the "same rows/series the paper reports") and
+computes the relative errors the paper quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "relative_error", "format_percent"]
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """``|estimate - actual| / actual``; 0 when both are 0, inf otherwise."""
+    if actual == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - actual) / abs(actual)
+
+
+def format_percent(value: float) -> str:
+    """Render a ratio as a percent string ("12.3%")."""
+    if value == float("inf"):
+        return "inf"
+    return f"{100 * value:.1f}%"
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(col) for col in columns]
+    body: List[List[str]] = [
+        [_format_cell(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)

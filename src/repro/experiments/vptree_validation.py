@@ -1,0 +1,107 @@
+"""Section 5 extension: validating the vp-tree cost model.
+
+The paper derives the vp-tree range-query model (Eqs. 19-23) but leaves its
+experimental validation as future work; this driver performs it.  For each
+query radius it compares the model's expected distance computations against
+the measured mean over a workload, on both uniform and clustered data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core import VPTreeCostModel, estimate_distance_histogram
+from ..datasets import clustered_dataset, uniform_dataset
+from ..vptree import VPTree
+from ..workloads import run_vptree_range_workload, sample_workload
+from .report import format_table, relative_error
+
+__all__ = [
+    "VPValidationConfig",
+    "VPValidationRow",
+    "run_vptree_validation",
+    "render_vptree_validation",
+]
+
+
+def _default_radii() -> tuple:
+    return (0.05, 0.10, 0.15, 0.20)
+
+
+@dataclass
+class VPValidationConfig:
+    size: int = 4_000
+    dim: int = 8
+    arity: int = 3
+    radii: tuple = field(default_factory=_default_radii)
+    n_queries: int = 100
+    n_bins: int = 100
+    datasets: tuple = ("uniform", "clustered")
+    seed: int = 0
+
+
+@dataclass
+class VPValidationRow:
+    dataset: str
+    radius: float
+    actual_dists: float
+    model_dists: float
+    n_nodes: int
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.model_dists, self.actual_dists)
+
+
+def run_vptree_validation(
+    config: VPValidationConfig | None = None,
+) -> List[VPValidationRow]:
+    """Run the Section 5 validation; one row per (dataset, radius)."""
+    config = config if config is not None else VPValidationConfig()
+    rows: List[VPValidationRow] = []
+    makers = {"uniform": uniform_dataset, "clustered": clustered_dataset}
+    for name in config.datasets:
+        dataset = makers[name](config.size, config.dim, seed=config.seed)
+        hist = estimate_distance_histogram(
+            dataset.points, dataset.metric, dataset.d_plus, n_bins=config.n_bins
+        )
+        tree = VPTree.build(
+            list(dataset.points),
+            dataset.metric,
+            arity=config.arity,
+            seed=config.seed,
+        )
+        model = VPTreeCostModel(hist, dataset.size, arity=config.arity)
+        workload = sample_workload(dataset, config.n_queries, seed=29)
+        for radius in config.radii:
+            measured = run_vptree_range_workload(tree, workload, radius)
+            rows.append(
+                VPValidationRow(
+                    dataset=name,
+                    radius=radius,
+                    actual_dists=measured.mean_dists,
+                    model_dists=model.range_dists(radius),
+                    n_nodes=tree.n_nodes(),
+                )
+            )
+    return rows
+
+
+def render_vptree_validation(rows: List[VPValidationRow]) -> str:
+    """Render the vp-tree validation as a text table."""
+    return format_table(
+        [
+            {
+                "dataset": row.dataset,
+                "radius": row.radius,
+                "actual dists": row.actual_dists,
+                "model dists": row.model_dists,
+                "err%": round(100 * row.error, 1),
+                "tree nodes": row.n_nodes,
+            }
+            for row in rows
+        ],
+        title="Section 5 (extension) - vp-tree cost model: "
+        "predicted vs actual distance computations",
+    )

@@ -1,0 +1,23 @@
+"""A Generalized Search Tree kernel with metric-ball and box extensions."""
+
+from .extensions import (
+    Ball,
+    BallRangeQuery,
+    BoundingBoxExtension,
+    Box,
+    BoxRangeQuery,
+    MetricBallExtension,
+)
+from .kernel import GiST, GiSTExtension, GiSTSearchStats
+
+__all__ = [
+    "GiST",
+    "GiSTExtension",
+    "GiSTSearchStats",
+    "Ball",
+    "BallRangeQuery",
+    "MetricBallExtension",
+    "Box",
+    "BoxRangeQuery",
+    "BoundingBoxExtension",
+]

@@ -1,0 +1,209 @@
+"""GiST extensions: metric balls (M-tree-style) and bounding boxes.
+
+Two instantiations of the kernel, mirroring the paper's framing:
+
+* :class:`MetricBallExtension` — predicates are ``(center, radius)``
+  balls in a generic metric space; ``consistent`` is the triangle-
+  inequality test of Eq. 5's derivation (``d(q, c) <= r + r_q``).  A GiST
+  with this extension is exactly the organising principle of the M-tree
+  ("possibly overlapping balls, recursively applied up to the root").
+* :class:`BoundingBoxExtension` — predicates are axis-aligned boxes with
+  rectangle range queries: the R-tree organising principle the paper's
+  related-work models ([16], [12], [20]) were built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..metrics import Metric
+from .kernel import GiSTExtension
+
+__all__ = [
+    "Ball",
+    "BallRangeQuery",
+    "MetricBallExtension",
+    "Box",
+    "BoxRangeQuery",
+    "BoundingBoxExtension",
+]
+
+
+# ---------------------------------------------------------------------------
+# Metric balls
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ball:
+    """A metric ball ``{x : d(center, x) <= radius}``."""
+
+    center: Any
+    radius: float
+
+
+@dataclass(frozen=True)
+class BallRangeQuery:
+    """``range(Q, r_Q)`` in GiST-query form."""
+
+    center: Any
+    radius: float
+
+
+class MetricBallExtension(GiSTExtension[Ball, BallRangeQuery]):
+    """Metric-space GiST: the M-tree's organising principle."""
+
+    def __init__(self, metric: Metric):
+        self.metric = metric
+
+    def leaf_predicate(self, obj: Any) -> Ball:
+        return Ball(center=obj, radius=0.0)
+
+    def consistent(self, predicate: Ball, query: BallRangeQuery) -> bool:
+        # Two balls intersect iff the center distance is at most the sum
+        # of radii (the triangle-inequality test behind Eq. 5).
+        return (
+            self.metric.distance(predicate.center, query.center)
+            <= predicate.radius + query.radius
+        )
+
+    def union(self, predicates: Sequence[Ball]) -> Ball:
+        if not predicates:
+            raise InvalidParameterError("union of no predicates")
+        center = predicates[0].center
+        radius = max(
+            self.metric.distance(center, ball.center) + ball.radius
+            for ball in predicates
+        )
+        return Ball(center=center, radius=radius)
+
+    def penalty(self, predicate: Ball, new: Ball) -> float:
+        # Radius enlargement needed to absorb the new ball.
+        needed = (
+            self.metric.distance(predicate.center, new.center) + new.radius
+        )
+        return max(0.0, needed - predicate.radius)
+
+    def pick_split(
+        self, predicates: Sequence[Ball]
+    ) -> Tuple[List[int], List[int]]:
+        # Promote the two centers farthest apart; assign to the nearer
+        # (generalised hyperplane, as in the M-tree split).
+        n = len(predicates)
+        best_pair = (0, 1)
+        best_distance = -1.0
+        for i in range(n):
+            for j in range(i + 1, n):
+                dist = self.metric.distance(
+                    predicates[i].center, predicates[j].center
+                )
+                if dist > best_distance:
+                    best_distance = dist
+                    best_pair = (i, j)
+        first_seed, second_seed = best_pair
+        first: List[int] = []
+        second: List[int] = []
+        for index, ball in enumerate(predicates):
+            to_first = self.metric.distance(
+                ball.center, predicates[first_seed].center
+            )
+            to_second = self.metric.distance(
+                ball.center, predicates[second_seed].center
+            )
+            (first if to_first <= to_second else second).append(index)
+        if not first:
+            first.append(second.pop())
+        if not second:
+            second.append(first.pop())
+        return first, second
+
+
+# ---------------------------------------------------------------------------
+# Bounding boxes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box ``[lo_i, hi_i]`` per dimension."""
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise InvalidParameterError("box lo/hi dimension mismatch")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise InvalidParameterError(f"inverted box: {self}")
+
+    @staticmethod
+    def around_point(point: Sequence[float]) -> "Box":
+        coords = tuple(float(x) for x in point)
+        return Box(lo=coords, hi=coords)
+
+    def area(self) -> float:
+        out = 1.0
+        for l, h in zip(self.lo, self.hi):
+            out *= h - l
+        return out
+
+
+@dataclass(frozen=True)
+class BoxRangeQuery:
+    """A rectangle intersection query."""
+
+    box: Box
+
+
+class BoundingBoxExtension(GiSTExtension[Box, BoxRangeQuery]):
+    """R-tree-flavoured GiST over axis-aligned boxes."""
+
+    def leaf_predicate(self, obj: Any) -> Box:
+        return Box.around_point(np.asarray(obj, dtype=float))
+
+    def consistent(self, predicate: Box, query: BoxRangeQuery) -> bool:
+        return all(
+            pl <= qh and ql <= ph
+            for pl, ph, ql, qh in zip(
+                predicate.lo, predicate.hi, query.box.lo, query.box.hi
+            )
+        )
+
+    def union(self, predicates: Sequence[Box]) -> Box:
+        if not predicates:
+            raise InvalidParameterError("union of no predicates")
+        lo = tuple(
+            min(box.lo[d] for box in predicates)
+            for d in range(len(predicates[0].lo))
+        )
+        hi = tuple(
+            max(box.hi[d] for box in predicates)
+            for d in range(len(predicates[0].hi))
+        )
+        return Box(lo=lo, hi=hi)
+
+    def penalty(self, predicate: Box, new: Box) -> float:
+        # Classic R-tree: area enlargement.
+        return self.union([predicate, new]).area() - predicate.area()
+
+    def pick_split(
+        self, predicates: Sequence[Box]
+    ) -> Tuple[List[int], List[int]]:
+        # Split along the dimension with the widest centre spread,
+        # balanced halves (a compact variant of Guttman's quadratic split).
+        n = len(predicates)
+        dims = len(predicates[0].lo)
+        centers = np.array(
+            [
+                [(box.lo[d] + box.hi[d]) / 2 for d in range(dims)]
+                for box in predicates
+            ]
+        )
+        spread_dim = int(np.argmax(centers.max(axis=0) - centers.min(axis=0)))
+        order = np.argsort(centers[:, spread_dim], kind="stable")
+        half = n // 2
+        return list(map(int, order[:half])), list(map(int, order[half:]))

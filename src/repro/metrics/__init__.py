@@ -1,0 +1,31 @@
+"""Metric-space substrate: distance functions and BRM spaces."""
+
+from .base import CountingMetric, FunctionMetric, Metric
+from .discrete import DiscreteMetric, HammingDistance, JaccardDistance
+from .minkowski import L1, L2, LInf, MinkowskiMetric, chebyshev, euclidean, manhattan
+from .space import BRMSpace
+from .strings import EditDistance, WeightedEditDistance, edit_distance
+from .vectors_extra import AngularDistance, CanberraDistance, MahalanobisDistance
+
+__all__ = [
+    "Metric",
+    "CountingMetric",
+    "FunctionMetric",
+    "MinkowskiMetric",
+    "L1",
+    "L2",
+    "LInf",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "EditDistance",
+    "WeightedEditDistance",
+    "edit_distance",
+    "HammingDistance",
+    "JaccardDistance",
+    "DiscreteMetric",
+    "BRMSpace",
+    "AngularDistance",
+    "CanberraDistance",
+    "MahalanobisDistance",
+]

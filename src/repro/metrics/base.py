@@ -1,0 +1,126 @@
+"""Metric abstractions.
+
+A *metric* here is an object with a ``distance(a, b)`` method satisfying the
+metric axioms (non-negativity, identity of indiscernibles, symmetry and the
+triangle inequality).  Everything in the library — trees, histograms, cost
+models — talks to metrics through this interface, so vector metrics, string
+metrics and user-supplied callables are interchangeable.
+
+The paper's "CPU cost" is the *number of distance computations*, so the
+module also provides :class:`CountingMetric`, a transparent wrapper that
+counts calls.  The M-tree and vp-tree count their distance evaluations
+through it, which is what the validation experiments compare against the
+model's ``dists(...)`` estimates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Metric", "CountingMetric", "FunctionMetric"]
+
+
+class Metric(ABC):
+    """Abstract distance function over some domain.
+
+    Subclasses implement :meth:`distance`.  ``pairwise`` has a generic
+    (loop-based) default and is overridden with vectorised code where the
+    domain allows it (see :class:`~repro.metrics.minkowski.MinkowskiMetric`).
+    """
+
+    #: Human-readable name, used in reports and ``repr``.
+    name: str = "metric"
+
+    @abstractmethod
+    def distance(self, a: Any, b: Any) -> float:
+        """Return ``d(a, b)``."""
+
+    def __call__(self, a: Any, b: Any) -> float:
+        return self.distance(a, b)
+
+    def pairwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """Return the ``len(xs) x len(ys)`` matrix of distances.
+
+        The default implementation loops over :meth:`distance`; subclasses
+        override it when a vectorised formulation exists.
+        """
+        out = np.empty((len(xs), len(ys)), dtype=np.float64)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                out[i, j] = self.distance(x, y)
+        return out
+
+    def one_to_many(self, x: Any, ys: Sequence[Any]) -> np.ndarray:
+        """Return the vector of distances from ``x`` to each of ``ys``."""
+        return self.pairwise([x], ys)[0]
+
+    def rowwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """Return element-wise distances between aligned sequences.
+
+        ``xs`` and ``ys`` must have equal length; the result is the vector
+        ``[d(xs[i], ys[i])]``.  Used by the pair-sampling estimator of the
+        distance distribution.
+        """
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"rowwise needs equal lengths, got {len(xs)} and {len(ys)}"
+            )
+        out = np.empty(len(xs), dtype=np.float64)
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            out[i] = self.distance(x, y)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionMetric(Metric):
+    """Adapt a plain callable ``f(a, b) -> float`` into a :class:`Metric`.
+
+    The caller promises that ``f`` satisfies the metric axioms; the library
+    does not (and cannot cheaply) verify this at runtime.
+    """
+
+    def __init__(self, func: Callable[[Any, Any], float], name: str = "custom"):
+        self._func = func
+        self.name = name
+
+    def distance(self, a: Any, b: Any) -> float:
+        return float(self._func(a, b))
+
+
+class CountingMetric(Metric):
+    """Wrap a metric and count how many times a distance is computed.
+
+    ``pairwise``/``one_to_many`` are counted element-wise, so a bulk call on
+    an ``n x m`` grid adds ``n * m`` to :attr:`calls` — the count reflects
+    abstract distance computations, not Python function calls.
+    """
+
+    def __init__(self, inner: Metric):
+        self.inner = inner
+        self.name = f"counting({inner.name})"
+        self.calls = 0
+
+    def distance(self, a: Any, b: Any) -> float:
+        self.calls += 1
+        return self.inner.distance(a, b)
+
+    def pairwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        self.calls += len(xs) * len(ys)
+        return self.inner.pairwise(xs, ys)
+
+    def one_to_many(self, x: Any, ys: Sequence[Any]) -> np.ndarray:
+        self.calls += len(ys)
+        return self.inner.one_to_many(x, ys)
+
+    def rowwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        self.calls += len(xs)
+        return self.inner.rowwise(xs, ys)
+
+    def reset(self) -> None:
+        """Zero the call counter."""
+        self.calls = 0

@@ -1,0 +1,101 @@
+"""Discrete-flavoured metrics: Hamming, Jaccard and the trivial metric.
+
+These are not used by the paper's headline experiments but round out the
+metric-space substrate: Example 1's binary-hypercube analysis works under
+``L_inf`` *and* Hamming-scaled views, and the Jaccard metric is the standard
+example of a non-vector metric space for set-valued data.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .base import Metric
+
+__all__ = ["HammingDistance", "JaccardDistance", "DiscreteMetric"]
+
+
+class HammingDistance(Metric):
+    """Number of coordinates in which two equal-length sequences differ.
+
+    With ``normalized=True`` the count is divided by the length, giving a
+    metric bounded by 1 regardless of dimensionality.
+    """
+
+    def __init__(self, normalized: bool = False):
+        self.normalized = bool(normalized)
+        self.name = "hamming-normalized" if normalized else "hamming"
+
+    def distance(self, a: Sequence, b: Sequence) -> float:
+        if len(a) != len(b):
+            raise InvalidParameterError(
+                f"Hamming distance needs equal lengths, got {len(a)} and {len(b)}"
+            )
+        diff = sum(1 for x, y in zip(a, b) if x != y)
+        if self.normalized:
+            return diff / len(a) if len(a) else 0.0
+        return float(diff)
+
+    def pairwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        x = np.asarray(xs)
+        y = np.asarray(ys)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if y.ndim == 1:
+            y = y.reshape(1, -1)
+        diff = (x[:, None, :] != y[None, :, :]).sum(axis=2).astype(np.float64)
+        if self.normalized and x.shape[1]:
+            diff /= x.shape[1]
+        return diff
+
+    def domain_bound(self, dim: int) -> float:
+        """``d_plus`` for sequences of length ``dim``."""
+        return 1.0 if self.normalized else float(dim)
+
+
+class JaccardDistance(Metric):
+    """``1 - |A intersect B| / |A union B|`` on finite sets.
+
+    A true metric (the Jaccard distance satisfies the triangle inequality),
+    bounded by 1; two empty sets are at distance 0 by convention.
+    """
+
+    name = "jaccard"
+
+    def distance(self, a: AbstractSet, b: AbstractSet) -> float:
+        sa, sb = set(a), set(b)
+        union = len(sa | sb)
+        if union == 0:
+            return 0.0
+        return 1.0 - len(sa & sb) / union
+
+    @staticmethod
+    def domain_bound() -> float:
+        return 1.0
+
+
+class DiscreteMetric(Metric):
+    """The trivial metric: 0 if equal, 1 otherwise.
+
+    Useful in tests as the degenerate metric space on which every index
+    reduces to a linear scan.
+    """
+
+    name = "discrete"
+
+    def distance(self, a, b) -> float:
+        return 0.0 if _eq(a, b) else 1.0
+
+    @staticmethod
+    def domain_bound() -> float:
+        return 1.0
+
+
+def _eq(a, b) -> bool:
+    result = a == b
+    if isinstance(result, np.ndarray):
+        return bool(result.all())
+    return bool(result)

@@ -1,0 +1,127 @@
+"""Minkowski (``L_p``) metrics on real vectors.
+
+The paper's synthetic experiments use ``L_inf`` on the unit hypercube
+(Table 1); the BRM-space examples also mention ``L_1`` ("diamonds"),
+``L_2`` (circles) and ``L_inf`` (squares) balls.  All of them are instances
+of :class:`MinkowskiMetric`, which is fully vectorised via numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .base import Metric
+
+__all__ = [
+    "MinkowskiMetric",
+    "L1",
+    "L2",
+    "LInf",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+]
+
+
+def _as_matrix(xs: Sequence) -> np.ndarray:
+    arr = np.asarray(xs, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    return arr
+
+
+class MinkowskiMetric(Metric):
+    """The ``L_p`` metric ``d(x, y) = (sum_i |x_i - y_i|^p)^(1/p)``.
+
+    ``p`` may be any real ``>= 1`` or ``math.inf`` for the Chebyshev
+    (maximum-coordinate) metric.  Values of ``p < 1`` are rejected because
+    they violate the triangle inequality.
+    """
+
+    def __init__(self, p: float):
+        if not (p >= 1.0):
+            raise InvalidParameterError(f"L_p requires p >= 1, got {p!r}")
+        self.p = float(p)
+        self.name = "Linf" if math.isinf(self.p) else f"L{self.p:g}"
+
+    def distance(self, a, b) -> float:
+        diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+        if math.isinf(self.p):
+            return float(diff.max(initial=0.0))
+        if self.p == 1.0:
+            return float(diff.sum())
+        if self.p == 2.0:
+            return float(math.sqrt(float((diff * diff).sum())))
+        return float((diff**self.p).sum() ** (1.0 / self.p))
+
+    def pairwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        x = _as_matrix(xs)
+        y = _as_matrix(ys)
+        diff = np.abs(x[:, None, :] - y[None, :, :])
+        if math.isinf(self.p):
+            return diff.max(axis=2)
+        if self.p == 1.0:
+            return diff.sum(axis=2)
+        if self.p == 2.0:
+            return np.sqrt((diff * diff).sum(axis=2))
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
+
+    def one_to_many(self, x, ys: Sequence) -> np.ndarray:
+        y = _as_matrix(ys)
+        diff = np.abs(y - np.asarray(x, dtype=np.float64)[None, :])
+        if math.isinf(self.p):
+            return diff.max(axis=1)
+        if self.p == 1.0:
+            return diff.sum(axis=1)
+        if self.p == 2.0:
+            return np.sqrt((diff * diff).sum(axis=1))
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def rowwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        x = _as_matrix(xs)
+        y = _as_matrix(ys)
+        if x.shape != y.shape:
+            raise InvalidParameterError(
+                f"rowwise needs matching shapes, got {x.shape} and {y.shape}"
+            )
+        diff = np.abs(x - y)
+        if math.isinf(self.p):
+            return diff.max(axis=1)
+        if self.p == 1.0:
+            return diff.sum(axis=1)
+        if self.p == 2.0:
+            return np.sqrt((diff * diff).sum(axis=1))
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def unit_cube_diameter(self, dim: int) -> float:
+        """Return ``d_plus`` for the unit hypercube ``[0, 1]^dim``."""
+        if dim < 1:
+            raise InvalidParameterError(f"dimension must be >= 1, got {dim}")
+        if math.isinf(self.p):
+            return 1.0
+        return float(dim ** (1.0 / self.p))
+
+
+def L1() -> MinkowskiMetric:
+    """Manhattan metric (``p = 1``)."""
+    return MinkowskiMetric(1.0)
+
+
+def L2() -> MinkowskiMetric:
+    """Euclidean metric (``p = 2``)."""
+    return MinkowskiMetric(2.0)
+
+
+def LInf() -> MinkowskiMetric:
+    """Chebyshev / maximum-coordinate metric (``p = inf``)."""
+    return MinkowskiMetric(math.inf)
+
+
+# Aliases matching common naming.
+euclidean = L2
+manhattan = L1
+chebyshev = LInf

@@ -1,0 +1,93 @@
+"""Bounded random metric (BRM) spaces.
+
+Section 2 of the paper works with BRM spaces ``M = (U, d, d_plus, S)``:
+a domain ``U``, a metric ``d``, a finite upper bound ``d_plus`` on distance
+values and a probability measure ``S`` over ``U`` (the "data distribution").
+The cost model never evaluates ``S`` directly — its existence only licenses
+the *biased query model*, under which query objects are drawn from the same
+distribution as the data.
+
+:class:`BRMSpace` packages the four components.  ``S`` is represented
+operationally by a ``sampler`` callable: given a :class:`numpy.random.
+Generator` and a count, it returns that many fresh objects of ``U``.  The
+dataset generators in :mod:`repro.datasets` build spaces with appropriate
+samplers, which is how experiments draw both the indexed set and the
+(disjoint) query workload from the same ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .base import Metric
+
+__all__ = ["BRMSpace"]
+
+Sampler = Callable[[np.random.Generator, int], Sequence[Any]]
+
+
+@dataclass
+class BRMSpace:
+    """A bounded random metric space ``(U, d, d_plus, S)``.
+
+    Parameters
+    ----------
+    metric:
+        The metric ``d``.
+    d_plus:
+        Finite upper bound on distance values.  Must be positive; the
+        histogram machinery treats ``[0, d_plus]`` as the distance domain.
+    sampler:
+        Operational stand-in for ``S``: draws i.i.d. objects of ``U``.
+        Optional — spaces without a sampler can still be used for histogram
+        work on externally supplied data, but cannot generate biased query
+        workloads.
+    name:
+        Label used in reports.
+    """
+
+    metric: Metric
+    d_plus: float
+    sampler: Optional[Sampler] = None
+    name: str = "brm-space"
+    description: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if not (self.d_plus > 0) or not np.isfinite(self.d_plus):
+            raise InvalidParameterError(
+                f"d_plus must be a positive finite bound, got {self.d_plus!r}"
+            )
+
+    def distance(self, a: Any, b: Any) -> float:
+        """Return ``d(a, b)``; raises if it exceeds the declared bound."""
+        dist = self.metric.distance(a, b)
+        if dist > self.d_plus * (1 + 1e-9):
+            raise InvalidParameterError(
+                f"distance {dist} exceeds declared d_plus={self.d_plus} "
+                f"in space {self.name!r}"
+            )
+        return dist
+
+    def sample(self, rng: np.random.Generator, count: int) -> Sequence[Any]:
+        """Draw ``count`` i.i.d. objects according to ``S``."""
+        if self.sampler is None:
+            raise InvalidParameterError(
+                f"space {self.name!r} has no sampler; cannot draw objects"
+            )
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        return self.sampler(rng, count)
+
+    def with_name(self, name: str) -> "BRMSpace":
+        """Return a copy of this space under a different label."""
+        return BRMSpace(
+            metric=self.metric,
+            d_plus=self.d_plus,
+            sampler=self.sampler,
+            name=name,
+            description=self.description,
+        )

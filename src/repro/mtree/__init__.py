@@ -1,0 +1,32 @@
+"""The M-tree access method: paged, balanced, dynamic metric index."""
+
+from .bulkload import bulk_load
+from .debug import describe, to_ascii
+from .entries import LeafEntry, RoutingEntry
+from .layout import NodeLayout, string_layout, vector_layout
+from .node import Node
+from .split import SplitOutcome, split_entries
+from .stats import collect_level_stats, collect_node_records, collect_node_stats
+from .tree import KNNResult, MTree, Neighbor, QueryStats, RangeResult
+
+__all__ = [
+    "MTree",
+    "bulk_load",
+    "NodeLayout",
+    "vector_layout",
+    "string_layout",
+    "Node",
+    "LeafEntry",
+    "RoutingEntry",
+    "SplitOutcome",
+    "split_entries",
+    "QueryStats",
+    "RangeResult",
+    "KNNResult",
+    "Neighbor",
+    "collect_node_stats",
+    "collect_level_stats",
+    "collect_node_records",
+    "describe",
+    "to_ascii",
+]

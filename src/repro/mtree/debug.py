@@ -1,0 +1,91 @@
+"""Human-readable M-tree introspection.
+
+``describe`` summarises a tree the way a DBA would want an index described
+(per-level populations, radii, fill factors); ``to_ascii`` renders the top
+of the tree as an indented outline for debugging split behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import EmptyTreeError
+from .node import Node
+from .tree import MTree
+
+__all__ = ["describe", "to_ascii"]
+
+
+def describe(tree: MTree) -> str:
+    """A per-level structural summary of the tree."""
+    if tree.root is None:
+        return "MTree(empty)"
+    levels: dict[int, List[Node]] = {}
+    stack = [(tree.root, 1)]
+    while stack:
+        node, level = stack.pop()
+        levels.setdefault(level, []).append(node)
+        if not node.is_leaf:
+            for entry in node.entries:
+                stack.append((entry.child, level + 1))
+
+    lines = [
+        f"MTree: {len(tree)} objects, {tree.n_nodes()} nodes, "
+        f"height {tree.height}, node size "
+        f"{tree.layout.node_size_bytes} B "
+        f"(leaf cap {tree.layout.leaf_capacity}, "
+        f"internal cap {tree.layout.internal_capacity})"
+    ]
+    for level in sorted(levels):
+        nodes = levels[level]
+        entry_counts = np.array([len(node.entries) for node in nodes])
+        capacity = (
+            tree.layout.leaf_capacity
+            if nodes[0].is_leaf
+            else tree.layout.internal_capacity
+        )
+        kind = "leaf" if nodes[0].is_leaf else "internal"
+        radii = []
+        for node in nodes:
+            if not node.is_leaf:
+                radii.extend(entry.radius for entry in node.entries)
+        radius_text = (
+            f", child radii mean {np.mean(radii):.4g} "
+            f"max {np.max(radii):.4g}"
+            if radii
+            else ""
+        )
+        lines.append(
+            f"  level {level} ({kind}): {len(nodes)} nodes, "
+            f"entries {entry_counts.sum()} "
+            f"(fill {entry_counts.mean() / capacity:.0%})"
+            f"{radius_text}"
+        )
+    return "\n".join(lines)
+
+
+def to_ascii(tree: MTree, max_depth: int = 3, max_entries: int = 4) -> str:
+    """An indented outline of the top of the tree."""
+    if tree.root is None:
+        raise EmptyTreeError("cannot render an empty tree")
+    lines: List[str] = []
+
+    def walk(node: Node, depth: int, label: str) -> None:
+        indent = "  " * (depth - 1)
+        kind = "leaf" if node.is_leaf else "node"
+        lines.append(f"{indent}{label}{kind}[{len(node.entries)} entries]")
+        if depth >= max_depth or node.is_leaf:
+            return
+        for index, entry in enumerate(node.entries):
+            if index >= max_entries:
+                lines.append(
+                    "  " * depth
+                    + f"... ({len(node.entries) - max_entries} more)"
+                )
+                break
+            walk(entry.child, depth + 1, f"r={entry.radius:.3g} -> ")
+
+    walk(tree.root, 1, "")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""M-tree nodes.
+
+A node is a fixed-capacity page of entries: :class:`~repro.mtree.entries.
+LeafEntry` in leaves, :class:`~repro.mtree.entries.RoutingEntry` in internal
+nodes.  Nodes carry no parent pointers — the tree recurses top-down and
+splits propagate through return values, keeping the structure simple and
+cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .entries import LeafEntry, RoutingEntry
+
+__all__ = ["Node"]
+
+Entry = Union[LeafEntry, RoutingEntry]
+
+
+class Node:
+    """One page of the M-tree."""
+
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+    def subtree_size(self) -> int:
+        """Number of database objects stored under this node."""
+        if self.is_leaf:
+            return len(self.entries)
+        return sum(entry.child.subtree_size() for entry in self.entries)
+
+    def height(self) -> int:
+        """Levels below and including this node (leaf = 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(entry.child.height() for entry in self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"Node({kind}, entries={len(self.entries)})"

@@ -1,0 +1,88 @@
+"""Extracting cost-model statistics from a built M-tree.
+
+N-MCM needs, for every node, the covering radius of the routing entry that
+points at it plus its entry count (Eqs. 6-7); L-MCM needs per-level node
+counts and average covering radii (Eqs. 15-16).  The root has no routing
+entry; following the paper's footnote 1 it is assigned radius ``d_plus``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.mtree_model import LevelStat, NodeStat, level_stats_from_node_stats
+from ..core.viewpoints_model import NodeRecord
+from ..exceptions import EmptyTreeError
+from .tree import MTree
+
+__all__ = ["collect_node_stats", "collect_level_stats", "collect_node_records"]
+
+
+def collect_node_stats(tree: MTree, d_plus: float) -> List[NodeStat]:
+    """Walk the tree and return one :class:`NodeStat` per node.
+
+    Levels are numbered as in the paper: root = 1, leaves = L.
+    """
+    root = tree.root
+    if root is None:
+        raise EmptyTreeError("cannot collect statistics from an empty tree")
+    stats: List[NodeStat] = [
+        NodeStat(radius=d_plus, n_entries=len(root.entries), level=1)
+    ]
+    stack = [(root, 1)]
+    while stack:
+        node, level = stack.pop()
+        if node.is_leaf:
+            continue
+        for entry in node.entries:
+            stats.append(
+                NodeStat(
+                    radius=entry.radius,
+                    n_entries=len(entry.child.entries),
+                    level=level + 1,
+                )
+            )
+            stack.append((entry.child, level + 1))
+    return stats
+
+
+def collect_level_stats(tree: MTree, d_plus: float) -> List[LevelStat]:
+    """Aggregate per-node statistics into L-MCM's per-level form."""
+    return level_stats_from_node_stats(collect_node_stats(tree, d_plus))
+
+
+def collect_node_records(tree: MTree, d_plus: float) -> List[NodeRecord]:
+    """Per-node statistics *including* routing objects.
+
+    The position-aware query-sensitive model (§6 extension) needs to know
+    where each node sits in the space, not just its radius.  The root's
+    "routing object" is taken to be its first entry's object (any object
+    works: the root is always accessed, radius ``d_plus``).
+    """
+    root = tree.root
+    if root is None:
+        raise EmptyTreeError("cannot collect statistics from an empty tree")
+    records: List[NodeRecord] = [
+        NodeRecord(
+            obj=root.entries[0].obj,
+            radius=d_plus,
+            n_entries=len(root.entries),
+            level=1,
+        )
+    ]
+    stack = [(root, 1)]
+    while stack:
+        node, level = stack.pop()
+        if node.is_leaf:
+            continue
+        for entry in node.entries:
+            records.append(
+                NodeRecord(
+                    obj=entry.obj,
+                    radius=entry.radius,
+                    n_entries=len(entry.child.entries),
+                    level=level + 1,
+                )
+            )
+            stack.append((entry.child, level + 1))
+    return records

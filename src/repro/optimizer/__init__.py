@@ -1,0 +1,24 @@
+"""Cost-based plan selection for metric similarity queries."""
+
+from .optimizer import PlanChoice, SimilarityQueryOptimizer
+from .plans import (
+    AccessPlan,
+    ExecutionOutcome,
+    LinearScanPlan,
+    MTreeKNNPlan,
+    MTreeRangePlan,
+    PlanCostEstimate,
+    VPTreeRangePlan,
+)
+
+__all__ = [
+    "SimilarityQueryOptimizer",
+    "PlanChoice",
+    "AccessPlan",
+    "MTreeRangePlan",
+    "MTreeKNNPlan",
+    "VPTreeRangePlan",
+    "LinearScanPlan",
+    "PlanCostEstimate",
+    "ExecutionOutcome",
+]

@@ -1,0 +1,179 @@
+"""A cost-based optimiser for metric similarity queries.
+
+Given a catalog of available access plans (M-tree, vp-tree, linear scan)
+and a disk model, :class:`SimilarityQueryOptimizer` ranks the plans by
+model-predicted cost and executes the winner — the "optimizers'
+technology" application the paper's introduction promises.
+
+The interesting behaviour is the *crossover*: for selective queries the
+indexes win; as the radius grows toward the distance distribution's bulk,
+every index degrades to visiting most nodes while the linear scan's cost
+is flat — so past some radius the optimiser should (and does) switch to
+scanning.  The extension bench locates this crossover and verifies the
+optimiser's choice against the measured best plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..exceptions import InvalidParameterError
+from ..storage.diskmodel import DiskModel
+from .plans import AccessPlan, ExecutionOutcome, PlanCostEstimate
+
+__all__ = ["PlanChoice", "SimilarityQueryOptimizer"]
+
+
+@dataclass
+class PlanChoice:
+    """The optimiser's decision: ranked estimates plus the winner."""
+
+    ranked: List[PlanCostEstimate]
+
+    @property
+    def best(self) -> PlanCostEstimate:
+        return self.ranked[0]
+
+    def estimate_for(self, plan_name: str) -> Optional[PlanCostEstimate]:
+        for estimate in self.ranked:
+            if estimate.plan_name == plan_name:
+                return estimate
+        return None
+
+
+class SimilarityQueryOptimizer:
+    """Rank access plans by predicted cost; execute the cheapest."""
+
+    def __init__(
+        self, plans: Sequence[AccessPlan], disk: Optional[DiskModel] = None
+    ):
+        if not plans:
+            raise InvalidParameterError("need at least one access plan")
+        names = [plan.name for plan in plans]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(
+                f"plan names must be unique, got {names}"
+            )
+        self.plans = list(plans)
+        self.disk = disk if disk is not None else DiskModel()
+
+    def _plan_by_name(self, name: str) -> AccessPlan:
+        for plan in self.plans:
+            if plan.name == name:
+                return plan
+        raise InvalidParameterError(f"no plan named {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def choose_range_plan(self, radius: float) -> PlanChoice:
+        """Rank plans for ``range(Q, radius)`` by predicted total cost."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        estimates = [
+            estimate
+            for plan in self.plans
+            if (estimate := plan.estimate_range(radius, self.disk)) is not None
+        ]
+        if not estimates:
+            raise InvalidParameterError("no plan supports range queries")
+        return PlanChoice(sorted(estimates, key=lambda e: e.total_ms))
+
+    def choose_knn_plan(self, k: int) -> PlanChoice:
+        """Rank plans for ``NN(Q, k)`` by predicted total cost."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        estimates = [
+            estimate
+            for plan in self.plans
+            if (estimate := plan.estimate_knn(k, self.disk)) is not None
+        ]
+        if not estimates:
+            raise InvalidParameterError("no plan supports k-NN queries")
+        return PlanChoice(sorted(estimates, key=lambda e: e.total_ms))
+
+    # ------------------------------------------------------------------
+
+    def run_range(self, query: Any, radius: float) -> ExecutionOutcome:
+        """Choose and execute the best range plan."""
+        choice = self.choose_range_plan(radius)
+        plan = self._plan_by_name(choice.best.plan_name)
+        return plan.execute_range(query, radius, self.disk)
+
+    def run_knn(self, query: Any, k: int) -> ExecutionOutcome:
+        """Choose and execute the best k-NN plan."""
+        choice = self.choose_knn_plan(k)
+        plan = self._plan_by_name(choice.best.plan_name)
+        return plan.execute_knn(query, k, self.disk)
+
+    def explain_range(self, radius: float) -> str:
+        """EXPLAIN-style text: the ranked plans for ``range(Q, radius)``.
+
+        What a database EXPLAIN would print for this query: each plan's
+        predicted node reads, distance computations and the I/O / CPU
+        split under the optimiser's disk model, cheapest first.
+        """
+        choice = self.choose_range_plan(radius)
+        lines = [f"EXPLAIN range(Q, {radius:g})  [disk: {self.disk}]"]
+        for rank, estimate in enumerate(choice.ranked, start=1):
+            marker = "->" if rank == 1 else "  "
+            lines.append(
+                f"{marker} {rank}. {estimate.plan_name:<12} "
+                f"total {estimate.total_ms:>10,.1f} ms   "
+                f"(io {estimate.io_ms:,.1f} ms / cpu {estimate.cpu_ms:,.1f} ms; "
+                f"{estimate.nodes:,.1f} node reads, "
+                f"{estimate.dists:,.1f} distances)"
+            )
+        return "\n".join(lines)
+
+    def explain_knn(self, k: int) -> str:
+        """EXPLAIN-style text for ``NN(Q, k)``."""
+        choice = self.choose_knn_plan(k)
+        lines = [f"EXPLAIN NN(Q, {k})  [disk: {self.disk}]"]
+        for rank, estimate in enumerate(choice.ranked, start=1):
+            marker = "->" if rank == 1 else "  "
+            lines.append(
+                f"{marker} {rank}. {estimate.plan_name:<12} "
+                f"total {estimate.total_ms:>10,.1f} ms   "
+                f"(io {estimate.io_ms:,.1f} ms / cpu {estimate.cpu_ms:,.1f} ms)"
+            )
+        return "\n".join(lines)
+
+    def range_crossover_radius(
+        self,
+        first: str,
+        second: str,
+        lo: float,
+        hi: float,
+        tolerance: float = 1e-3,
+    ) -> Optional[float]:
+        """Radius where the predicted winner flips from ``first`` to
+        ``second`` (bisection); None if one plan dominates on [lo, hi]."""
+        if not (0 <= lo < hi):
+            raise InvalidParameterError(
+                f"need 0 <= lo < hi, got ({lo}, {hi})"
+            )
+
+        def margin(radius: float) -> float:
+            choice = self.choose_range_plan(radius)
+            first_cost = choice.estimate_for(first)
+            second_cost = choice.estimate_for(second)
+            if first_cost is None or second_cost is None:
+                raise InvalidParameterError(
+                    f"plans {first!r}/{second!r} not both available"
+                )
+            return first_cost.total_ms - second_cost.total_ms
+
+        lo_margin = margin(lo)
+        hi_margin = margin(hi)
+        if lo_margin == 0:
+            return lo
+        if (lo_margin < 0) == (hi_margin < 0):
+            return None  # no sign change: one plan dominates
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            if (margin(mid) < 0) == (lo_margin < 0):
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2

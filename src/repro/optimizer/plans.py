@@ -1,0 +1,268 @@
+"""Physical access plans for metric similarity queries.
+
+The paper's introduction motivates the cost model with query optimisation:
+"being able to answer questions like this is relevant for database design,
+query processing, and optimization ... and will make it possible to apply
+optimizers' technology to metric query processing too."  This package is
+that application: each plan wraps one physical way to answer a similarity
+query, knows how to *estimate* its cost from the models (no execution),
+and how to *execute* itself with actual-cost accounting.
+
+Plans
+-----
+* :class:`MTreeRangePlan` / :class:`MTreeKNNPlan` — the paged M-tree with
+  N-MCM/L-MCM estimates (I/O + CPU);
+* :class:`VPTreeRangePlan` — the main-memory vp-tree with the Section 5
+  model (CPU only; the paper ignores vp-tree I/O);
+* :class:`LinearScanPlan` — sequential scan: exact, trivially estimated,
+  and surprisingly competitive at low selectivity thanks to sequential
+  I/O (no per-page positioning after the first).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.mtree_model import MTreeCostModel
+from ..core.vptree_model import VPTreeCostModel
+from ..exceptions import InvalidParameterError
+from ..mtree import MTree
+from ..storage.diskmodel import DiskModel
+from ..vptree import VPTree
+from ..workloads.runner import LinearScanBaseline
+
+__all__ = [
+    "PlanCostEstimate",
+    "ExecutionOutcome",
+    "AccessPlan",
+    "MTreeRangePlan",
+    "MTreeKNNPlan",
+    "VPTreeRangePlan",
+    "LinearScanPlan",
+]
+
+
+@dataclass(frozen=True)
+class PlanCostEstimate:
+    """Model-predicted cost of one plan, in the disk model's milliseconds."""
+
+    plan_name: str
+    nodes: float
+    dists: float
+    io_ms: float
+    cpu_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.io_ms + self.cpu_ms
+
+
+@dataclass
+class ExecutionOutcome:
+    """What actually happened when a plan ran."""
+
+    plan_name: str
+    items: List[Tuple[int, Any, float]]
+    nodes: int
+    dists: int
+    actual_ms: float  # under the same disk model, for apples-to-apples
+
+
+class AccessPlan(ABC):
+    """One physical way to answer a similarity query."""
+
+    name: str = "plan"
+
+    @abstractmethod
+    def estimate_range(
+        self, radius: float, disk: DiskModel
+    ) -> Optional[PlanCostEstimate]:
+        """Predicted cost of ``range(Q, radius)``; None if unsupported."""
+
+    @abstractmethod
+    def estimate_knn(
+        self, k: int, disk: DiskModel
+    ) -> Optional[PlanCostEstimate]:
+        """Predicted cost of ``NN(Q, k)``; None if unsupported."""
+
+    @abstractmethod
+    def execute_range(
+        self, query: Any, radius: float, disk: DiskModel
+    ) -> ExecutionOutcome:
+        """Run the range query, with cost accounting."""
+
+    @abstractmethod
+    def execute_knn(
+        self, query: Any, k: int, disk: DiskModel
+    ) -> ExecutionOutcome:
+        """Run the k-NN query, with cost accounting."""
+
+
+class MTreeRangePlan(AccessPlan):
+    """Paged M-tree probe, costed by N-MCM or L-MCM."""
+
+    def __init__(self, tree: MTree, model: MTreeCostModel):
+        self.tree = tree
+        self.model = model
+        self.name = "mtree"
+
+    def _node_size_kb(self) -> float:
+        return self.tree.layout.node_size_kb
+
+    def estimate_range(self, radius, disk):
+        nodes = float(self.model.range_nodes(radius))
+        dists = float(self.model.range_dists(radius))
+        cost = disk.query_cost_ms(nodes, dists, self._node_size_kb())
+        return PlanCostEstimate(self.name, nodes, dists, cost.io_ms, cost.cpu_ms)
+
+    def estimate_knn(self, k, disk):
+        estimate = self.model.nn_costs(k, method="integral")
+        cost = disk.query_cost_ms(
+            estimate.nodes, estimate.dists, self._node_size_kb()
+        )
+        return PlanCostEstimate(
+            self.name, estimate.nodes, estimate.dists, cost.io_ms, cost.cpu_ms
+        )
+
+    def execute_range(self, query, radius, disk):
+        result = self.tree.range_query(query, radius)
+        cost = disk.query_cost_ms(
+            result.stats.nodes_accessed,
+            result.stats.dists_computed,
+            self._node_size_kb(),
+        )
+        return ExecutionOutcome(
+            self.name,
+            result.items,
+            result.stats.nodes_accessed,
+            result.stats.dists_computed,
+            cost.total_ms,
+        )
+
+    def execute_knn(self, query, k, disk):
+        result = self.tree.knn_query(query, k)
+        cost = disk.query_cost_ms(
+            result.stats.nodes_accessed,
+            result.stats.dists_computed,
+            self._node_size_kb(),
+        )
+        items = [(n.oid, n.obj, n.distance) for n in result.neighbors]
+        return ExecutionOutcome(
+            self.name,
+            items,
+            result.stats.nodes_accessed,
+            result.stats.dists_computed,
+            cost.total_ms,
+        )
+
+
+class MTreeKNNPlan(MTreeRangePlan):
+    """Alias plan emphasising the k-NN entry point (same machinery)."""
+
+    def __init__(self, tree: MTree, model: MTreeCostModel):
+        super().__init__(tree, model)
+        self.name = "mtree-knn"
+
+
+class VPTreeRangePlan(AccessPlan):
+    """Main-memory vp-tree probe, costed by the Section 5 model.
+
+    No I/O charge: the paper's Section 5 assumes the vp-tree is memory
+    resident (footnote 4).
+    """
+
+    def __init__(self, tree: VPTree, model: VPTreeCostModel):
+        self.tree = tree
+        self.model = model
+        self.name = "vptree"
+
+    def estimate_range(self, radius, disk):
+        dists = self.model.range_dists(radius)
+        return PlanCostEstimate(
+            self.name, 0.0, dists, 0.0, dists * disk.distance_ms
+        )
+
+    def estimate_knn(self, k, disk):
+        dists = self.model.nn_dists(k)
+        return PlanCostEstimate(
+            self.name, 0.0, dists, 0.0, dists * disk.distance_ms
+        )
+
+    def execute_range(self, query, radius, disk):
+        result = self.tree.range_query(query, radius)
+        return ExecutionOutcome(
+            self.name,
+            result.items,
+            0,
+            result.stats.dists_computed,
+            result.stats.dists_computed * disk.distance_ms,
+        )
+
+    def execute_knn(self, query, k, disk):
+        result = self.tree.knn_query(query, k)
+        return ExecutionOutcome(
+            self.name,
+            list(result.neighbors),
+            0,
+            result.stats.dists_computed,
+            result.stats.dists_computed * disk.distance_ms,
+        )
+
+
+class LinearScanPlan(AccessPlan):
+    """Sequential scan with sequential-I/O pricing.
+
+    Reads ``ceil(n * object_bytes / page_size)`` pages with **one**
+    positioning (sequential access), computes all ``n`` distances.
+    """
+
+    def __init__(
+        self,
+        baseline: LinearScanBaseline,
+        page_size_bytes: int = 4096,
+    ):
+        if page_size_bytes < 1:
+            raise InvalidParameterError(
+                f"page_size_bytes must be >= 1, got {page_size_bytes}"
+            )
+        self.baseline = baseline
+        self.page_size_bytes = page_size_bytes
+        self.name = "linear-scan"
+
+    def _cost_ms(self, disk: DiskModel) -> Tuple[float, float]:
+        pages = self.baseline.pages
+        page_kb = self.page_size_bytes / 1024.0
+        # one seek + sequential transfer of every page
+        io_ms = disk.positioning_ms + pages * page_kb * disk.transfer_ms_per_kb
+        cpu_ms = len(self.baseline.objects) * disk.distance_ms
+        return io_ms, cpu_ms
+
+    def estimate_range(self, radius, disk):
+        io_ms, cpu_ms = self._cost_ms(disk)
+        return PlanCostEstimate(
+            self.name,
+            float(self.baseline.pages),
+            float(len(self.baseline.objects)),
+            io_ms,
+            cpu_ms,
+        )
+
+    def estimate_knn(self, k, disk):
+        return self.estimate_range(0.0, disk)
+
+    def execute_range(self, query, radius, disk):
+        matches, _pages, dists = self.baseline.range_query(query, radius)
+        io_ms, cpu_ms = self._cost_ms(disk)
+        return ExecutionOutcome(
+            self.name, matches, self.baseline.pages, dists, io_ms + cpu_ms
+        )
+
+    def execute_knn(self, query, k, disk):
+        neighbors, _pages, dists = self.baseline.knn_query(query, k)
+        io_ms, cpu_ms = self._cost_ms(disk)
+        return ExecutionOutcome(
+            self.name, neighbors, self.baseline.pages, dists, io_ms + cpu_ms
+        )

@@ -1,0 +1,6 @@
+"""Storage simulation: disk cost model and paged store."""
+
+from .diskmodel import DiskModel, QueryCost
+from .pager import PageStore, PagerStats
+
+__all__ = ["DiskModel", "QueryCost", "PageStore", "PagerStats"]

@@ -1,0 +1,94 @@
+"""A simulated page store with access accounting.
+
+The M-tree counts logical node reads itself; this pager adds the next layer
+a real deployment would have — a fixed-size page store with an optional LRU
+buffer pool — so that experiments can also report *physical* reads under
+caching, an extension beyond the paper's buffer-less I/O counting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["PageStore", "PagerStats"]
+
+
+@dataclass
+class PagerStats:
+    """Accounting of a :class:`PageStore`."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
+class PageStore:
+    """Fixed-size pages addressed by id, with an optional LRU buffer.
+
+    ``buffer_pages = 0`` disables caching: every logical read is physical,
+    which is the paper's implicit model (node accesses == page reads).
+    """
+
+    def __init__(self, page_size_bytes: int, buffer_pages: int = 0):
+        if page_size_bytes < 1:
+            raise InvalidParameterError(
+                f"page_size_bytes must be >= 1, got {page_size_bytes}"
+            )
+        if buffer_pages < 0:
+            raise InvalidParameterError(
+                f"buffer_pages must be >= 0, got {buffer_pages}"
+            )
+        self.page_size_bytes = page_size_bytes
+        self.buffer_pages = buffer_pages
+        self._pages: Dict[int, Any] = {}
+        self._buffer: "OrderedDict[int, Any]" = OrderedDict()
+        self._next_id = 0
+        self.stats = PagerStats()
+
+    def allocate(self, payload: Any) -> int:
+        """Store a payload in a new page; returns the page id."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = payload
+        self.stats.writes += 1
+        return page_id
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Overwrite an existing page."""
+        if page_id not in self._pages:
+            raise InvalidParameterError(f"unknown page id {page_id}")
+        self._pages[page_id] = payload
+        self._buffer.pop(page_id, None)
+        self.stats.writes += 1
+
+    def read(self, page_id: int) -> Any:
+        """Read a page, through the buffer if one is configured."""
+        if page_id not in self._pages:
+            raise InvalidParameterError(f"unknown page id {page_id}")
+        self.stats.logical_reads += 1
+        if self.buffer_pages > 0 and page_id in self._buffer:
+            self._buffer.move_to_end(page_id)
+            return self._buffer[page_id]
+        self.stats.physical_reads += 1
+        payload = self._pages[page_id]
+        if self.buffer_pages > 0:
+            self._buffer[page_id] = payload
+            if len(self._buffer) > self.buffer_pages:
+                self._buffer.popitem(last=False)
+        return payload
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def reset_stats(self) -> None:
+        self.stats = PagerStats()

@@ -1,0 +1,14 @@
+"""The vp-tree access method (binary and m-way)."""
+
+from .stats import VPTreeShape, collect_vptree_shape
+from .tree import VPKNNResult, VPNode, VPQueryStats, VPRangeResult, VPTree
+
+__all__ = [
+    "VPTree",
+    "VPNode",
+    "VPQueryStats",
+    "VPRangeResult",
+    "VPKNNResult",
+    "VPTreeShape",
+    "collect_vptree_shape",
+]

@@ -1,0 +1,60 @@
+"""Structural statistics of a built vp-tree.
+
+The Section 5 cost model predicts access probabilities from the overall
+distance distribution alone (cutoffs estimated as ``F^{-1}(i/m)``); these
+helpers extract the *actual* cutoffs and shape of a built tree so the
+validation bench can compare model assumptions against reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..exceptions import EmptyTreeError
+from .tree import VPNode, VPTree
+
+__all__ = ["VPTreeShape", "collect_vptree_shape"]
+
+
+@dataclass
+class VPTreeShape:
+    """Aggregate shape of a vp-tree."""
+
+    n_nodes: int
+    height: int
+    nodes_per_depth: Dict[int, int]
+    root_cutoffs: List[float]
+    mean_cutoffs_per_depth: Dict[int, List[float]]
+
+
+def collect_vptree_shape(tree: VPTree) -> VPTreeShape:
+    """Walk the tree collecting node counts and average cutoffs by depth."""
+    root = tree.root
+    if root is None:
+        raise EmptyTreeError("cannot collect statistics from an empty vp-tree")
+    nodes_per_depth: Dict[int, int] = {}
+    cutoffs_per_depth: Dict[int, List[List[float]]] = {}
+    stack: List[tuple[VPNode, int]] = [(root, 1)]
+    while stack:
+        node, depth = stack.pop()
+        nodes_per_depth[depth] = nodes_per_depth.get(depth, 0) + 1
+        if node.cutoffs:
+            cutoffs_per_depth.setdefault(depth, []).append(list(node.cutoffs))
+        for child in node.children:
+            if child is not None:
+                stack.append((child, depth + 1))
+    mean_cutoffs = {
+        depth: list(np.mean(np.array(rows), axis=0))
+        for depth, rows in cutoffs_per_depth.items()
+        if rows and all(len(row) == len(rows[0]) for row in rows)
+    }
+    return VPTreeShape(
+        n_nodes=sum(nodes_per_depth.values()),
+        height=max(nodes_per_depth),
+        nodes_per_depth=nodes_per_depth,
+        root_cutoffs=list(root.cutoffs),
+        mean_cutoffs_per_depth=mean_cutoffs,
+    )

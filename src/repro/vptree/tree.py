@@ -1,0 +1,328 @@
+"""The vp-tree (vantage-point tree) of Chiueh / Yianilos, m-way variant.
+
+Section 5 of the paper: each internal node holds a *vantage point* — an
+object of the dataset — and ``m`` children; the distances between the
+vantage point and the objects below it are split into ``m`` groups of equal
+cardinality by cutoff values ``mu_1 <= ... <= mu_{m-1}``; child ``i`` holds
+the objects whose distance lies in ``(mu_{i-1}, mu_i]``.  The tree stores
+one object per node (the vantage point), so the cost model's ``e(N) = 1``:
+accessing a node costs exactly one distance computation.
+
+Range search descends child ``i`` iff ``mu_{i-1} - r_Q < d(Q, O_v) <=
+mu_i + r_Q`` (the paper's access criterion, with ``mu_0 = 0`` and ``mu_m``
+the distance bound).  The tree is main-memory resident — the paper ignores
+vp-tree I/O costs — so queries report distance computations only (node
+accesses equal them by construction).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import EmptyTreeError, InvalidParameterError
+from ..metrics import Metric
+
+__all__ = ["VPNode", "VPTree", "VPQueryStats", "VPRangeResult", "VPKNNResult"]
+
+
+@dataclass
+class VPQueryStats:
+    """Costs paid by one vp-tree query (one distance per accessed node)."""
+
+    nodes_accessed: int = 0
+    dists_computed: int = 0
+
+
+@dataclass
+class VPRangeResult:
+    items: List[Tuple[int, Any, float]]  # (oid, object, distance)
+    stats: VPQueryStats
+
+    def oids(self) -> List[int]:
+        return [oid for oid, _obj, _dist in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class VPKNNResult:
+    neighbors: List[Tuple[int, Any, float]]  # sorted by distance
+    stats: VPQueryStats
+
+    def distances(self) -> List[float]:
+        return [dist for _oid, _obj, dist in self.neighbors]
+
+    def oids(self) -> List[int]:
+        return [oid for oid, _obj, _dist in self.neighbors]
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+
+class VPNode:
+    """One vantage point with its cutoffs and children."""
+
+    __slots__ = ("obj", "oid", "cutoffs", "children")
+
+    def __init__(self, obj: Any, oid: int):
+        self.obj = obj
+        self.oid = oid
+        self.cutoffs: List[float] = []
+        self.children: List[Optional["VPNode"]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not any(child is not None for child in self.children)
+
+
+class VPTree:
+    """An m-way vantage-point tree over a generic metric space."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        arity: int = 2,
+        vantage_selection: str = "spread",
+        seed: int = 0,
+    ):
+        if arity < 2:
+            raise InvalidParameterError(f"arity must be >= 2, got {arity}")
+        if vantage_selection not in ("random", "spread"):
+            raise InvalidParameterError(
+                "vantage_selection must be 'random' or 'spread', got "
+                f"{vantage_selection!r}"
+            )
+        self.metric = metric
+        self.arity = arity
+        self.vantage_selection = vantage_selection
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[VPNode] = None
+        self._n_objects = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[Any],
+        metric: Metric,
+        arity: int = 2,
+        vantage_selection: str = "spread",
+        seed: int = 0,
+    ) -> "VPTree":
+        """Build a vp-tree over ``objects`` (oids are input positions)."""
+        tree = cls(metric, arity, vantage_selection, seed)
+        if len(objects) == 0:
+            return tree
+        indices = list(range(len(objects)))
+        tree._root = tree._build(objects, indices)
+        tree._n_objects = len(objects)
+        return tree
+
+    def _select_vantage(self, objects: Sequence[Any], indices: List[int]) -> int:
+        """Pick the vantage point's position within ``indices``.
+
+        ``spread`` follows Yianilos: sample a few candidates, estimate each
+        candidate's distance spread against a sample of the others, keep
+        the candidate with the largest spread (better-separated partitions).
+        """
+        if len(indices) == 1 or self.vantage_selection == "random":
+            return int(self._rng.integers(0, len(indices)))
+        n_candidates = min(5, len(indices))
+        n_probes = min(20, len(indices) - 1)
+        candidates = self._rng.choice(len(indices), n_candidates, replace=False)
+        best_pos, best_spread = 0, -1.0
+        for pos in candidates:
+            others = [i for i in range(len(indices)) if i != pos]
+            probe_pos = self._rng.choice(
+                len(others), min(n_probes, len(others)), replace=False
+            )
+            probes = [objects[indices[others[p]]] for p in probe_pos]
+            dists = np.asarray(
+                self.metric.one_to_many(objects[indices[pos]], probes)
+            )
+            spread = float(dists.var())
+            if spread > best_spread:
+                best_spread, best_pos = spread, int(pos)
+        return best_pos
+
+    def _build(self, objects: Sequence[Any], indices: List[int]) -> VPNode:
+        vantage_pos = self._select_vantage(objects, indices)
+        vantage_index = indices[vantage_pos]
+        node = VPNode(objects[vantage_index], vantage_index)
+        rest = indices[:vantage_pos] + indices[vantage_pos + 1 :]
+        if not rest:
+            return node
+        dists = np.asarray(
+            self.metric.one_to_many(objects[vantage_index], [objects[i] for i in rest])
+        )
+        order = np.argsort(dists, kind="stable")
+        sorted_rest = [rest[i] for i in order]
+        sorted_dists = dists[order]
+        # Equal-cardinality groups; cutoffs are the largest distance in each
+        # group (so membership is "mu_{i-1} < d <= mu_i").
+        m = self.arity
+        boundaries = [
+            (len(sorted_rest) * (i + 1)) // m for i in range(m)
+        ]  # cumulative end positions; last == len(rest)
+        start = 0
+        for i in range(m):
+            end = boundaries[i]
+            group = sorted_rest[start:end]
+            if group:
+                node.children.append(self._build(objects, group))
+                node.cutoffs.append(float(sorted_dists[end - 1]))
+            else:
+                node.children.append(None)
+                node.cutoffs.append(
+                    float(sorted_dists[end - 1]) if end > 0 else 0.0
+                )
+            start = end
+        # cutoffs has m entries: cutoffs[i] == mu_{i+1}; the last one is the
+        # maximum distance in the subtree, kept for search bounds.
+        return node
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Optional[VPNode]:
+        return self._root
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    def height(self) -> int:
+        def depth(node: Optional[VPNode]) -> int:
+            if node is None:
+                return 0
+            if not node.children:
+                return 1
+            return 1 + max(depth(child) for child in node.children)
+
+        return depth(self._root)
+
+    def n_nodes(self) -> int:
+        count = 0
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(c for c in node.children if c is not None)
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, query: Any, radius: float) -> VPRangeResult:
+        """All objects within ``radius``; one distance per accessed node."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        stats = VPQueryStats()
+        items: List[Tuple[int, Any, float]] = []
+        if self._root is None:
+            return VPRangeResult(items, stats)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            stats.nodes_accessed += 1
+            dist = self.metric.distance(query, node.obj)
+            stats.dists_computed += 1
+            if dist <= radius:
+                items.append((node.oid, node.obj, dist))
+            previous_cut = 0.0
+            for cut, child in zip(node.cutoffs, node.children):
+                if child is not None and previous_cut - radius < dist <= cut + radius:
+                    stack.append(child)
+                previous_cut = cut
+        return VPRangeResult(items, stats)
+
+    def knn_query(self, query: Any, k: int) -> VPKNNResult:
+        """Best-first k-NN using per-subtree distance lower bounds."""
+        if self._root is None:
+            raise EmptyTreeError("cannot run a k-NN query on an empty tree")
+        if not (1 <= k <= self._n_objects):
+            raise InvalidParameterError(
+                f"k must lie in [1, {self._n_objects}], got {k}"
+            )
+        stats = VPQueryStats()
+        best: List[Tuple[float, int, Any]] = []  # max-heap via negation
+
+        def kth() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        counter = itertools.count()
+        pending: List[Tuple[float, int, VPNode]] = [(0.0, next(counter), self._root)]
+        while pending and pending[0][0] <= kth():
+            _bound, _tie, node = heapq.heappop(pending)
+            stats.nodes_accessed += 1
+            dist = self.metric.distance(query, node.obj)
+            stats.dists_computed += 1
+            if dist <= kth():
+                heapq.heappush(best, (-dist, node.oid, node.obj))
+                if len(best) > k:
+                    heapq.heappop(best)
+            previous_cut = 0.0
+            for cut, child in zip(node.cutoffs, node.children):
+                if child is not None:
+                    # Lower bound on d(Q, x) for x in the (previous_cut, cut]
+                    # shell around the vantage point.
+                    lower = max(previous_cut - dist, dist - cut, 0.0)
+                    if lower <= kth():
+                        heapq.heappush(pending, (lower, next(counter), child))
+                previous_cut = cut
+        neighbors = sorted(
+            ((oid, obj, -neg) for neg, oid, obj in best),
+            key=lambda item: (item[2], item[0]),
+        )
+        return VPKNNResult(neighbors, stats)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on violation."""
+        if self._root is None:
+            return
+        seen: List[int] = []
+        eps = 1e-9
+
+        def walk(node: VPNode) -> None:
+            seen.append(node.oid)
+            previous_cut = 0.0
+            assert len(node.cutoffs) == len(node.children)
+            assert node.cutoffs == sorted(node.cutoffs), "cutoffs not sorted"
+            for cut, child in zip(node.cutoffs, node.children):
+                if child is not None:
+                    for descendant_oid, descendant_obj in _iter_subtree(child):
+                        dist = self.metric.distance(node.obj, descendant_obj)
+                        assert previous_cut - eps <= dist <= cut + eps, (
+                            f"object {descendant_oid} at distance {dist} "
+                            f"outside shell ({previous_cut}, {cut}]"
+                        )
+                    walk(child)
+                previous_cut = cut
+
+        def _iter_subtree(node: VPNode):
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                yield current.oid, current.obj
+                stack.extend(c for c in current.children if c is not None)
+
+        walk(self._root)
+        assert len(seen) == self._n_objects, (
+            f"stored {len(seen)} objects, expected {self._n_objects}"
+        )
+        assert len(set(seen)) == len(seen), "duplicate oids in tree"

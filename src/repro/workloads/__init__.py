@@ -1,0 +1,22 @@
+"""Query workloads (biased query model) and actual-cost measurement."""
+
+from .queries import QueryWorkload, sample_workload
+from .runner import (
+    LinearScanBaseline,
+    WorkloadMeasurement,
+    run_knn_workload,
+    run_range_workload,
+    run_vptree_knn_workload,
+    run_vptree_range_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "sample_workload",
+    "WorkloadMeasurement",
+    "run_range_workload",
+    "run_knn_workload",
+    "run_vptree_range_workload",
+    "run_vptree_knn_workload",
+    "LinearScanBaseline",
+]

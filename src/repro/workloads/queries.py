@@ -1,0 +1,86 @@
+"""Query workload generation under the biased query model.
+
+Section 2, position 2: query objects are drawn from the same distribution
+``S`` as the data but do **not** necessarily belong to the indexed set.
+Dataset objects carry their generating :class:`~repro.metrics.space.
+BRMSpace`, so a workload is simply a fresh sample from the space — with a
+membership filter available for experiments that want strictly external
+queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Protocol, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["QueryWorkload", "sample_workload"]
+
+
+class _DatasetLike(Protocol):
+    """What a dataset must expose to generate a workload from it."""
+
+    def sample_queries(self, count: int, rng: np.random.Generator) -> Sequence[Any]:
+        ...
+
+    def objects(self) -> Sequence[Any]:
+        ...
+
+
+@dataclass
+class QueryWorkload:
+    """A batch of query objects plus the parameters they were drawn with."""
+
+    queries: List[Any]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def sample_workload(
+    dataset: _DatasetLike,
+    count: int,
+    seed: int = 1,
+    exclude_members: bool = False,
+) -> QueryWorkload:
+    """Draw ``count`` query objects from the dataset's distribution.
+
+    ``exclude_members=True`` rejects queries that coincide with an indexed
+    object (relevant for discrete domains such as keyword sets, where a
+    fresh sample can collide with the database).
+    """
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    if not exclude_members:
+        return QueryWorkload(list(dataset.sample_queries(count, rng)), seed)
+    members = {_hashable(obj) for obj in dataset.objects()}
+    queries: List[Any] = []
+    attempts = 0
+    limit = 100 * count
+    while len(queries) < count:
+        attempts += 1
+        if attempts > limit:
+            raise InvalidParameterError(
+                f"could not draw {count} non-member queries in {limit} attempts"
+            )
+        batch = dataset.sample_queries(count, rng)
+        for query in batch:
+            if len(queries) >= count:
+                break
+            if _hashable(query) not in members:
+                queries.append(query)
+    return QueryWorkload(queries, seed)
+
+
+def _hashable(obj: Any):
+    if isinstance(obj, np.ndarray):
+        return obj.tobytes()
+    return obj

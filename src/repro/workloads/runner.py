@@ -1,0 +1,189 @@
+"""Measuring *actual* query costs on built indexes.
+
+The validation experiments compare model estimates against averages over a
+query workload (the paper averages over 1000 queries).  The runner executes
+each query, collects the per-query node accesses / distance computations /
+result sizes, and reports means with standard errors so benches can print
+confidence alongside the point estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..mtree import MTree
+from ..vptree import VPTree
+
+__all__ = ["WorkloadMeasurement", "run_range_workload", "run_knn_workload",
+           "run_vptree_range_workload", "LinearScanBaseline"]
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Mean observed costs over a workload, with dispersion."""
+
+    mean_nodes: float
+    mean_dists: float
+    mean_results: float
+    std_nodes: float
+    std_dists: float
+    n_queries: int
+    mean_nn_distance: Optional[float] = None  # k-NN workloads only
+
+    def stderr_nodes(self) -> float:
+        return self.std_nodes / np.sqrt(self.n_queries) if self.n_queries else 0.0
+
+    def stderr_dists(self) -> float:
+        return self.std_dists / np.sqrt(self.n_queries) if self.n_queries else 0.0
+
+
+def _summarise(
+    nodes: List[int],
+    dists: List[int],
+    results: List[int],
+    nn_distances: Optional[List[float]] = None,
+) -> WorkloadMeasurement:
+    nodes_arr = np.asarray(nodes, dtype=np.float64)
+    dists_arr = np.asarray(dists, dtype=np.float64)
+    results_arr = np.asarray(results, dtype=np.float64)
+    return WorkloadMeasurement(
+        mean_nodes=float(nodes_arr.mean()),
+        mean_dists=float(dists_arr.mean()),
+        mean_results=float(results_arr.mean()),
+        std_nodes=float(nodes_arr.std(ddof=0)),
+        std_dists=float(dists_arr.std(ddof=0)),
+        n_queries=len(nodes),
+        mean_nn_distance=(
+            float(np.mean(nn_distances)) if nn_distances else None
+        ),
+    )
+
+
+def run_range_workload(
+    tree: MTree,
+    queries: Iterable[Any],
+    radius: float,
+    use_parent_pruning: bool = False,
+) -> WorkloadMeasurement:
+    """Run ``range(Q, radius)`` for every query on an M-tree."""
+    nodes: List[int] = []
+    dists: List[int] = []
+    results: List[int] = []
+    for query in queries:
+        outcome = tree.range_query(query, radius, use_parent_pruning)
+        nodes.append(outcome.stats.nodes_accessed)
+        dists.append(outcome.stats.dists_computed)
+        results.append(len(outcome))
+    if not nodes:
+        raise InvalidParameterError("workload is empty")
+    return _summarise(nodes, dists, results)
+
+
+def run_knn_workload(
+    tree: MTree,
+    queries: Iterable[Any],
+    k: int,
+    use_parent_pruning: bool = False,
+) -> WorkloadMeasurement:
+    """Run ``NN(Q, k)`` for every query on an M-tree.
+
+    ``mean_nn_distance`` records the average distance of the k-th neighbor
+    (compared against ``E[nn_{Q,k}]`` in Figure 2(c)).
+    """
+    nodes: List[int] = []
+    dists: List[int] = []
+    results: List[int] = []
+    kth_distances: List[float] = []
+    for query in queries:
+        outcome = tree.knn_query(query, k, use_parent_pruning)
+        nodes.append(outcome.stats.nodes_accessed)
+        dists.append(outcome.stats.dists_computed)
+        results.append(len(outcome))
+        kth_distances.append(outcome.neighbors[-1].distance)
+    if not nodes:
+        raise InvalidParameterError("workload is empty")
+    return _summarise(nodes, dists, results, kth_distances)
+
+
+def run_vptree_range_workload(
+    tree: VPTree, queries: Iterable[Any], radius: float
+) -> WorkloadMeasurement:
+    """Run ``range(Q, radius)`` for every query on a vp-tree."""
+    nodes: List[int] = []
+    dists: List[int] = []
+    results: List[int] = []
+    for query in queries:
+        outcome = tree.range_query(query, radius)
+        nodes.append(outcome.stats.nodes_accessed)
+        dists.append(outcome.stats.dists_computed)
+        results.append(len(outcome))
+    if not nodes:
+        raise InvalidParameterError("workload is empty")
+    return _summarise(nodes, dists, results)
+
+
+def run_vptree_knn_workload(
+    tree: VPTree, queries: Iterable[Any], k: int
+) -> WorkloadMeasurement:
+    """Run ``NN(Q, k)`` for every query on a vp-tree."""
+    nodes: List[int] = []
+    dists: List[int] = []
+    results: List[int] = []
+    kth: List[float] = []
+    for query in queries:
+        outcome = tree.knn_query(query, k)
+        nodes.append(outcome.stats.nodes_accessed)
+        dists.append(outcome.stats.dists_computed)
+        results.append(len(outcome))
+        kth.append(outcome.neighbors[-1][2])
+    if not nodes:
+        raise InvalidParameterError("workload is empty")
+    return _summarise(nodes, dists, results, kth)
+
+
+class LinearScanBaseline:
+    """Sequential scan: the trivial comparator every index must beat.
+
+    Costs are exact by construction: ``n`` distance computations and
+    ``ceil(n * object_bytes / node_size)`` page reads per query.
+    """
+
+    def __init__(self, objects, metric, object_bytes: int, node_size_bytes: int):
+        if node_size_bytes < object_bytes:
+            raise InvalidParameterError(
+                "node_size_bytes must hold at least one object"
+            )
+        self.objects = list(objects)
+        self.metric = metric
+        per_page = max(1, node_size_bytes // object_bytes)
+        self.pages = int(np.ceil(len(self.objects) / per_page))
+
+    def range_query(self, query: Any, radius: float):
+        """Return (matches, nodes_accessed, dists_computed)."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        distances = np.asarray(self.metric.one_to_many(query, self.objects))
+        matches = [
+            (i, self.objects[i], float(d))
+            for i, d in enumerate(distances)
+            if d <= radius
+        ]
+        return matches, self.pages, len(self.objects)
+
+    def knn_query(self, query: Any, k: int):
+        """Return (neighbors sorted by distance, nodes, dists)."""
+        if not (1 <= k <= len(self.objects)):
+            raise InvalidParameterError(
+                f"k must lie in [1, {len(self.objects)}], got {k}"
+            )
+        distances = np.asarray(self.metric.one_to_many(query, self.objects))
+        order = np.argsort(distances, kind="stable")[:k]
+        neighbors = [
+            (int(i), self.objects[int(i)], float(distances[int(i)]))
+            for i in order
+        ]
+        return neighbors, self.pages, len(self.objects)

@@ -1,0 +1,87 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets import clustered_dataset, uniform_dataset
+from repro.metrics import L2, EditDistance, LInf
+from repro.mtree import MTree, NodeLayout, bulk_load, vector_layout
+
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """300 uniform points in 4-D under L2."""
+    return uniform_dataset(300, 4, metric=L2(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_clustered():
+    """500 clustered points in 6-D under L_inf."""
+    return clustered_dataset(500, 6, seed=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_layout():
+    """A small-capacity layout that forces several tree levels."""
+    return NodeLayout(node_size_bytes=256, object_bytes=24, min_utilization=0.3)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_clustered, tiny_layout):
+    """A bulk-loaded M-tree over the clustered fixture."""
+    layout = NodeLayout(
+        node_size_bytes=512,
+        object_bytes=4 * small_clustered.dim,
+        min_utilization=0.3,
+    )
+    tree = bulk_load(
+        small_clustered.points, small_clustered.metric, layout, seed=3
+    )
+    return tree
+
+
+@pytest.fixture(scope="session")
+def edit_metric():
+    return EditDistance()
+
+
+@pytest.fixture
+def words():
+    return [
+        "casa",
+        "cassa",
+        "cosa",
+        "causa",
+        "caso",
+        "rosa",
+        "roso",
+        "riso",
+        "viso",
+        "vaso",
+        "verso",
+        "verde",
+        "vero",
+        "nero",
+        "pero",
+        "però",
+        "per",
+        "tre",
+        "treno",
+        "terno",
+    ]

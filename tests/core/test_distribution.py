@@ -1,0 +1,120 @@
+"""Tests for distance-distribution estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_distance_histogram,
+    sample_pairwise_distances,
+    subsample_distance_matrix,
+)
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.metrics import L2, EditDistance, LInf
+
+
+class TestSamplePairwise:
+    def test_no_self_pairs(self):
+        """Sampled pairs are always distinct objects: no zero distances for
+        a dataset of distinct points in general position."""
+        rng = np.random.default_rng(0)
+        points = rng.random((40, 3))
+        distances = sample_pairwise_distances(points, L2(), 500, rng)
+        assert (distances > 0).all()
+
+    def test_sample_size(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((10, 2))
+        distances = sample_pairwise_distances(points, L2(), 123, rng)
+        assert distances.shape == (123,)
+
+    def test_works_on_lists_of_strings(self, words):
+        rng = np.random.default_rng(2)
+        distances = sample_pairwise_distances(words, EditDistance(), 50, rng)
+        assert distances.shape == (50,)
+        assert (distances >= 0).all()
+
+    def test_too_few_objects(self):
+        with pytest.raises(EmptyDatasetError):
+            sample_pairwise_distances(
+                np.zeros((1, 2)), L2(), 10, np.random.default_rng(0)
+            )
+
+    def test_invalid_pair_count(self):
+        with pytest.raises(InvalidParameterError):
+            sample_pairwise_distances(
+                np.zeros((5, 2)), L2(), 0, np.random.default_rng(0)
+            )
+
+
+class TestSubsampleMatrix:
+    def test_shape_and_symmetry(self):
+        rng = np.random.default_rng(3)
+        points = rng.random((30, 3))
+        matrix = subsample_distance_matrix(points, L2(), 12, rng)
+        assert matrix.shape == (12, 12)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_caps_at_population(self):
+        rng = np.random.default_rng(4)
+        points = rng.random((5, 2))
+        matrix = subsample_distance_matrix(points, L2(), 100, rng)
+        assert matrix.shape == (5, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            subsample_distance_matrix(
+                [], L2(), 3, np.random.default_rng(0)
+            )
+
+
+class TestEstimateHistogram:
+    def test_small_set_uses_all_pairs(self):
+        """For a tiny set, the histogram must be the exact all-pairs one."""
+        points = np.array([[0.0], [0.5], [1.0]])
+        hist = estimate_distance_histogram(points, LInf(), 1.0, n_bins=2)
+        # Pairs: 0.5, 1.0, 0.5 -> bins (0,0.5]: 2/3... with edge effects
+        # 0.5 lands exactly on the boundary of bin 0 (right-closed via
+        # np.histogram), check total mass and mean instead.
+        assert hist.mean() == pytest.approx(2 / 3, abs=0.3)
+        assert np.isclose(hist.bin_probs.sum(), 1.0)
+
+    def test_sampled_estimate_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((3000, 4))
+        exact_sample = points[:300]
+        exact = estimate_distance_histogram(
+            exact_sample, LInf(), 1.0, n_bins=20
+        )
+        sampled = estimate_distance_histogram(
+            points, LInf(), 1.0, n_bins=20, rng=np.random.default_rng(6)
+        )
+        xs = np.linspace(0, 1, 21)
+        gap = np.abs(
+            np.asarray(exact.cdf(xs)) - np.asarray(sampled.cdf(xs))
+        ).max()
+        assert gap < 0.05
+
+    def test_explicit_pair_budget(self):
+        rng = np.random.default_rng(7)
+        points = rng.random((100, 2))
+        hist = estimate_distance_histogram(
+            points, L2(), np.sqrt(2), n_bins=10, n_pairs=50, rng=rng
+        )
+        assert hist.n_bins == 10
+
+    def test_deterministic_given_rng(self):
+        points = np.random.default_rng(8).random((2000, 3))
+        first = estimate_distance_histogram(
+            points, LInf(), 1.0, n_bins=10, rng=np.random.default_rng(9)
+        )
+        second = estimate_distance_histogram(
+            points, LInf(), 1.0, n_bins=10, rng=np.random.default_rng(9)
+        )
+        np.testing.assert_array_equal(first.bin_probs, second.bin_probs)
+
+    def test_too_few_objects(self):
+        with pytest.raises(EmptyDatasetError):
+            estimate_distance_histogram(np.zeros((1, 2)), L2(), 1.0)

@@ -1,0 +1,111 @@
+"""Tests for the distance-exponent (fractal) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistanceHistogram,
+    estimate_distance_exponent,
+    estimate_distance_histogram,
+    power_law_histogram,
+)
+from repro.datasets import clustered_dataset, uniform_dataset
+from repro.exceptions import InvalidParameterError
+
+
+class TestEstimateExponent:
+    def test_exact_power_law_recovered(self):
+        """A histogram built from F = r^m must fit back to exponent m."""
+        for m in (1.0, 2.5, 4.0):
+            hist = power_law_histogram(m, 1.0, 1.0, n_bins=400)
+            report = estimate_distance_exponent(hist)
+            assert report.exponent == pytest.approx(m, rel=0.06)
+            assert report.r_squared > 0.99
+
+    def test_uniform_exponent_tracks_dimension(self):
+        """For uniform data on [0,1]^D / L_inf, the small-radius exponent
+        approaches D (boundary effects pull it slightly below)."""
+        exponents = {}
+        for dim in (2, 4, 8):
+            data = uniform_dataset(4000, dim, seed=1)
+            hist = estimate_distance_histogram(
+                data.points, data.metric, 1.0, n_bins=200
+            )
+            exponents[dim] = estimate_distance_exponent(hist).exponent
+        assert 1.5 < exponents[2] <= 2.2
+        assert 2.8 < exponents[4] <= 4.2
+        assert 4.5 < exponents[8] <= 8.2
+        assert exponents[2] < exponents[4] < exponents[8]
+
+    def test_clustered_data_has_lower_intrinsic_dimension(self):
+        """Clusters concentrate mass at small radii: exponent << D."""
+        dim = 10
+        clustered_hist = estimate_distance_histogram(
+            clustered_dataset(4000, dim, seed=2).points,
+            clustered_dataset(4000, dim, seed=2).metric,
+            1.0,
+            n_bins=200,
+        )
+        uniform_hist = estimate_distance_histogram(
+            uniform_dataset(4000, dim, seed=3).points,
+            uniform_dataset(4000, dim, seed=3).metric,
+            1.0,
+            n_bins=200,
+        )
+        clustered_m = estimate_distance_exponent(clustered_hist).exponent
+        uniform_m = estimate_distance_exponent(uniform_hist).exponent
+        assert clustered_m < 0.7 * uniform_m
+
+    def test_report_fields(self):
+        hist = power_law_histogram(2.0, 1.0, 1.0)
+        report = estimate_distance_exponent(hist)
+        assert report.fit_lo < report.fit_hi
+        assert report.n_points >= 3
+        assert report.cdf_at(0.0) == 0.0
+        assert report.cdf_at(10.0) == 1.0
+
+    def test_invalid_window(self):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            estimate_distance_exponent(hist, quantile_lo=0.5, quantile_hi=0.2)
+
+
+class TestPowerLawHistogram:
+    def test_cdf_matches_formula(self):
+        hist = power_law_histogram(2.0, 1.0, 1.0, n_bins=200)
+        for r in (0.1, 0.3, 0.7):
+            assert float(hist.cdf(r)) == pytest.approx(
+                min(1.0, r**2), abs=0.01
+            )
+
+    def test_saturates_at_one(self):
+        hist = power_law_histogram(1.0, 3.0, 1.0)  # C=3: saturates at r=1/3
+        assert float(hist.cdf(0.5)) == pytest.approx(1.0, abs=0.01)
+
+    def test_feeds_cost_models(self):
+        """The two-parameter summary drives the NN machinery end to end."""
+        from repro.core import expected_nn_distance
+
+        hist = power_law_histogram(4.0, 1.0, 1.0, n_bins=200)
+        value = expected_nn_distance(hist, n=1000, k=1)
+        # F = r^4: E[nn_1] = int (1-r^4)^1000 dr ~ Gamma(5/4)/1000^(1/4).
+        from math import gamma
+
+        expected = gamma(1.25) / 1000 ** 0.25
+        assert value == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"exponent": 0.0},
+            {"intercept": 0.0},
+            {"d_plus": 0.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        defaults = dict(exponent=2.0, intercept=1.0, d_plus=1.0)
+        defaults.update(kwargs)
+        with pytest.raises(InvalidParameterError):
+            power_law_histogram(**defaults)

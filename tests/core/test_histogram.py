@@ -1,0 +1,202 @@
+"""Unit and property tests for the distance histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DistanceHistogram
+from repro.exceptions import HistogramDomainError, InvalidParameterError
+
+probs_strategy = st.lists(
+    st.floats(0.0, 10.0), min_size=1, max_size=30
+).filter(lambda xs: sum(xs) > 0)
+
+
+class TestConstruction:
+    def test_from_sample_counts(self):
+        hist = DistanceHistogram.from_sample([0.1, 0.1, 0.9], 10, 1.0)
+        probs = hist.bin_probs
+        assert probs[1] == pytest.approx(2 / 3)
+        assert probs[9] == pytest.approx(1 / 3)
+
+    def test_from_sample_rejects_out_of_domain(self):
+        with pytest.raises(HistogramDomainError):
+            DistanceHistogram.from_sample([0.5, 1.2], 10, 1.0)
+        with pytest.raises(HistogramDomainError):
+            DistanceHistogram.from_sample([-0.3], 10, 1.0)
+
+    def test_from_sample_tolerates_float_noise(self):
+        hist = DistanceHistogram.from_sample([1.0 + 1e-12], 4, 1.0)
+        assert hist.cdf(1.0) == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceHistogram.from_sample([], 10, 1.0)
+
+    @pytest.mark.parametrize("n_bins", [0, -1])
+    def test_invalid_bins(self, n_bins):
+        with pytest.raises(InvalidParameterError):
+            DistanceHistogram.from_sample([0.5], n_bins, 1.0)
+
+    @pytest.mark.parametrize("d_plus", [0.0, -1.0, float("inf")])
+    def test_invalid_bound(self, d_plus):
+        with pytest.raises(InvalidParameterError):
+            DistanceHistogram([1.0], d_plus)
+
+    def test_negative_probs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceHistogram([0.5, -0.5], 1.0)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceHistogram([0.0, 0.0], 1.0)
+
+    def test_uniform(self):
+        hist = DistanceHistogram.uniform(10, 2.0)
+        assert hist.cdf(1.0) == pytest.approx(0.5)
+        assert hist.pdf(0.5) == pytest.approx(0.5)
+        assert hist.mean() == pytest.approx(1.0)
+
+
+class TestCDF:
+    def test_edges(self):
+        hist = DistanceHistogram([1, 1, 2], 3.0)
+        assert hist.cdf(0.0) == 0.0
+        assert hist.cdf(3.0) == 1.0
+        assert hist.cdf(-0.5) == 0.0
+        assert hist.cdf(99.0) == 1.0
+
+    def test_linear_interpolation_within_bins(self):
+        hist = DistanceHistogram([1, 0, 1], 3.0)
+        assert hist.cdf(0.5) == pytest.approx(0.25)
+        assert hist.cdf(1.5) == pytest.approx(0.5)  # empty middle bin
+        assert hist.cdf(2.5) == pytest.approx(0.75)
+
+    def test_vectorised(self):
+        hist = DistanceHistogram.uniform(4, 1.0)
+        xs = np.array([0.0, 0.25, 0.5, 1.0])
+        np.testing.assert_allclose(hist.cdf(xs), xs)
+
+    @given(probs_strategy, st.floats(0.0, 5.0))
+    def test_cdf_in_unit_range(self, probs, x):
+        hist = DistanceHistogram(probs, 5.0)
+        value = hist.cdf(x)
+        assert 0.0 <= value <= 1.0
+
+    @given(probs_strategy)
+    def test_cdf_monotone(self, probs):
+        hist = DistanceHistogram(probs, 5.0)
+        xs = np.linspace(-1, 6, 141)
+        values = np.asarray(hist.cdf(xs))
+        assert (np.diff(values) >= -1e-12).all()
+
+
+class TestPDF:
+    def test_density_integrates_to_one(self):
+        hist = DistanceHistogram([3, 1, 2, 2], 4.0)
+        xs = np.linspace(0, 4, 4001)
+        integral = np.trapezoid(np.asarray(hist.pdf(xs)), xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_zero_outside(self):
+        hist = DistanceHistogram.uniform(5, 1.0)
+        assert hist.pdf(-0.1) == 0.0
+        assert hist.pdf(1.1) == 0.0
+
+    def test_density_matches_mass(self):
+        hist = DistanceHistogram([1, 3], 2.0)
+        assert hist.pdf(0.5) == pytest.approx(0.25)
+        assert hist.pdf(1.5) == pytest.approx(0.75)
+
+
+class TestQuantile:
+    def test_inverse_of_cdf(self):
+        hist = DistanceHistogram([1, 2, 1], 3.0)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert hist.cdf(hist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_extremes(self):
+        hist = DistanceHistogram.uniform(4, 1.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        hist = DistanceHistogram.uniform(4, 1.0)
+        with pytest.raises(InvalidParameterError):
+            hist.quantile(1.5)
+        with pytest.raises(InvalidParameterError):
+            hist.quantile(-0.1)
+
+    @given(probs_strategy, st.floats(0.001, 0.999))
+    def test_roundtrip_property(self, probs, q):
+        hist = DistanceHistogram(probs, 5.0)
+        x = hist.quantile(q)
+        assert 0.0 <= x <= 5.0
+        assert hist.cdf(x) == pytest.approx(q, abs=1e-6)
+
+
+class TestTruncate:
+    def test_eq22_renormalisation(self):
+        """Truncation must match Eq. 22: F_i(x) = F(x)/F(bound)."""
+        hist = DistanceHistogram([1, 1, 1, 1], 4.0)
+        truncated = hist.truncate(2.0)
+        assert truncated.d_plus == 2.0
+        for x in (0.5, 1.0, 1.5, 2.0):
+            expected = hist.cdf(x) / hist.cdf(2.0)
+            assert truncated.cdf(x) == pytest.approx(expected)
+
+    def test_bound_above_domain_is_noop_bound(self):
+        hist = DistanceHistogram([1, 2], 2.0)
+        truncated = hist.truncate(5.0)
+        assert truncated.d_plus == 2.0
+        np.testing.assert_allclose(
+            truncated.cdf(np.linspace(0, 2, 11)),
+            hist.cdf(np.linspace(0, 2, 11)),
+            atol=1e-12,
+        )
+
+    def test_degenerate_no_mass_below_bound(self):
+        hist = DistanceHistogram([0, 0, 0, 1], 4.0)
+        truncated = hist.truncate(1.0)
+        assert truncated.cdf(1.0) == 1.0
+
+    def test_invalid_bound(self):
+        hist = DistanceHistogram.uniform(4, 1.0)
+        with pytest.raises(InvalidParameterError):
+            hist.truncate(0.0)
+
+    @given(probs_strategy, st.floats(0.1, 4.9))
+    def test_truncated_is_valid_cdf(self, probs, bound):
+        hist = DistanceHistogram(probs, 5.0)
+        truncated = hist.truncate(bound)
+        xs = np.linspace(0, truncated.d_plus, 50)
+        values = np.asarray(truncated.cdf(xs))
+        assert (np.diff(values) >= -1e-12).all()
+        assert values[-1] == pytest.approx(1.0)
+
+
+class TestIntegrationGrid:
+    def test_grid_covers_domain(self):
+        hist = DistanceHistogram.uniform(5, 2.0)
+        grid = hist.integration_grid(4)
+        assert grid[0] == 0.0
+        assert grid[-1] == 2.0
+        assert (np.diff(grid) > 0).all()
+        assert len(grid) == 5 * 4 + 1
+
+    def test_invalid_refinement(self):
+        hist = DistanceHistogram.uniform(5, 2.0)
+        with pytest.raises(InvalidParameterError):
+            hist.integration_grid(0)
+
+
+class TestMean:
+    def test_uniform_mean(self):
+        assert DistanceHistogram.uniform(100, 2.0).mean() == pytest.approx(1.0)
+
+    def test_point_mass_mean(self):
+        hist = DistanceHistogram([0, 0, 1, 0], 4.0)
+        assert hist.mean() == pytest.approx(2.5)

@@ -1,0 +1,170 @@
+"""Tests for RDDs, discrepancy and the HV index estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistanceHistogram,
+    discrepancy,
+    estimate_hv,
+    rdd_histogram,
+)
+from repro.datasets import binary_hypercube_dataset, uniform_dataset
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.metrics import LInf
+
+
+class TestDiscrepancy:
+    def test_zero_for_identical(self):
+        hist = DistanceHistogram([1, 2, 3], 3.0)
+        assert discrepancy(hist, hist) == 0.0
+
+    def test_known_value(self):
+        """Uniform vs point mass at the top: mean |F1 - F2| = 1/2 - ..."""
+        uniform = DistanceHistogram.uniform(100, 1.0)
+        top_mass = DistanceHistogram([0] * 99 + [1], 1.0)
+        # F_uniform(x) = x, F_top(x) ~ 0 until the last bin.
+        # integral of |x - 0| over [0, 0.99] ~ 0.49.
+        value = discrepancy(uniform, top_mass)
+        assert value == pytest.approx(0.49, abs=0.02)
+
+    def test_symmetry(self):
+        a = DistanceHistogram([1, 2, 3], 3.0)
+        b = DistanceHistogram([3, 1, 1], 3.0)
+        assert discrepancy(a, b) == pytest.approx(discrepancy(b, a))
+
+    def test_triangle_inequality_on_functional_space(self):
+        a = DistanceHistogram([1, 2, 3, 4], 4.0)
+        b = DistanceHistogram([4, 3, 2, 1], 4.0)
+        c = DistanceHistogram([1, 1, 1, 1], 4.0)
+        assert discrepancy(a, b) <= (
+            discrepancy(a, c) + discrepancy(c, b) + 1e-12
+        )
+
+    def test_bounded_by_one(self):
+        a = DistanceHistogram([1] + [0] * 9, 1.0)
+        b = DistanceHistogram([0] * 9 + [1], 1.0)
+        assert 0.0 <= discrepancy(a, b) <= 1.0
+
+    def test_mismatched_bounds_rejected(self):
+        a = DistanceHistogram([1], 1.0)
+        b = DistanceHistogram([1], 2.0)
+        with pytest.raises(InvalidParameterError):
+            discrepancy(a, b)
+
+    def test_invalid_grid(self):
+        a = DistanceHistogram([1], 1.0)
+        with pytest.raises(InvalidParameterError):
+            discrepancy(a, a, grid_points=1)
+
+
+class TestRDD:
+    def test_rdd_is_histogram_of_viewpoint_distances(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        rdd = rdd_histogram(
+            np.array([0.0, 0.0]), points, LInf(), 1.0, n_bins=4
+        )
+        # Distances from origin: 0, 1, 1 (piecewise-linear CDF smooths the
+        # point masses within their bins).
+        assert rdd.cdf(0.25) == pytest.approx(1 / 3)
+        assert rdd.cdf(0.74) == pytest.approx(1 / 3)
+        assert rdd.cdf(1.0) == 1.0
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            rdd_histogram(np.zeros(2), [], LInf(), 1.0)
+
+
+class TestEstimateHV:
+    def test_perfectly_homogeneous_space(self):
+        """All points on a circle (through the centre symmetry) have nearly
+        identical RDDs under rotation-invariant sampling; simpler: use a
+        dataset of two alternating points where every viewpoint sees the
+        same multiset of distances."""
+        points = np.array([[0.0, 0.0], [1.0, 1.0]] * 50)
+        report = estimate_hv(
+            points,
+            LInf(),
+            1.0,
+            n_viewpoints=10,
+            n_targets=100,
+            rng=np.random.default_rng(0),
+        )
+        assert report.hv > 0.95
+        assert report.hv_corrected >= report.hv - 1e-12
+
+    def test_hypercube_matches_analytic(self):
+        from repro.datasets import hv_binary_hypercube_with_midpoint
+
+        data = binary_hypercube_dataset(6)
+        report = estimate_hv(
+            data.objects(),
+            data.metric,
+            data.d_plus,
+            n_viewpoints=data.size,
+            n_targets=data.size,
+            n_bins=100,
+            rng=np.random.default_rng(1),
+        )
+        assert report.hv == pytest.approx(
+            hv_binary_hypercube_with_midpoint(6), abs=0.03
+        )
+
+    def test_report_fields(self):
+        data = uniform_dataset(300, 4, seed=2)
+        report = estimate_hv(
+            data.objects(),
+            data.metric,
+            data.d_plus,
+            n_viewpoints=10,
+            n_targets=200,
+            rng=np.random.default_rng(3),
+        )
+        assert report.n_viewpoints == 10
+        assert report.n_targets == 200
+        assert report.discrepancies.shape == (45,)  # 10 choose 2
+        assert 0.0 <= report.mean_discrepancy <= 1.0
+        assert report.hv == pytest.approx(1 - report.mean_discrepancy)
+        assert report.noise_floor >= 0.0
+
+    def test_g_delta_curve(self):
+        data = uniform_dataset(200, 3, seed=4)
+        report = estimate_hv(
+            data.objects(),
+            data.metric,
+            data.d_plus,
+            n_viewpoints=8,
+            n_targets=150,
+            rng=np.random.default_rng(5),
+        )
+        assert report.g_delta(1.0) == 1.0
+        assert report.g_delta(0.0) <= report.g_delta(0.5)
+        curve = report.g_delta_curve([0.0, 0.5, 1.0])
+        assert (np.diff(curve) >= 0).all()
+        with pytest.raises(InvalidParameterError):
+            report.g_delta(2.0)
+
+    def test_validation_errors(self):
+        data = uniform_dataset(50, 2, seed=6)
+        with pytest.raises(EmptyDatasetError):
+            estimate_hv([data.points[0]], data.metric, 1.0)
+        with pytest.raises(InvalidParameterError):
+            estimate_hv(data.objects(), data.metric, 1.0, n_viewpoints=1)
+        with pytest.raises(InvalidParameterError):
+            estimate_hv(data.objects(), data.metric, 1.0, n_targets=1)
+
+    def test_noise_correction_helps_homogeneous_space(self):
+        """With identical RDDs, the corrected HV should be closer to 1 than
+        the raw estimate (which carries the sampling-noise floor)."""
+        points = np.array([[0.0, 0.0], [1.0, 1.0]] * 100)
+        report = estimate_hv(
+            points,
+            LInf(),
+            1.0,
+            n_viewpoints=12,
+            n_targets=60,  # small on purpose: visible noise floor
+            rng=np.random.default_rng(7),
+        )
+        assert report.hv_corrected >= report.hv

@@ -1,0 +1,120 @@
+"""Tests for the incremental distance-distribution maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalDistanceHistogram,
+    estimate_distance_histogram,
+)
+from repro.datasets import clustered_dataset, keyword_dataset
+from repro.exceptions import InvalidParameterError
+from repro.metrics import L2, EditDistance, LInf
+
+
+class TestInsertPath:
+    def test_converges_to_batch_estimate(self):
+        data = clustered_dataset(2000, 6, seed=1)
+        incremental = IncrementalDistanceHistogram(
+            data.metric, 1.0, n_bins=40, seed=2
+        )
+        incremental.insert_many(list(data.points))
+        batch = estimate_distance_histogram(
+            data.points, data.metric, 1.0, n_bins=40
+        )
+        grid = np.linspace(0, 1, 41)
+        gap = np.abs(
+            np.asarray(incremental.histogram().cdf(grid))
+            - np.asarray(batch.cdf(grid))
+        ).max()
+        assert gap < 0.03
+
+    def test_counts_grow(self):
+        inc = IncrementalDistanceHistogram(L2(), 2.0, seed=3)
+        rng = np.random.default_rng(4)
+        inc.insert(rng.random(2))
+        assert inc.n_distances == 0  # first object has no partner yet
+        inc.insert(rng.random(2))
+        assert inc.n_distances >= 1
+        inc.insert_many(rng.random((20, 2)))
+        assert inc.n_objects == 22
+        assert inc.n_distances > 20
+
+    def test_reservoir_bounded(self):
+        inc = IncrementalDistanceHistogram(
+            LInf(), 1.0, reservoir_size=10, seed=5
+        )
+        inc.insert_many(np.random.default_rng(6).random((200, 3)))
+        assert len(inc._reservoir) == 10
+
+    def test_histogram_before_data_rejected(self):
+        inc = IncrementalDistanceHistogram(L2(), 1.0)
+        with pytest.raises(InvalidParameterError):
+            inc.histogram()
+
+    def test_out_of_bound_distance_rejected(self):
+        inc = IncrementalDistanceHistogram(L2(), 0.1, seed=7)
+        inc.insert(np.array([0.0, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            inc.insert(np.array([5.0, 5.0]))
+
+    def test_integer_mode(self, words):
+        inc = IncrementalDistanceHistogram(
+            EditDistance(), 10.0, n_bins=10, integer_valued=True, seed=8
+        )
+        inc.insert_many(words)
+        hist = inc.histogram()
+        # Right-inclusive at integers: F(d) counts pairs at distance == d.
+        assert hist.cdf(10.0) == 1.0
+
+
+class TestDeletePath:
+    def test_staleness_counter(self):
+        inc = IncrementalDistanceHistogram(
+            L2(), 2.0, rebuild_threshold=0.2, seed=9
+        )
+        inc.insert_many(np.random.default_rng(10).random((10, 2)))
+        assert not inc.needs_rebuild
+        inc.delete()
+        inc.delete()
+        assert inc.deleted_fraction == pytest.approx(0.2)
+        inc.delete()
+        assert inc.needs_rebuild
+
+    def test_delete_on_empty_rejected(self):
+        inc = IncrementalDistanceHistogram(L2(), 1.0)
+        with pytest.raises(InvalidParameterError):
+            inc.delete()
+
+    def test_rebuild_resets(self):
+        rng = np.random.default_rng(11)
+        inc = IncrementalDistanceHistogram(L2(), 2.0, seed=12)
+        inc.insert_many(rng.random((50, 2)))
+        for _ in range(30):
+            inc.delete()
+        assert inc.needs_rebuild
+        survivors = rng.random((20, 2))
+        inc.rebuild_from(list(survivors))
+        assert not inc.needs_rebuild
+        assert inc.n_objects == 20
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d_plus": 0.0},
+            {"n_bins": 0},
+            {"reservoir_size": 1},
+            {"sample_per_insert": 0},
+            {"rebuild_threshold": 0.0},
+            {"rebuild_threshold": 1.5},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        defaults = dict(metric=L2(), d_plus=1.0)
+        defaults.update(kwargs)
+        with pytest.raises(InvalidParameterError):
+            IncrementalDistanceHistogram(**defaults)

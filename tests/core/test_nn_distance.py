@@ -1,0 +1,188 @@
+"""Tests for the k-NN distance distribution (Eqs. 9-14)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistanceHistogram,
+    expected_nn_distance,
+    min_selectivity_radius,
+    nn_distance_cdf,
+    nn_distance_pdf_factor,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def raw_binomial_tail(f: float, n: int, k: int) -> float:
+    """Eq. 9 computed literally: 1 - sum_{i<k} C(n,i) F^i (1-F)^{n-i}."""
+    total = 0.0
+    for i in range(k):
+        total += math.comb(n, i) * f**i * (1 - f) ** (n - i)
+    return 1.0 - total
+
+
+def raw_pdf_factor(f: float, n: int, k: int) -> float:
+    """Eq. 10's dP/dF computed literally (sum form, divided by f(r)).
+
+    Eq. 10: p(r) = sum_{i<k} C(n,i) F^{i-1} f (1-F)^{n-i-1} (nF - i)
+    so dP/dF = sum_{i<k} C(n,i) F^{i-1} (1-F)^{n-i-1} (nF - i).
+    """
+    total = 0.0
+    for i in range(k):
+        total += (
+            math.comb(n, i)
+            * f ** (i - 1)
+            * (1 - f) ** (n - i - 1)
+            * (n * f - i)
+        )
+    return total
+
+
+class TestCDF:
+    @pytest.mark.parametrize("n,k", [(10, 1), (10, 3), (25, 5), (50, 1)])
+    def test_matches_raw_binomial(self, n, k):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        for r in (0.05, 0.2, 0.5, 0.8):
+            expected = raw_binomial_tail(float(hist.cdf(r)), n, k)
+            assert nn_distance_cdf(hist, n, k, r) == pytest.approx(
+                expected, abs=1e-10
+            )
+
+    def test_k1_closed_form(self):
+        """Eq. 12: P_{Q,1}(r) = 1 - (1 - F(r))^n."""
+        hist = DistanceHistogram.uniform(10, 1.0)
+        n = 20
+        for r in (0.1, 0.4, 0.9):
+            f = float(hist.cdf(r))
+            assert nn_distance_cdf(hist, n, 1, r) == pytest.approx(
+                1 - (1 - f) ** n
+            )
+
+    def test_is_cdf_in_r(self):
+        hist = DistanceHistogram([1, 2, 3, 4], 4.0)
+        grid = np.linspace(0, 4, 41)
+        values = np.asarray(nn_distance_cdf(hist, 30, 3, grid))
+        assert (np.diff(values) >= -1e-12).all()
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_k(self):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        r = 0.3
+        values = [nn_distance_cdf(hist, 50, k, r) for k in (1, 2, 5, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_huge_n_is_stable(self):
+        hist = DistanceHistogram.uniform(100, 1.0)
+        # F(1e-7) = 1e-7, so P = 1 - (1 - 1e-7)^1e6 ~ 1 - e^-0.1 ~ 0.095.
+        value = nn_distance_cdf(hist, 10**6, 1, 1e-7)
+        assert value == pytest.approx(1 - math.exp(-0.1), abs=1e-3)
+        assert np.isfinite(value)
+
+    @pytest.mark.parametrize("n,k", [(0, 1), (10, 0), (10, 11)])
+    def test_invalid_nk(self, n, k):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            nn_distance_cdf(hist, n, k, 0.5)
+
+
+class TestPDFFactor:
+    @pytest.mark.parametrize("n,k", [(10, 1), (15, 2), (30, 4)])
+    def test_matches_raw_sum(self, n, k):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        for r in (0.1, 0.35, 0.6, 0.95):
+            f = float(hist.cdf(r))
+            assert nn_distance_pdf_factor(hist, n, k, r) == pytest.approx(
+                raw_pdf_factor(f, n, k), rel=1e-9
+            )
+
+    def test_k1_closed_form(self):
+        """Eq. 13: p_{Q,1}(r) = n f(r) (1-F)^{n-1}, so factor = n(1-F)^{n-1}."""
+        hist = DistanceHistogram.uniform(10, 1.0)
+        n = 12
+        for r in (0.2, 0.5, 0.8):
+            f = float(hist.cdf(r))
+            assert nn_distance_pdf_factor(hist, n, 1, r) == pytest.approx(
+                n * (1 - f) ** (n - 1)
+            )
+
+    def test_integrates_to_one(self):
+        """p_{Q,k} = factor * f(r) must integrate to ~1 over [0, d+]."""
+        hist = DistanceHistogram([1, 2, 4, 2, 1], 5.0)
+        n, k = 40, 3
+        grid = hist.integration_grid(32)
+        density = np.asarray(hist.pdf(grid)) * np.asarray(
+            nn_distance_pdf_factor(hist, n, k, grid)
+        )
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_boundary_values(self):
+        hist = DistanceHistogram.uniform(4, 1.0)
+        assert nn_distance_pdf_factor(hist, 5, 1, 0.0) == pytest.approx(5.0)
+        assert nn_distance_pdf_factor(hist, 5, 5, 1.0) == pytest.approx(5.0)
+        assert nn_distance_pdf_factor(hist, 5, 2, 0.0) == 0.0
+
+
+class TestExpectedNNDistance:
+    def test_uniform_k1_closed_form(self):
+        """For F uniform on [0,1]: E[nn_1] = integral (1-r)^n dr = 1/(n+1)."""
+        hist = DistanceHistogram.uniform(200, 1.0)
+        for n in (1, 5, 20):
+            assert expected_nn_distance(hist, n, 1) == pytest.approx(
+                1 / (n + 1), abs=2e-3
+            )
+
+    def test_monotone_in_k(self):
+        hist = DistanceHistogram([1, 2, 3, 2, 1], 5.0)
+        n = 30
+        values = [expected_nn_distance(hist, n, k) for k in (1, 2, 5, 10, 30)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_n(self):
+        hist = DistanceHistogram.uniform(100, 1.0)
+        values = [expected_nn_distance(hist, n, 1) for n in (2, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_within_domain(self):
+        hist = DistanceHistogram([5, 1, 1], 3.0)
+        value = expected_nn_distance(hist, 10, 2)
+        assert 0.0 <= value <= 3.0
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_bounds_property(self, n, k):
+        if k > n:
+            return
+        hist = DistanceHistogram([1, 3, 2, 1], 4.0)
+        value = expected_nn_distance(hist, n, k)
+        assert 0.0 <= value <= 4.0
+
+
+class TestMinSelectivityRadius:
+    def test_uniform(self):
+        """r(k): n * F(r) = k -> r = k/n for uniform F on [0,1]."""
+        hist = DistanceHistogram.uniform(100, 1.0)
+        assert min_selectivity_radius(hist, 100, 1) == pytest.approx(
+            0.01, abs=1e-9
+        )
+        assert min_selectivity_radius(hist, 100, 20) == pytest.approx(
+            0.2, abs=1e-9
+        )
+
+    def test_monotone_in_k(self):
+        hist = DistanceHistogram([1, 2, 3], 3.0)
+        values = [min_selectivity_radius(hist, 50, k) for k in (1, 5, 25, 50)]
+        assert values == sorted(values)
+
+    def test_k_equals_n(self):
+        hist = DistanceHistogram.uniform(10, 1.0)
+        assert min_selectivity_radius(hist, 7, 7) == pytest.approx(1.0)

@@ -1,0 +1,142 @@
+"""Tests for the tree-statistics-free cost model (§6 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistanceHistogram,
+    LevelBasedCostModel,
+    StatlessCostModel,
+    estimate_distance_histogram,
+    predict_level_stats,
+)
+from repro.datasets import clustered_dataset
+from repro.exceptions import InvalidParameterError
+from repro.mtree import bulk_load, collect_level_stats, vector_layout
+
+
+@pytest.fixture(scope="module")
+def uniform_hist():
+    return DistanceHistogram.uniform(100, 1.0)
+
+
+class TestPredictLevelStats:
+    def test_single_leaf_tree(self, uniform_hist):
+        shape = predict_level_stats(uniform_hist, 10, 20, 20)
+        assert shape.height == 1
+        assert shape.level_stats[0].n_nodes == 1
+        assert shape.level_stats[0].avg_radius == 1.0  # root keeps d_plus
+
+    def test_two_level_tree(self, uniform_hist):
+        shape = predict_level_stats(
+            uniform_hist, 1000, 50, 50, utilization=0.65
+        )
+        assert shape.height == 2
+        leaves = shape.level_stats[1].n_nodes
+        assert leaves == int(np.ceil(1000 / (0.65 * 50)))
+
+    def test_root_collapse_uses_full_capacity(self, uniform_hist):
+        """A level that fits one full node becomes the root directly."""
+        shape = predict_level_stats(
+            uniform_hist, 1000, 50, 40, utilization=0.65
+        )
+        # 31 leaves fit a 40-capacity root even though 0.65*40 = 26 < 31.
+        assert shape.height == 2
+
+    def test_populations_decrease_geometrically(self, uniform_hist):
+        shape = predict_level_stats(uniform_hist, 100_000, 40, 40)
+        counts = [stat.n_nodes for stat in shape.level_stats]
+        assert counts[0] == 1
+        assert counts == sorted(counts)
+        assert shape.height >= 3
+
+    def test_radii_shrink_down_the_tree(self, uniform_hist):
+        shape = predict_level_stats(uniform_hist, 100_000, 40, 40)
+        radii = [stat.avg_radius for stat in shape.level_stats]
+        assert radii == sorted(radii, reverse=True)
+        assert radii[0] == 1.0
+
+    def test_radius_uses_quantile_correlation(self, uniform_hist):
+        shape = predict_level_stats(
+            uniform_hist, 10_000, 100, 100, utilization=1.0, radius_slack=1.0
+        )
+        leaves = shape.level_stats[-1]
+        # Uniform F: quantile(1/M) = 1/M exactly.
+        assert leaves.avg_radius == pytest.approx(1.0 / leaves.n_nodes, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_objects": 0},
+            {"leaf_capacity": 1},
+            {"internal_capacity": 1},
+            {"utilization": 0.0},
+            {"utilization": 1.5},
+            {"radius_slack": 0.5},
+        ],
+    )
+    def test_invalid_params(self, uniform_hist, kwargs):
+        defaults = dict(
+            n_objects=100, leaf_capacity=10, internal_capacity=10
+        )
+        defaults.update(kwargs)
+        with pytest.raises(InvalidParameterError):
+            predict_level_stats(uniform_hist, **defaults)
+
+
+class TestStatlessCostModel:
+    def test_is_a_level_model(self, uniform_hist):
+        model = StatlessCostModel(uniform_hist, 1000, 40, 40)
+        assert isinstance(model, LevelBasedCostModel)
+        assert model.shape.height == model.height
+
+    def test_range_estimates_bounded(self, uniform_hist):
+        model = StatlessCostModel(uniform_hist, 1000, 40, 40)
+        total_nodes = sum(s.n_nodes for s in model.shape.level_stats)
+        assert 0 < float(model.range_nodes(0.2)) <= total_nodes
+        assert float(model.range_dists(0.2)) > 0
+
+    def test_predicts_real_tree_within_band(self):
+        """The design-time model must land within ~35% of the measured
+        L-MCM estimate on a real bulk-loaded tree (the bench narrows
+        this to actual-query comparisons)."""
+        data = clustered_dataset(2500, 10, seed=1)
+        hist = estimate_distance_histogram(
+            data.points, data.metric, data.d_plus, n_bins=100
+        )
+        layout = vector_layout(10)
+        tree = bulk_load(data.points, data.metric, layout, seed=2)
+        true_model = LevelBasedCostModel(
+            hist, collect_level_stats(tree, data.d_plus), data.size
+        )
+        statless = StatlessCostModel(
+            hist, data.size, layout.leaf_capacity, layout.internal_capacity
+        )
+        radius = 0.01 ** (1 / 10) / 2
+        true_value = float(true_model.range_dists(radius))
+        statless_value = float(statless.range_dists(radius))
+        assert abs(statless_value - true_value) / true_value < 0.35
+
+    def test_shape_close_to_real_tree(self):
+        data = clustered_dataset(2500, 10, seed=1)
+        hist = estimate_distance_histogram(
+            data.points, data.metric, data.d_plus, n_bins=100
+        )
+        layout = vector_layout(10)
+        tree = bulk_load(data.points, data.metric, layout, seed=2)
+        true_levels = collect_level_stats(tree, data.d_plus)
+        statless = StatlessCostModel(
+            hist, data.size, layout.leaf_capacity, layout.internal_capacity
+        )
+        assert statless.shape.height == len(true_levels)
+        predicted_leaves = statless.shape.level_stats[-1].n_nodes
+        actual_leaves = true_levels[-1].n_nodes
+        assert abs(predicted_leaves - actual_leaves) / actual_leaves < 0.3
+
+    def test_nn_costs_work(self, uniform_hist):
+        model = StatlessCostModel(uniform_hist, 500, 30, 30)
+        estimate = model.nn_costs(1)
+        assert estimate.nodes > 0
+        assert estimate.dists > 0

@@ -1,0 +1,80 @@
+"""Tests for the fractal dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_distance_exponent, estimate_distance_histogram
+from repro.datasets import (
+    CANTOR_DIMENSION,
+    SIERPINSKI_DIMENSION,
+    cantor_dust_dataset,
+    sierpinski_dataset,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSierpinski:
+    def test_shape_and_bounds(self):
+        data = sierpinski_dataset(500, seed=1)
+        assert data.points.shape == (500, 2)
+        assert (data.points >= -1e-9).all()
+        assert (data.points[:, 0] <= 1 + 1e-9).all()
+
+    def test_points_on_attractor(self):
+        """Chaos-game points avoid the central removed triangle."""
+        data = sierpinski_dataset(2000, seed=2)
+        # The open middle triangle has its centroid at (0.5, sqrt(3)/6);
+        # no attractor point lies near it.
+        centroid = np.array([0.5, np.sqrt(3) / 6])
+        distances = np.linalg.norm(data.points - centroid, axis=1)
+        assert distances.min() > 0.02
+
+    def test_distance_exponent_near_hausdorff_dimension(self):
+        data = sierpinski_dataset(5000, seed=3)
+        hist = estimate_distance_histogram(
+            data.points, data.metric, data.d_plus, n_bins=200
+        )
+        exponent = estimate_distance_exponent(hist).exponent
+        assert exponent == pytest.approx(SIERPINSKI_DIMENSION, abs=0.25)
+
+    def test_determinism(self):
+        first = sierpinski_dataset(100, seed=4)
+        second = sierpinski_dataset(100, seed=4)
+        np.testing.assert_array_equal(first.points, second.points)
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            sierpinski_dataset(0)
+
+
+class TestCantorDust:
+    def test_shape_and_bounds(self):
+        data = cantor_dust_dataset(500, seed=5)
+        assert data.points.shape == (500, 2)
+        assert (data.points >= 0).all() and (data.points <= 1).all()
+
+    def test_middle_thirds_removed(self):
+        """No coordinate falls in the (1/3, 2/3) gap."""
+        data = cantor_dust_dataset(2000, seed=6)
+        flat = data.points.ravel()
+        in_gap = ((flat > 1 / 3 + 1e-9) & (flat < 2 / 3 - 1e-9)).sum()
+        assert in_gap == 0
+
+    def test_distance_exponent_near_theory(self):
+        data = cantor_dust_dataset(5000, seed=7)
+        hist = estimate_distance_histogram(
+            data.points, data.metric, data.d_plus, n_bins=200
+        )
+        exponent = estimate_distance_exponent(hist).exponent
+        assert exponent == pytest.approx(2 * CANTOR_DIMENSION, abs=0.3)
+
+    def test_query_sampling(self):
+        data = cantor_dust_dataset(100, seed=8)
+        queries = data.sample_queries(10, np.random.default_rng(9))
+        assert np.asarray(queries).shape == (10, 2)
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            cantor_dust_dataset(-1)

@@ -1,0 +1,115 @@
+"""Tests for Example 1: binary hypercube + midpoint, exact HV formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    binary_hypercube_dataset,
+    discrepancy_vertex_vs_midpoint,
+    g_delta_binary_hypercube,
+    hv_binary_hypercube_with_midpoint,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestDataset:
+    def test_vertex_count(self):
+        data = binary_hypercube_dataset(4)
+        assert data.points.shape == (17, 4)  # 2^4 + midpoint
+
+    def test_without_midpoint(self):
+        data = binary_hypercube_dataset(3, include_midpoint=False)
+        assert data.points.shape == (8, 3)
+        assert set(np.unique(data.points)) == {0.0, 1.0}
+
+    def test_all_vertices_distinct(self):
+        data = binary_hypercube_dataset(5, include_midpoint=False)
+        assert len({tuple(p) for p in data.points}) == 32
+
+    def test_midpoint_present(self):
+        data = binary_hypercube_dataset(3)
+        assert any((p == 0.5).all() for p in data.points)
+
+    def test_distances(self):
+        data = binary_hypercube_dataset(6)
+        metric = data.metric
+        vertex_a = data.points[0]
+        vertex_b = data.points[1]
+        midpoint = data.points[-1]
+        assert metric.distance(vertex_a, vertex_b) == 1.0
+        assert metric.distance(vertex_a, midpoint) == 0.5
+
+    def test_dimension_limit(self):
+        with pytest.raises(InvalidParameterError):
+            binary_hypercube_dataset(21)
+
+    def test_sampler(self):
+        data = binary_hypercube_dataset(4)
+        sample = np.asarray(data.sample_queries(30, np.random.default_rng(0)))
+        assert sample.shape == (30, 4)
+
+
+class TestExactFormulas:
+    def test_paper_value_d10(self):
+        """The paper: for D = 10, HV ~ 1 - 0.97e-3 ~ 0.999."""
+        hv = hv_binary_hypercube_with_midpoint(10)
+        assert hv == pytest.approx(1 - 0.97e-3, abs=2e-5)
+
+    def test_hv_tends_to_one(self):
+        values = [hv_binary_hypercube_with_midpoint(d) for d in (2, 5, 10, 20)]
+        assert values == sorted(values)
+        assert values[-1] > 0.999999
+
+    def test_discrepancy_formula(self):
+        # delta = 1/2 - 1/(2^D + 1)
+        assert discrepancy_vertex_vs_midpoint(2) == pytest.approx(0.5 - 1 / 5)
+        assert discrepancy_vertex_vs_midpoint(10) == pytest.approx(
+            0.5 - 1 / 1025
+        )
+
+    def test_g_delta_step_shape(self):
+        d = 4
+        threshold = discrepancy_vertex_vs_midpoint(d)
+        low = g_delta_binary_hypercube(d, threshold / 2)
+        high = g_delta_binary_hypercube(d, threshold)
+        two_d = 2.0**d
+        assert low == pytest.approx((two_d**2 + 1) / (two_d + 1) ** 2)
+        assert high == 1.0
+
+    def test_g_delta_integrates_to_hv(self):
+        """HV = integral of G_Delta over [0, 1] (Def. 2)."""
+        d = 6
+        ys = np.linspace(0, 1, 20001)
+        g = np.array([g_delta_binary_hypercube(d, y) for y in ys])
+        integral = np.trapezoid(g, ys)
+        assert integral == pytest.approx(
+            hv_binary_hypercube_with_midpoint(d), abs=1e-4
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            hv_binary_hypercube_with_midpoint(0)
+        with pytest.raises(InvalidParameterError):
+            g_delta_binary_hypercube(4, 1.5)
+
+
+class TestEmpiricalMatchesExact:
+    def test_estimated_hv_close_to_exact(self):
+        """The HV estimator on the materialised dataset should land near
+        the closed form (full-population viewpoints and targets)."""
+        from repro.core import estimate_hv
+
+        data = binary_hypercube_dataset(7)
+        report = estimate_hv(
+            data.objects(),
+            data.metric,
+            data.d_plus,
+            n_viewpoints=data.size,
+            n_targets=data.size,
+            n_bins=200,
+            rng=np.random.default_rng(0),
+        )
+        exact = hv_binary_hypercube_with_midpoint(7)
+        assert report.hv == pytest.approx(exact, abs=0.02)

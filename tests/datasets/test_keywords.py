@@ -1,0 +1,125 @@
+"""Tests for the synthetic keyword vocabulary generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_TEXT_DATASETS,
+    keyword_dataset,
+    paper_text_dataset,
+)
+from repro.datasets.keywords import MAX_WORD_LENGTH, MIN_WORD_LENGTH
+from repro.exceptions import InvalidParameterError
+
+
+class TestKeywordDataset:
+    def test_size_and_distinctness(self):
+        data = keyword_dataset(500, seed=1)
+        assert data.size == 500
+        assert len(set(data.words)) == 500
+
+    def test_word_lengths_within_bounds(self):
+        data = keyword_dataset(300, seed=2)
+        for word in data.words:
+            assert MIN_WORD_LENGTH <= len(word) <= MAX_WORD_LENGTH
+
+    def test_length_profile(self):
+        data = keyword_dataset(1000, seed=3, mean_length=9.0, std_length=2.5)
+        lengths = np.array([len(w) for w in data.words])
+        assert 8.0 <= lengths.mean() <= 10.0
+        assert lengths.std() <= 3.5
+
+    def test_alphabet_is_lowercase_letters(self):
+        data = keyword_dataset(200, seed=4)
+        for word in data.words:
+            assert word.isalpha()
+            assert word == word.lower()
+
+    def test_determinism(self):
+        first = keyword_dataset(100, seed=11)
+        second = keyword_dataset(100, seed=11)
+        assert first.words == second.words
+
+    def test_different_seeds_differ(self):
+        assert keyword_dataset(100, seed=1).words != keyword_dataset(
+            100, seed=2
+        ).words
+
+    def test_space_metric_and_bound(self):
+        data = keyword_dataset(50, seed=5)
+        assert data.metric.name == "edit"
+        assert data.d_plus == float(MAX_WORD_LENGTH)
+        # Edit distance between any two stored words never exceeds d_plus.
+        for a in data.words[:10]:
+            for b in data.words[:10]:
+                assert data.metric.distance(a, b) <= data.d_plus
+
+    def test_query_sampling(self):
+        data = keyword_dataset(100, seed=6)
+        queries = data.sample_queries(20, np.random.default_rng(7))
+        assert len(queries) == 20
+        assert all(isinstance(q, str) for q in queries)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0},
+            {"size": 10, "mean_length": 0.5},
+            {"size": 10, "mean_length": 99},
+            {"size": 10, "std_length": 0.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            keyword_dataset(**kwargs)
+
+
+class TestPaperPresets:
+    def test_all_keys_present(self):
+        assert set(PAPER_TEXT_DATASETS) == {"D", "DC", "GL", "OF", "PS"}
+
+    def test_table1_sizes(self):
+        expected = {
+            "D": 17_936,
+            "DC": 12_701,
+            "GL": 11_973,
+            "OF": 18_719,
+            "PS": 19_846,
+        }
+        for key, size in expected.items():
+            assert PAPER_TEXT_DATASETS[key][1] == size
+
+    def test_scaling(self):
+        data = paper_text_dataset("DC", scale=0.01)
+        assert data.size == round(12_701 * 0.01)
+
+    def test_unknown_key(self):
+        with pytest.raises(InvalidParameterError):
+            paper_text_dataset("XX")
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            paper_text_dataset("D", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            paper_text_dataset("D", scale=1.5)
+
+    def test_presets_are_distinct(self):
+        first = paper_text_dataset("D", scale=0.005)
+        second = paper_text_dataset("PS", scale=0.005)
+        assert first.words != second.words
+
+    def test_edit_distance_histogram_spans_paper_range(self):
+        """Distances should occupy roughly the paper's 25-bin range with a
+        unimodal interior mode."""
+        from repro.core import estimate_distance_histogram
+
+        data = paper_text_dataset("GL", scale=0.02)
+        hist = estimate_distance_histogram(
+            data.words, data.metric, data.d_plus, n_bins=25
+        )
+        probs = hist.bin_probs
+        mode = int(np.argmax(probs))
+        assert 5 <= mode <= 14  # interior mode around the mean word length
+        assert hist.mean() > 5.0

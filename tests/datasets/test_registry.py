@@ -1,0 +1,47 @@
+"""Tests for the Table 1 dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import TABLE1_SPECS, list_datasets, make_dataset
+from repro.exceptions import InvalidParameterError
+
+
+class TestRegistry:
+    def test_contains_all_table1_families(self):
+        assert {"clustered", "uniform", "D", "DC", "GL", "OF", "PS"} <= set(
+            TABLE1_SPECS
+        )
+
+    def test_make_vector_dataset(self):
+        data = make_dataset("clustered", size=100, dim=4, seed=1)
+        assert data.size == 100
+        assert data.dim == 4
+
+    def test_make_uniform_dataset(self):
+        data = make_dataset("uniform", size=64, dim=3, seed=2)
+        assert data.points.shape == (64, 3)
+
+    def test_make_text_dataset(self):
+        data = make_dataset("DC", scale=0.005)
+        assert data.size == round(12_701 * 0.005)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_dataset("nope")
+
+    def test_list_datasets_sorted_and_typed(self):
+        specs = list_datasets()
+        keys = [spec.key for spec in specs]
+        assert keys == sorted(keys)
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {"vector", "text"}
+
+    def test_spec_build_equivalent_to_make(self):
+        spec = TABLE1_SPECS["uniform"]
+        built = spec.build(size=10, dim=2, seed=3)
+        made = make_dataset("uniform", size=10, dim=2, seed=3)
+        import numpy as np
+
+        np.testing.assert_array_equal(built.points, made.points)

@@ -1,0 +1,121 @@
+"""Tests for the synthetic vector dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_dataset, uniform_dataset
+from repro.exceptions import InvalidParameterError
+from repro.metrics import L2
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        data = uniform_dataset(200, 7, seed=1)
+        assert data.points.shape == (200, 7)
+        assert data.size == 200
+        assert data.dim == 7
+        assert (data.points >= 0).all() and (data.points <= 1).all()
+
+    def test_default_metric_and_bound(self):
+        data = uniform_dataset(10, 5)
+        assert data.metric.name == "Linf"
+        assert data.d_plus == 1.0
+
+    def test_custom_metric_bound(self):
+        data = uniform_dataset(10, 4, metric=L2())
+        assert data.d_plus == pytest.approx(2.0)
+
+    def test_determinism(self):
+        first = uniform_dataset(50, 3, seed=9)
+        second = uniform_dataset(50, 3, seed=9)
+        np.testing.assert_array_equal(first.points, second.points)
+
+    def test_different_seeds_differ(self):
+        first = uniform_dataset(50, 3, seed=1)
+        second = uniform_dataset(50, 3, seed=2)
+        assert not np.array_equal(first.points, second.points)
+
+    def test_query_sampling_from_same_space(self):
+        data = uniform_dataset(50, 3, seed=1)
+        queries = data.sample_queries(20, np.random.default_rng(4))
+        assert queries.shape == (20, 3)
+        assert (queries >= 0).all() and (queries <= 1).all()
+
+    @pytest.mark.parametrize("size,dim", [(0, 3), (-1, 3), (10, 0)])
+    def test_invalid_params(self, size, dim):
+        with pytest.raises(InvalidParameterError):
+            uniform_dataset(size, dim)
+
+
+class TestClustered:
+    def test_shape_and_bounds(self):
+        data = clustered_dataset(500, 6, seed=2)
+        assert data.points.shape == (500, 6)
+        assert (data.points >= 0).all() and (data.points <= 1).all()
+
+    def test_is_actually_clustered(self):
+        """Points should concentrate: mean nearest-centre spread ~ sigma."""
+        data = clustered_dataset(1000, 5, n_clusters=10, sigma=0.1, seed=3)
+        # The distance distribution of a clustered set has more mass at
+        # small distances than a uniform one.
+        from repro.core import estimate_distance_histogram
+
+        clustered_hist = estimate_distance_histogram(
+            data.points, data.metric, data.d_plus, n_bins=20
+        )
+        uniform_points = np.random.default_rng(3).random((1000, 5))
+        uniform_hist = estimate_distance_histogram(
+            uniform_points, data.metric, data.d_plus, n_bins=20
+        )
+        small = clustered_hist.cdf(0.25)
+        assert small > uniform_hist.cdf(0.25) * 1.2
+
+    def test_cluster_count_one(self):
+        data = clustered_dataset(100, 3, n_clusters=1, sigma=0.05, seed=1)
+        spread = data.points.std(axis=0)
+        assert (spread < 0.15).all()
+
+    def test_determinism(self):
+        first = clustered_dataset(50, 4, seed=5)
+        second = clustered_dataset(50, 4, seed=5)
+        np.testing.assert_array_equal(first.points, second.points)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clusters": 0},
+            {"sigma": -0.1},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            clustered_dataset(100, 3, **kwargs)
+
+    def test_queries_follow_data_distribution(self):
+        data = clustered_dataset(400, 4, seed=6)
+        queries = data.sample_queries(400, np.random.default_rng(7))
+        # Queries should concentrate near the same cluster centres: the
+        # mean min-distance from query to data should be much smaller than
+        # for uniform queries.
+        from repro.metrics import LInf
+
+        metric = LInf()
+        def mean_nn(qs):
+            return np.mean(
+                [np.min(metric.one_to_many(q, data.points)) for q in qs[:50]]
+            )
+
+        uniform_queries = np.random.default_rng(8).random((50, 4))
+        assert mean_nn(queries) < mean_nn(uniform_queries)
+
+
+class TestVectorDatasetValidation:
+    def test_rejects_non_matrix(self):
+        from repro.datasets.vectors import VectorDataset
+        from repro.metrics import BRMSpace, LInf
+
+        space = BRMSpace(metric=LInf(), d_plus=1.0)
+        with pytest.raises(InvalidParameterError):
+            VectorDataset(name="bad", points=np.zeros(5), space=space)

@@ -1,0 +1,98 @@
+"""Tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_dataset, paper_text_dataset
+from repro.experiments import (
+    PAPER_MIN_UTILIZATION,
+    PAPER_NODE_SIZE_BYTES,
+    TEXT_HISTOGRAM_BINS,
+    VECTOR_HISTOGRAM_BINS,
+    build_text_setup,
+    build_vector_setup,
+    paper_range_radius,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert PAPER_NODE_SIZE_BYTES == 4096
+        assert PAPER_MIN_UTILIZATION == 0.3
+        assert VECTOR_HISTOGRAM_BINS == 100
+        assert TEXT_HISTOGRAM_BINS == 25
+
+
+class TestVectorSetup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = clustered_dataset(800, 12, seed=1)
+        return data, build_vector_setup(data, n_queries=20)
+
+    def test_components_consistent(self, setup):
+        data, built = setup
+        assert built.n_objects == data.size
+        assert built.d_plus == data.d_plus
+        assert built.hist.n_bins == VECTOR_HISTOGRAM_BINS
+        assert len(built.workload) == 20
+        assert len(built.tree) == data.size
+
+    def test_layout_is_paper_node_size(self, setup):
+        _data, built = setup
+        assert built.tree.layout.node_size_bytes == PAPER_NODE_SIZE_BYTES
+        assert built.tree.layout.object_bytes == 4 * 12
+
+    def test_models_share_statistics_source(self, setup):
+        """Node model aggregated per level equals the level model."""
+        _data, built = setup
+        for radius in (0.1, 0.3):
+            node_nodes = float(built.node_model.range_nodes(radius))
+            level_nodes = float(built.level_model.range_nodes(radius))
+            # Same tree, same histogram: the two views differ only by
+            # within-level radius averaging.
+            assert node_nodes == pytest.approx(level_nodes, rel=0.2)
+
+    def test_deterministic(self):
+        data = clustered_dataset(400, 6, seed=2)
+        first = build_vector_setup(data, n_queries=5)
+        second = build_vector_setup(data, n_queries=5)
+        np.testing.assert_array_equal(
+            first.hist.bin_probs, second.hist.bin_probs
+        )
+        assert first.tree.n_nodes() == second.tree.n_nodes()
+
+
+class TestTextSetup:
+    def test_components(self):
+        data = paper_text_dataset("GL", scale=0.01)
+        built = build_text_setup(data, n_queries=10)
+        assert built.hist.n_bins == TEXT_HISTOGRAM_BINS
+        assert built.n_objects == data.size
+        assert built.tree.layout.object_bytes == max(
+            data.max_word_length(), 1
+        )
+
+    def test_integer_histogram_convention(self):
+        """F(d) at integer d includes pairs at exactly distance d."""
+        data = paper_text_dataset("DC", scale=0.01)
+        built = build_text_setup(data, n_queries=5)
+        # Probability mass exists at small integer radii (words of equal
+        # length differ by a couple of edits reasonably often), and the
+        # CDF at the bound is 1.
+        assert built.hist.cdf(built.hist.d_plus) == 1.0
+        assert built.hist.cdf(5.0) > 0
+
+
+class TestPaperRadius:
+    def test_monotone_in_volume(self):
+        radii = [paper_range_radius(10, v) for v in (0.001, 0.01, 0.1)]
+        assert radii == sorted(radii)
+
+    def test_linf_ball_volume(self):
+        """Under L_inf a radius-r ball is a cube of side 2r: volume checks."""
+        for dim in (2, 5, 10):
+            for volume in (0.01, 0.1):
+                radius = paper_range_radius(dim, volume)
+                assert (2 * radius) ** dim == pytest.approx(volume)

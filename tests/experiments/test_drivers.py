@@ -1,0 +1,224 @@
+"""Smoke + sanity tests for every experiment driver at tiny scale.
+
+These validate that each driver produces the paper's row/series structure
+and that estimates land in the right ballpark; the full-scale shape checks
+live in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Figure1Config,
+    Figure2Config,
+    Figure3Config,
+    Figure4Config,
+    Figure5Config,
+    Table1Config,
+    VPValidationConfig,
+    paper_range_radius,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    render_vptree_validation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_vptree_validation,
+)
+
+
+class TestPaperRadius:
+    def test_values(self):
+        assert paper_range_radius(5) == pytest.approx(0.01 ** (1 / 5) / 2)
+        assert paper_range_radius(1, 0.04) == pytest.approx(0.02)
+
+    def test_grows_with_dim(self):
+        radii = [paper_range_radius(d) for d in (2, 5, 20, 50)]
+        assert radii == sorted(radii)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(
+            Table1Config(
+                vector_size=600,
+                vector_dims=(5,),
+                text_scale=0.01,
+                text_keys=("DC",),
+                hypercube_dims=(6,),
+                n_viewpoints=12,
+                n_targets=300,
+            )
+        )
+
+    def test_row_families(self, rows):
+        names = [row.name for row in rows]
+        assert "clustered-D5" in names
+        assert "uniform-D5" in names
+        assert "DC" in names
+        assert "hypercube-D6" in names
+
+    def test_hv_in_range(self, rows):
+        for row in rows:
+            assert 0.0 <= row.hv <= 1.0
+
+    def test_hv_is_high(self, rows):
+        """All Table 1 families are homogeneous (HV well above 0.8)."""
+        for row in rows:
+            assert row.hv > 0.8, row
+
+    def test_hypercube_matches_analytic(self, rows):
+        cube = next(r for r in rows if r.name == "hypercube-D6")
+        assert cube.analytic_hv is not None
+        assert cube.hv == pytest.approx(cube.analytic_hv, abs=0.05)
+
+    def test_render(self, rows):
+        text = render_table1(rows)
+        assert "HV" in text
+        assert "clustered-D5" in text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure1(
+            Figure1Config(size=1200, dims=(5, 10), n_queries=40)
+        )
+
+    def test_row_per_dim(self, rows):
+        assert [row.dim for row in rows] == [5, 10]
+
+    def test_models_near_actual(self, rows):
+        for row in rows:
+            assert row.nmcm_dists_error < 0.5
+            assert row.lmcm_dists_error < 0.5
+            assert row.nmcm_nodes_error < 0.5
+
+    def test_selectivity_accurate(self, rows):
+        """Eq. 8 is exact up to sampling: errors should be small."""
+        for row in rows:
+            assert row.objs_error < 0.25
+
+    def test_render(self, rows):
+        text = render_figure1(rows)
+        assert "Figure 1(a)" in text
+        assert "Figure 1(b)" in text
+        assert "Figure 1(c)" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure2(Figure2Config(size=1200, dims=(5,), n_queries=25))
+
+    def test_structure(self, rows):
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.actual_dists > 0
+        assert row.integral_dists > 0
+        assert row.expected_radius_dists > 0
+        assert row.min_selectivity_dists > 0
+
+    def test_nn_distance_estimate_close(self, rows):
+        row = rows[0]
+        assert row.expected_nn_distance == pytest.approx(
+            row.actual_nn_distance, rel=0.5
+        )
+
+    def test_render(self, rows):
+        text = render_figure2(rows)
+        assert "Figure 2(c)" in text
+        assert "E[nn]" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure3(
+            Figure3Config(text_scale=0.015, text_keys=("GL", "OF"), n_queries=20)
+        )
+
+    def test_structure(self, rows):
+        assert [row.dataset for row in rows] == ["GL", "OF"]
+
+    def test_estimates_close(self, rows):
+        for row in rows:
+            assert row.nmcm_dists == pytest.approx(row.actual_dists, rel=0.4)
+
+    def test_render(self, rows):
+        assert "Figure 3(a)" in render_figure3(rows)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure4(
+            Figure4Config(
+                size=1200, dim=10, query_volumes=(0.001, 0.05), n_queries=30
+            )
+        )
+
+    def test_costs_grow_with_volume(self, rows):
+        assert rows[0].actual_dists <= rows[1].actual_dists
+        assert rows[0].nmcm_dists <= rows[1].nmcm_dists
+
+    def test_render(self, rows):
+        assert "Figure 4(b)" in render_figure4(rows)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(
+            Figure5Config(
+                size=1500, node_sizes_kb=(1.0, 4.0, 16.0), n_queries=10
+            )
+        )
+
+    def test_io_monotone_decreasing(self, result):
+        nodes = [p.predicted_nodes for p in result.points]
+        assert nodes == sorted(nodes, reverse=True)
+
+    def test_optimum_is_one_of_the_sizes(self, result):
+        assert result.optimal_node_size_kb in (1.0, 4.0, 16.0)
+
+    def test_render(self, result):
+        text = render_figure5(result)
+        assert "Figure 5(a)" in text
+        assert "optimum" in text
+
+
+class TestVPValidation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_vptree_validation(
+            VPValidationConfig(
+                size=800, dim=6, radii=(0.1, 0.2), n_queries=25,
+                datasets=("uniform",),
+            )
+        )
+
+    def test_structure(self, rows):
+        assert len(rows) == 2
+        assert all(row.dataset == "uniform" for row in rows)
+
+    def test_model_in_ballpark(self, rows):
+        for row in rows:
+            assert row.error < 0.6
+
+    def test_monotone_in_radius(self, rows):
+        assert rows[0].actual_dists <= rows[1].actual_dists
+        assert rows[0].model_dists <= rows[1].model_dists
+
+    def test_render(self, rows):
+        assert "vp-tree" in render_vptree_validation(rows)

@@ -1,0 +1,60 @@
+"""Tests for the report rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_percent, format_table, relative_error
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+
+    def test_zero_actual(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+
+    def test_negative_actual(self):
+        assert relative_error(-90, -100) == pytest.approx(0.1)
+
+
+class TestFormatPercent:
+    def test_values(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(float("inf")) == "inf"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"a": 1, "b": "x"},
+            {"a": 22, "b": "yy"},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.123456}, {"v": 12.3456}, {"v": 12345.6}]
+        text = format_table(rows)
+        assert "0.1235" in text
+        assert "12.35" in text
+        assert "12,346" in text
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # renders without KeyError

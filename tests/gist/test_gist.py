@@ -1,0 +1,170 @@
+"""Tests for the GiST kernel and its two extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.gist import (
+    Ball,
+    BallRangeQuery,
+    BoundingBoxExtension,
+    Box,
+    BoxRangeQuery,
+    GiST,
+    MetricBallExtension,
+)
+from repro.metrics import L2, EditDistance, LInf
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).random((300, 3))
+
+
+class TestMetricBallGiST:
+    @pytest.fixture(scope="class")
+    def tree(self, points):
+        tree = GiST(MetricBallExtension(L2()), node_capacity=8)
+        tree.insert_many(points)
+        return tree
+
+    def test_structure(self, tree, points):
+        tree.validate()
+        assert len(tree) == len(points)
+        assert tree.height >= 2
+
+    def test_range_matches_linear_scan(self, tree, points):
+        rng = np.random.default_rng(1)
+        metric = L2()
+        for radius in (0.05, 0.2, 0.5):
+            query = rng.random(3)
+            found, stats = tree.search(BallRangeQuery(query, radius))
+            expected = sorted(
+                i
+                for i, p in enumerate(points)
+                if metric.distance(query, p) <= radius
+            )
+            assert sorted(oid for oid, _obj in found) == expected
+            assert stats.nodes_accessed >= 1
+
+    def test_search_prunes(self, tree, points):
+        """A selective query must not touch every node."""
+        _found, stats = tree.search(BallRangeQuery(points[0], 0.01))
+        total_nodes = 0
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            total_nodes += 1
+            if not node.is_leaf:
+                stack.extend(child for _p, child in node.entries)
+        assert stats.nodes_accessed < total_nodes
+
+    def test_strings_domain(self, words):
+        tree = GiST(MetricBallExtension(EditDistance()), node_capacity=4)
+        tree.insert_many(words)
+        tree.validate()
+        found, _stats = tree.search(BallRangeQuery("casa", 1.0))
+        names = {obj for _oid, obj in found}
+        assert {"casa", "cassa", "cosa", "caso"} <= names
+
+    def test_union_covers_members(self):
+        metric = LInf()
+        extension = MetricBallExtension(metric)
+        balls = [
+            Ball(np.array([0.1, 0.1]), 0.05),
+            Ball(np.array([0.9, 0.9]), 0.02),
+        ]
+        union = extension.union(balls)
+        for ball in balls:
+            assert (
+                metric.distance(union.center, ball.center) + ball.radius
+                <= union.radius + 1e-12
+            )
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MetricBallExtension(L2()).union([])
+
+
+class TestBoundingBoxGiST:
+    @pytest.fixture(scope="class")
+    def tree(self, points):
+        tree = GiST(BoundingBoxExtension(), node_capacity=8)
+        tree.insert_many(points)
+        return tree
+
+    def test_structure(self, tree, points):
+        tree.validate()
+        assert len(tree) == len(points)
+
+    def test_rectangle_query_matches_scan(self, tree, points):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            lo = rng.random(3) * 0.5
+            hi = lo + rng.random(3) * 0.5
+            query = BoxRangeQuery(Box(tuple(lo), tuple(hi)))
+            found, _stats = tree.search(query)
+            expected = sorted(
+                i
+                for i, p in enumerate(points)
+                if (p >= lo).all() and (p <= hi).all()
+            )
+            assert sorted(oid for oid, _obj in found) == expected
+
+    def test_point_query(self, tree, points):
+        query = BoxRangeQuery(Box.around_point(points[5]))
+        found, _stats = tree.search(query)
+        assert 5 in {oid for oid, _obj in found}
+
+    def test_box_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Box(lo=(1.0, 0.0), hi=(0.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            Box(lo=(0.0,), hi=(1.0, 1.0))
+
+    def test_union_area_monotone(self):
+        extension = BoundingBoxExtension()
+        a = Box((0.0, 0.0), (0.5, 0.5))
+        b = Box((0.4, 0.4), (1.0, 1.0))
+        union = extension.union([a, b])
+        assert union.area() >= max(a.area(), b.area())
+        assert extension.penalty(a, b) == pytest.approx(
+            union.area() - a.area()
+        )
+
+
+class TestKernelBehaviour:
+    def test_empty_tree(self):
+        tree = GiST(BoundingBoxExtension())
+        found, stats = tree.search(
+            BoxRangeQuery(Box((0.0, 0.0), (1.0, 1.0)))
+        )
+        assert found == []
+        assert stats.nodes_accessed == 0
+        assert tree.height == 0
+
+    def test_explicit_oid(self):
+        tree = GiST(MetricBallExtension(L2()), node_capacity=4)
+        assert tree.insert(np.zeros(2), oid=99) == 99
+        assert tree.insert(np.ones(2)) == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            GiST(BoundingBoxExtension(), node_capacity=1)
+        with pytest.raises(InvalidParameterError):
+            GiST(BoundingBoxExtension(), min_fill=0.9)
+
+    def test_same_kernel_two_domains(self, points, words):
+        """The paper's point about GiST: one kernel, many indexes."""
+        metric_tree = GiST(MetricBallExtension(L2()), node_capacity=6)
+        metric_tree.insert_many(points[:50])
+        box_tree = GiST(BoundingBoxExtension(), node_capacity=6)
+        box_tree.insert_many(points[:50])
+        string_tree = GiST(
+            MetricBallExtension(EditDistance()), node_capacity=6
+        )
+        string_tree.insert_many(words)
+        for tree in (metric_tree, box_tree, string_tree):
+            tree.validate()

@@ -1,0 +1,88 @@
+"""Tests for Hamming, Jaccard and the trivial discrete metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics import DiscreteMetric, HammingDistance, JaccardDistance
+
+bit_vectors = st.lists(st.integers(0, 1), min_size=1, max_size=12)
+small_sets = st.sets(st.integers(0, 9), max_size=8)
+
+
+class TestHamming:
+    def test_known(self):
+        metric = HammingDistance()
+        assert metric.distance([0, 1, 0], [1, 1, 0]) == 1.0
+        assert metric.distance("abc", "abd") == 1.0
+        assert metric.distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_normalized(self):
+        metric = HammingDistance(normalized=True)
+        assert metric.distance([0, 1, 0, 0], [1, 1, 0, 1]) == pytest.approx(0.5)
+        assert metric.domain_bound(100) == 1.0
+        assert HammingDistance().domain_bound(100) == 100.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            HammingDistance().distance([0, 1], [0, 1, 1])
+
+    def test_pairwise_matches_scalar(self, rng):
+        metric = HammingDistance()
+        xs = rng.integers(0, 2, size=(4, 5))
+        ys = rng.integers(0, 2, size=(3, 5))
+        matrix = metric.pairwise(xs, ys)
+        for i in range(4):
+            for j in range(3):
+                assert matrix[i, j] == metric.distance(xs[i], ys[j])
+
+    @given(
+        st.integers(min_value=1, max_value=10).flatmap(
+            lambda n: st.tuples(
+                st.lists(st.integers(0, 1), min_size=n, max_size=n),
+                st.lists(st.integers(0, 1), min_size=n, max_size=n),
+                st.lists(st.integers(0, 1), min_size=n, max_size=n),
+            )
+        )
+    )
+    def test_axioms(self, triple):
+        a, b, c = triple
+        metric = HammingDistance()
+        assert metric.distance(a, b) == metric.distance(b, a)
+        assert metric.distance(a, a) == 0.0
+        assert metric.distance(a, b) <= metric.distance(a, c) + metric.distance(c, b)
+
+
+class TestJaccard:
+    def test_known(self):
+        metric = JaccardDistance()
+        assert metric.distance({1, 2}, {2, 3}) == pytest.approx(1 - 1 / 3)
+        assert metric.distance({1}, {1}) == 0.0
+        assert metric.distance(set(), set()) == 0.0
+        assert metric.distance({1}, {2}) == 1.0
+        assert JaccardDistance.domain_bound() == 1.0
+
+    @given(small_sets, small_sets, small_sets)
+    def test_axioms(self, a, b, c):
+        metric = JaccardDistance()
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+        assert metric.distance(a, a) == 0.0
+        assert 0.0 <= metric.distance(a, b) <= 1.0
+        assert (
+            metric.distance(a, b)
+            <= metric.distance(a, c) + metric.distance(c, b) + 1e-12
+        )
+
+
+class TestDiscrete:
+    def test_known(self):
+        metric = DiscreteMetric()
+        assert metric.distance("x", "x") == 0.0
+        assert metric.distance("x", "y") == 1.0
+        assert metric.distance(np.array([1, 2]), np.array([1, 2])) == 0.0
+        assert metric.distance(np.array([1, 2]), np.array([1, 3])) == 1.0
+        assert DiscreteMetric.domain_bound() == 1.0

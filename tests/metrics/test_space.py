@@ -1,0 +1,59 @@
+"""Tests for the BRM space abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics import BRMSpace, L2, LInf
+
+
+def _unit_sampler(rng, count):
+    return rng.random((count, 3))
+
+
+class TestBRMSpace:
+    def test_construction_and_distance(self):
+        space = BRMSpace(metric=LInf(), d_plus=1.0, sampler=_unit_sampler)
+        assert space.distance([0, 0, 0], [0.5, 0.2, 0.1]) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_bound_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            BRMSpace(metric=L2(), d_plus=bad)
+
+    def test_distance_beyond_bound_rejected(self):
+        space = BRMSpace(metric=L2(), d_plus=0.5)
+        with pytest.raises(InvalidParameterError):
+            space.distance([0, 0], [1, 1])
+
+    def test_sampling(self):
+        space = BRMSpace(metric=LInf(), d_plus=1.0, sampler=_unit_sampler)
+        sample = space.sample(np.random.default_rng(0), 10)
+        assert np.asarray(sample).shape == (10, 3)
+        assert (np.asarray(sample) >= 0).all()
+        assert (np.asarray(sample) <= 1).all()
+
+    def test_sampling_determinism(self):
+        space = BRMSpace(metric=LInf(), d_plus=1.0, sampler=_unit_sampler)
+        first = np.asarray(space.sample(np.random.default_rng(5), 4))
+        second = np.asarray(space.sample(np.random.default_rng(5), 4))
+        np.testing.assert_array_equal(first, second)
+
+    def test_sample_without_sampler_rejected(self):
+        space = BRMSpace(metric=L2(), d_plus=1.0)
+        with pytest.raises(InvalidParameterError):
+            space.sample(np.random.default_rng(0), 3)
+
+    def test_negative_count_rejected(self):
+        space = BRMSpace(metric=LInf(), d_plus=1.0, sampler=_unit_sampler)
+        with pytest.raises(InvalidParameterError):
+            space.sample(np.random.default_rng(0), -1)
+
+    def test_with_name(self):
+        space = BRMSpace(metric=L2(), d_plus=2.0, name="original")
+        renamed = space.with_name("renamed")
+        assert renamed.name == "renamed"
+        assert renamed.d_plus == space.d_plus
+        assert renamed.metric is space.metric

@@ -1,0 +1,164 @@
+"""Tests for angular, Canberra and Mahalanobis metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics import (
+    AngularDistance,
+    CanberraDistance,
+    L2,
+    MahalanobisDistance,
+)
+
+nonzero_vectors = arrays(
+    np.float64,
+    (3,),
+    elements=st.floats(-10, 10, allow_nan=False),
+).filter(lambda v: np.linalg.norm(v) > 1e-6)
+
+
+class TestAngular:
+    def test_known_angles(self):
+        metric = AngularDistance()
+        assert metric.distance([1, 0], [0, 1]) == pytest.approx(math.pi / 2)
+        assert metric.distance([1, 0], [-1, 0]) == pytest.approx(math.pi)
+        # acos is ill-conditioned near 1: parallel vectors land within 1e-7.
+        assert metric.distance([1, 1], [2, 2]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_scale_invariance(self):
+        metric = AngularDistance()
+        assert metric.distance([1, 2, 3], [4, 5, 6]) == pytest.approx(
+            metric.distance([10, 20, 30], [0.4, 0.5, 0.6])
+        )
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AngularDistance().distance([0, 0], [1, 0])
+
+    def test_one_to_many_matches_scalar(self, rng):
+        metric = AngularDistance()
+        x = rng.normal(size=3) + 0.1
+        ys = rng.normal(size=(5, 3)) + 0.1
+        vec = metric.one_to_many(x, ys)
+        for j in range(5):
+            assert vec[j] == pytest.approx(metric.distance(x, ys[j]))
+
+    def test_domain_bound(self):
+        assert AngularDistance.domain_bound() == pytest.approx(math.pi)
+
+    @given(nonzero_vectors, nonzero_vectors, nonzero_vectors)
+    def test_axioms(self, a, b, c):
+        metric = AngularDistance()
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+        assert metric.distance(a, a) == pytest.approx(0.0, abs=1e-6)
+        assert metric.distance(a, b) <= (
+            metric.distance(a, c) + metric.distance(c, b) + 1e-7
+        )
+
+
+class TestCanberra:
+    def test_known_values(self):
+        metric = CanberraDistance()
+        assert metric.distance([1, 0], [0, 1]) == pytest.approx(2.0)
+        assert metric.distance([1, 2], [1, 2]) == 0.0
+        assert metric.distance([0, 0], [0, 0]) == 0.0  # 0/0 terms vanish
+
+    def test_bounded_by_dimension(self, rng):
+        metric = CanberraDistance()
+        for _ in range(10):
+            a, b = rng.normal(size=4), rng.normal(size=4)
+            assert metric.distance(a, b) <= 4.0 + 1e-12
+        assert CanberraDistance.domain_bound(4) == 4.0
+
+    def test_invalid_domain_bound(self):
+        with pytest.raises(InvalidParameterError):
+            CanberraDistance.domain_bound(0)
+
+    @given(
+        arrays(np.float64, (4,), elements=st.floats(0, 10, allow_nan=False)),
+        arrays(np.float64, (4,), elements=st.floats(0, 10, allow_nan=False)),
+        arrays(np.float64, (4,), elements=st.floats(0, 10, allow_nan=False)),
+    )
+    def test_axioms_on_nonnegative_vectors(self, a, b, c):
+        metric = CanberraDistance()
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+        assert metric.distance(a, a) == 0.0
+        assert metric.distance(a, b) <= (
+            metric.distance(a, c) + metric.distance(c, b) + 1e-9
+        )
+
+
+class TestMahalanobis:
+    def test_identity_matrix_is_euclidean(self, rng):
+        metric = MahalanobisDistance(np.eye(3))
+        for _ in range(5):
+            a, b = rng.normal(size=3), rng.normal(size=3)
+            assert metric.distance(a, b) == pytest.approx(L2().distance(a, b))
+
+    def test_diagonal_weights(self):
+        metric = MahalanobisDistance(np.diag([4.0, 1.0]))
+        assert metric.distance([0, 0], [1, 0]) == pytest.approx(2.0)
+        assert metric.distance([0, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_one_to_many_matches_scalar(self, rng):
+        matrix = np.array([[2.0, 0.5], [0.5, 1.0]])
+        metric = MahalanobisDistance(matrix)
+        x = rng.normal(size=2)
+        ys = rng.normal(size=(6, 2))
+        vec = metric.one_to_many(x, ys)
+        for j in range(6):
+            assert vec[j] == pytest.approx(metric.distance(x, ys[j]))
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            np.zeros((2, 2)),  # not positive definite
+            np.array([[1.0, 2.0], [0.0, 1.0]]),  # not symmetric
+            np.zeros((2, 3)),  # not square
+            np.array([[1.0, 0.0], [0.0, -1.0]]),  # negative eigenvalue
+        ],
+    )
+    def test_invalid_matrices(self, matrix):
+        with pytest.raises(InvalidParameterError):
+            MahalanobisDistance(matrix)
+
+    def test_domain_bound(self):
+        metric = MahalanobisDistance(np.eye(2))
+        bound = metric.domain_bound(1.0, 2)
+        assert bound == pytest.approx(math.sqrt(2))
+        with pytest.raises(InvalidParameterError):
+            metric.domain_bound(0.0, 2)
+
+    def test_triangle_inequality(self, rng):
+        matrix = np.array([[3.0, 1.0], [1.0, 2.0]])
+        metric = MahalanobisDistance(matrix)
+        for _ in range(20):
+            a, b, c = rng.normal(size=(3, 2))
+            assert metric.distance(a, b) <= (
+                metric.distance(a, c) + metric.distance(c, b) + 1e-9
+            )
+
+    def test_works_in_mtree(self, rng):
+        """Non-Euclidean quadratic form drives the index end to end."""
+        from repro.mtree import NodeLayout, bulk_load
+
+        metric = MahalanobisDistance(np.array([[2.0, 0.3], [0.3, 1.0]]))
+        points = rng.random((100, 2))
+        layout = NodeLayout(node_size_bytes=256, object_bytes=8)
+        tree = bulk_load(points, metric, layout, seed=1)
+        tree.validate()
+        query = rng.random(2)
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if metric.distance(query, p) <= 0.4
+        )
+        assert sorted(tree.range_query(query, 0.4).oids()) == expected

@@ -1,0 +1,66 @@
+"""Tests for the M-tree introspection helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTreeError
+from repro.metrics import L2
+from repro.mtree import (
+    MTree,
+    NodeLayout,
+    bulk_load,
+    describe,
+    to_ascii,
+    vector_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    points = np.random.default_rng(0).random((400, 3))
+    layout = NodeLayout(node_size_bytes=256, object_bytes=12)
+    return bulk_load(points, L2(), layout, seed=1)
+
+
+class TestDescribe:
+    def test_mentions_structure(self, tree):
+        text = describe(tree)
+        assert "400 objects" in text
+        assert f"height {tree.height}" in text
+        assert "level 1" in text
+        assert "leaf" in text and "internal" in text
+
+    def test_entry_totals_consistent(self, tree):
+        """The leaf-level entry total printed equals the object count."""
+        text = describe(tree)
+        leaf_line = [
+            line for line in text.splitlines() if "(leaf)" in line
+        ][-1]
+        assert "entries 400" in leaf_line
+
+    def test_empty_tree(self):
+        assert describe(MTree(L2(), vector_layout(3))) == "MTree(empty)"
+
+
+class TestToAscii:
+    def test_outline_depth_bounded(self, tree):
+        text = to_ascii(tree, max_depth=2, max_entries=3)
+        lines = text.splitlines()
+        assert lines[0].startswith("node[")
+        # With max_entries=3 and a wider root, an ellipsis appears.
+        if len(tree.root.entries) > 3:
+            assert any("more)" in line for line in lines)
+        # Depth bound: indentation never exceeds max_depth-1 levels.
+        assert all(not line.startswith("    node") for line in lines)
+
+    def test_single_leaf_tree(self):
+        tiny = MTree(L2(), vector_layout(2))
+        tiny.insert(np.array([0.1, 0.2]))
+        text = to_ascii(tiny)
+        assert "leaf[1 entries]" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            to_ascii(MTree(L2(), vector_layout(2)))

@@ -1,0 +1,92 @@
+"""Tests for tree-statistics extraction (the cost models' input)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTreeError
+from repro.metrics import L2
+from repro.mtree import (
+    MTree,
+    NodeLayout,
+    bulk_load,
+    collect_level_stats,
+    collect_node_stats,
+    vector_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    rng = np.random.default_rng(0)
+    points = rng.random((600, 3))
+    layout = NodeLayout(node_size_bytes=256, object_bytes=12)
+    return bulk_load(points, L2(), layout, seed=1), points
+
+
+class TestNodeStats:
+    def test_one_stat_per_node(self, loaded_tree):
+        tree, _points = loaded_tree
+        stats = collect_node_stats(tree, d_plus=np.sqrt(3))
+        assert len(stats) == tree.n_nodes()
+
+    def test_root_gets_d_plus(self, loaded_tree):
+        tree, _points = loaded_tree
+        stats = collect_node_stats(tree, d_plus=1.75)
+        roots = [s for s in stats if s.level == 1]
+        assert len(roots) == 1
+        assert roots[0].radius == 1.75
+        assert roots[0].n_entries == len(tree.root.entries)
+
+    def test_levels_run_from_1_to_height(self, loaded_tree):
+        tree, _points = loaded_tree
+        stats = collect_node_stats(tree, d_plus=np.sqrt(3))
+        levels = {s.level for s in stats}
+        assert levels == set(range(1, tree.height + 1))
+
+    def test_entry_counts_sum_to_structure(self, loaded_tree):
+        """Sum of leaf entries equals n; level-l node count equals the
+        entry count of level l-1 (the L-MCM identity)."""
+        tree, points = loaded_tree
+        stats = collect_node_stats(tree, d_plus=np.sqrt(3))
+        by_level = {}
+        for s in stats:
+            by_level.setdefault(s.level, []).append(s)
+        height = max(by_level)
+        assert sum(s.n_entries for s in by_level[height]) == len(points)
+        for level in range(1, height):
+            entries_above = sum(s.n_entries for s in by_level[level])
+            assert entries_above == len(by_level[level + 1])
+
+    def test_radii_non_negative(self, loaded_tree):
+        tree, _points = loaded_tree
+        stats = collect_node_stats(tree, d_plus=np.sqrt(3))
+        assert all(s.radius >= 0 for s in stats)
+
+    def test_empty_tree_rejected(self):
+        tree = MTree(L2(), vector_layout(3))
+        with pytest.raises(EmptyTreeError):
+            collect_node_stats(tree, d_plus=1.0)
+
+
+class TestLevelStats:
+    def test_aggregation_consistent(self, loaded_tree):
+        tree, _points = loaded_tree
+        node_stats = collect_node_stats(tree, d_plus=np.sqrt(3))
+        level_stats = collect_level_stats(tree, d_plus=np.sqrt(3))
+        assert sum(ls.n_nodes for ls in level_stats) == len(node_stats)
+        assert [ls.level for ls in level_stats] == list(
+            range(1, tree.height + 1)
+        )
+        for ls in level_stats:
+            radii = [s.radius for s in node_stats if s.level == ls.level]
+            assert ls.avg_radius == pytest.approx(np.mean(radii))
+
+    def test_single_node_tree(self):
+        tree = MTree(L2(), vector_layout(2))
+        tree.insert(np.array([0.5, 0.5]))
+        stats = collect_level_stats(tree, d_plus=1.0)
+        assert len(stats) == 1
+        assert stats[0].n_nodes == 1
+        assert stats[0].avg_radius == 1.0

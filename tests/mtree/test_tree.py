@@ -1,0 +1,219 @@
+"""Tests for dynamic M-tree construction and search correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTreeError, InvalidParameterError
+from repro.metrics import L2, EditDistance, LInf
+from repro.mtree import MTree, NodeLayout, vector_layout
+from repro.workloads import LinearScanBaseline
+
+
+def build_tree(points, metric=None, node_size=256, seed=0):
+    metric = metric if metric is not None else L2()
+    layout = NodeLayout(
+        node_size_bytes=node_size,
+        object_bytes=4 * points.shape[1],
+        min_utilization=0.3,
+    )
+    tree = MTree(metric, layout, seed=seed)
+    tree.insert_many(points)
+    return tree
+
+
+class TestInsert:
+    def test_empty_tree(self):
+        tree = MTree(L2(), vector_layout(2))
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.n_nodes() == 0
+
+    def test_single_insert(self):
+        tree = MTree(L2(), vector_layout(2))
+        oid = tree.insert(np.array([0.1, 0.2]))
+        assert oid == 0
+        assert len(tree) == 1
+        assert tree.height == 1
+
+    def test_oids_sequential(self, rng):
+        tree = MTree(L2(), vector_layout(2))
+        oids = tree.insert_many(rng.random((10, 2)))
+        assert oids == list(range(10))
+
+    def test_explicit_oid(self):
+        tree = MTree(L2(), vector_layout(2))
+        assert tree.insert(np.array([0.0, 0.0]), oid=42) == 42
+
+    @pytest.mark.parametrize("n", [5, 30, 120, 400])
+    def test_invariants_after_inserts(self, n, rng):
+        points = rng.random((n, 3))
+        tree = build_tree(points)
+        tree.validate()
+        assert len(tree) == n
+        stored = {oid for oid, _obj in tree.iter_objects()}
+        assert stored == set(range(n))
+
+    def test_tree_grows_in_height(self, rng):
+        points = rng.random((400, 3))
+        tree = build_tree(points, node_size=256)
+        assert tree.height >= 3
+
+    def test_duplicate_objects(self):
+        tree = build_tree(np.zeros((50, 2)))
+        tree.validate()
+        result = tree.range_query(np.zeros(2), 0.0)
+        assert len(result) == 50
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, rng):
+        points = rng.random((300, 3))
+        tree = build_tree(points)
+        baseline = LinearScanBaseline(list(points), L2(), 12, 4096)
+        for radius in (0.0, 0.1, 0.3, 0.8, 2.0):
+            query = rng.random(3)
+            tree_result = sorted(tree.range_query(query, radius).oids())
+            scan_result = sorted(
+                i for i, _obj, _d in baseline.range_query(query, radius)[0]
+            )
+            assert tree_result == scan_result
+
+    def test_distances_reported(self, rng):
+        points = rng.random((100, 2))
+        tree = build_tree(points)
+        query = rng.random(2)
+        result = tree.range_query(query, 0.5)
+        for oid, obj, dist in result.items:
+            assert dist == pytest.approx(L2().distance(query, obj))
+            assert dist <= 0.5
+
+    def test_negative_radius_rejected(self, rng):
+        tree = build_tree(rng.random((10, 2)))
+        with pytest.raises(InvalidParameterError):
+            tree.range_query(np.zeros(2), -0.1)
+
+    def test_empty_tree_returns_empty(self):
+        tree = MTree(L2(), vector_layout(2))
+        result = tree.range_query(np.zeros(2), 1.0)
+        assert len(result) == 0
+        assert result.stats.nodes_accessed == 0
+
+    def test_cost_accounting_without_pruning(self, rng):
+        """Every entry of every accessed node costs one distance — the
+        cost-model assumption (footnote 2)."""
+        points = rng.random((200, 3))
+        tree = build_tree(points)
+        result = tree.range_query(rng.random(3), 0.4)
+        assert result.stats.nodes_accessed >= 1
+        assert result.stats.dists_computed >= result.stats.nodes_accessed
+
+    def test_pruning_preserves_results_and_saves_distances(self, rng):
+        points = rng.random((400, 3))
+        tree = build_tree(points)
+        total_pruned = 0
+        total_plain = 0
+        for _ in range(10):
+            query = rng.random(3)
+            plain = tree.range_query(query, 0.25, use_parent_pruning=False)
+            pruned = tree.range_query(query, 0.25, use_parent_pruning=True)
+            assert sorted(plain.oids()) == sorted(pruned.oids())
+            total_plain += plain.stats.dists_computed
+            total_pruned += pruned.stats.dists_computed
+        assert total_pruned < total_plain
+
+
+class TestKNNQuery:
+    def test_matches_brute_force(self, rng):
+        points = rng.random((250, 3))
+        tree = build_tree(points)
+        baseline = LinearScanBaseline(list(points), L2(), 12, 4096)
+        for k in (1, 3, 10, 50):
+            query = rng.random(3)
+            tree_dists = tree.knn_query(query, k).distances()
+            scan_dists = [d for _i, _o, d in baseline.knn_query(query, k)[0]]
+            np.testing.assert_allclose(tree_dists, scan_dists, atol=1e-12)
+
+    def test_neighbors_sorted(self, rng):
+        points = rng.random((100, 2))
+        tree = build_tree(points)
+        result = tree.knn_query(rng.random(2), 10)
+        dists = result.distances()
+        assert dists == sorted(dists)
+
+    def test_k_validation(self, rng):
+        tree = build_tree(rng.random((10, 2)))
+        with pytest.raises(InvalidParameterError):
+            tree.knn_query(np.zeros(2), 0)
+        with pytest.raises(InvalidParameterError):
+            tree.knn_query(np.zeros(2), 11)
+
+    def test_empty_tree_rejected(self):
+        tree = MTree(L2(), vector_layout(2))
+        with pytest.raises(EmptyTreeError):
+            tree.knn_query(np.zeros(2), 1)
+
+    def test_pruning_preserves_knn(self, rng):
+        points = rng.random((300, 3))
+        tree = build_tree(points)
+        for _ in range(5):
+            query = rng.random(3)
+            plain = tree.knn_query(query, 5, use_parent_pruning=False)
+            pruned = tree.knn_query(query, 5, use_parent_pruning=True)
+            np.testing.assert_allclose(
+                plain.distances(), pruned.distances(), atol=1e-12
+            )
+
+    def test_optimality_vs_range(self, rng):
+        """The optimal k-NN search should not access more nodes than the
+        equivalent range query at the k-th NN distance (plus boundary
+        ties)."""
+        points = rng.random((300, 3))
+        tree = build_tree(points)
+        query = rng.random(3)
+        knn = tree.knn_query(query, 5)
+        radius = knn.distances()[-1]
+        range_result = tree.range_query(query, radius)
+        assert knn.stats.nodes_accessed <= range_result.stats.nodes_accessed
+
+
+class TestStringTree:
+    def test_insert_and_query_strings(self, words):
+        layout = NodeLayout(node_size_bytes=128, object_bytes=10)
+        tree = MTree(EditDistance(), layout, seed=1)
+        for word in words:
+            tree.insert(word)
+        tree.validate()
+        result = tree.range_query("casa", 1.0)
+        found = {obj for _oid, obj, _d in result.items}
+        assert "casa" in found
+        assert "cassa" in found
+        assert "cosa" in found
+        assert "verde" not in found
+
+    def test_knn_on_strings(self, words):
+        layout = NodeLayout(node_size_bytes=128, object_bytes=10)
+        tree = MTree(EditDistance(), layout, seed=1)
+        for word in words:
+            tree.insert(word)
+        result = tree.knn_query("caso", 3)
+        assert result.neighbors[0].obj == "caso"
+        assert result.neighbors[0].distance == 0.0
+
+
+class TestSplitPolicyVariants:
+    @pytest.mark.parametrize("policy", ["mm_rad", "random"])
+    def test_both_policies_build_valid_trees(self, policy, rng):
+        points = rng.random((150, 3))
+        layout = NodeLayout(node_size_bytes=256, object_bytes=12)
+        tree = MTree(L2(), layout, split_policy=policy, seed=4)
+        tree.insert_many(points)
+        tree.validate()
+        query = rng.random(3)
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if L2().distance(query, p) <= 0.3
+        )
+        assert sorted(tree.range_query(query, 0.3).oids()) == expected

@@ -1,0 +1,51 @@
+"""Tests for the Section 4.1 disk cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.storage import DiskModel
+
+
+class TestDiskModel:
+    def test_paper_example_values(self):
+        """c_IO = (10 + NS * 1) ms for the paper's worked example."""
+        model = DiskModel(positioning_ms=10.0, transfer_ms_per_kb=1.0)
+        assert model.io_cost_ms(4.0) == pytest.approx(14.0)
+        assert model.io_cost_ms(8.0) == pytest.approx(18.0)
+        assert model.io_cost_ms(0.5) == pytest.approx(10.5)
+
+    def test_query_cost_composition(self):
+        model = DiskModel(
+            positioning_ms=10.0, transfer_ms_per_kb=1.0, distance_ms=5.0
+        )
+        cost = model.query_cost_ms(nodes=10, dists=100, node_size_kb=4.0)
+        assert cost.io_ms == pytest.approx(10 * 14.0)
+        assert cost.cpu_ms == pytest.approx(100 * 5.0)
+        assert cost.total_ms == pytest.approx(140.0 + 500.0)
+
+    def test_zero_costs(self):
+        model = DiskModel()
+        cost = model.query_cost_ms(0, 0, 1.0)
+        assert cost.total_ms == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"positioning_ms": -1.0},
+            {"transfer_ms_per_kb": -0.5},
+            {"distance_ms": -2.0},
+        ],
+    )
+    def test_negative_params_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            DiskModel(**kwargs)
+
+    def test_invalid_node_size(self):
+        with pytest.raises(InvalidParameterError):
+            DiskModel().io_cost_ms(0.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiskModel().query_cost_ms(-1, 0, 1.0)

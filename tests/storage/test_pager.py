@@ -1,0 +1,90 @@
+"""Tests for the simulated page store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.storage import PageStore
+
+
+class TestPageStore:
+    def test_allocate_and_read(self):
+        store = PageStore(page_size_bytes=4096)
+        pid = store.allocate("payload")
+        assert store.read(pid) == "payload"
+        assert store.stats.logical_reads == 1
+        assert store.stats.physical_reads == 1
+
+    def test_no_buffer_every_read_physical(self):
+        store = PageStore(4096, buffer_pages=0)
+        pid = store.allocate("x")
+        for _ in range(5):
+            store.read(pid)
+        assert store.stats.physical_reads == 5
+        assert store.stats.hit_ratio == 0.0
+
+    def test_lru_buffer_hits(self):
+        store = PageStore(4096, buffer_pages=2)
+        a = store.allocate("a")
+        b = store.allocate("b")
+        store.read(a)
+        store.read(b)
+        store.read(a)  # hit
+        assert store.stats.logical_reads == 3
+        assert store.stats.physical_reads == 2
+        assert store.stats.hit_ratio == pytest.approx(1 / 3)
+
+    def test_lru_eviction_order(self):
+        store = PageStore(4096, buffer_pages=2)
+        a, b, c = store.allocate("a"), store.allocate("b"), store.allocate("c")
+        store.read(a)
+        store.read(b)
+        store.read(c)  # evicts a (LRU)
+        store.read(a)  # must be physical again
+        assert store.stats.physical_reads == 4
+
+    def test_lru_touch_refreshes(self):
+        store = PageStore(4096, buffer_pages=2)
+        a, b, c = store.allocate("a"), store.allocate("b"), store.allocate("c")
+        store.read(a)
+        store.read(b)
+        store.read(a)  # refresh a: now b is LRU
+        store.read(c)  # evicts b
+        store.read(a)  # hit
+        assert store.stats.physical_reads == 3
+
+    def test_write_invalidates_buffer(self):
+        store = PageStore(4096, buffer_pages=2)
+        a = store.allocate("v1")
+        store.read(a)
+        store.write(a, "v2")
+        assert store.read(a) == "v2"
+
+    def test_unknown_page_rejected(self):
+        store = PageStore(4096)
+        with pytest.raises(InvalidParameterError):
+            store.read(99)
+        with pytest.raises(InvalidParameterError):
+            store.write(99, "x")
+
+    def test_reset_stats(self):
+        store = PageStore(4096)
+        pid = store.allocate("x")
+        store.read(pid)
+        store.reset_stats()
+        assert store.stats.logical_reads == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"page_size_bytes": 0}, {"page_size_bytes": 4096, "buffer_pages": -1}],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            PageStore(**kwargs)
+
+    def test_len(self):
+        store = PageStore(1024)
+        store.allocate("a")
+        store.allocate("b")
+        assert len(store) == 2

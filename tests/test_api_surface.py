@@ -1,0 +1,76 @@
+"""Public-API surface checks: every advertised name exists and resolves."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.mtree",
+    "repro.vptree",
+    "repro.storage",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.optimizer",
+    "repro.persistence",
+    "repro.gist",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), f"{package_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_module_docstrings_present(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_documented(package_name):
+    """Every public class and function carries a docstring."""
+    module = importlib.import_module(package_name)
+    for name in module.__all__:
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            assert member.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_exceptions_hierarchy():
+    from repro.exceptions import (
+        CapacityError,
+        EmptyDatasetError,
+        EmptyTreeError,
+        HistogramDomainError,
+        InvalidParameterError,
+        MetricostError,
+    )
+
+    for error_type in (
+        InvalidParameterError,
+        EmptyDatasetError,
+        EmptyTreeError,
+        CapacityError,
+        HistogramDomainError,
+    ):
+        assert issubclass(error_type, MetricostError)
+    # ValueError compatibility where promised.
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(CapacityError, ValueError)

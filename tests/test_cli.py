@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_have_subcommands(self):
+        parser = build_parser()
+        for name in [*EXPERIMENTS, "all"]:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.size == 8000
+        assert args.queries == 100
+        assert not args.quick
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["figure4", "--size", "1234", "--queries", "7"]
+        )
+        assert args.size == 1234
+        assert args.queries == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_quick_figure4(self, capsys):
+        code = main(["figure4", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "done in" in out
+
+    def test_quick_table1(self, capsys):
+        code = main(["table1", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "homogeneity" in out
+
+    def test_quick_vptree(self, capsys):
+        code = main(["vptree", "--quick"])
+        assert code == 0
+        assert "vp-tree" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""End-to-end integration tests: the full model-validation pipeline.
+
+These run the entire DESIGN.md §3 data flow at a medium, deterministic
+scale and assert the paper's headline claims qualitatively: the models
+track actual costs, N-MCM is at least as accurate as L-MCM on average, and
+the M-tree beats the linear-scan baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LevelBasedCostModel,
+    NodeBasedCostModel,
+    estimate_distance_histogram,
+)
+from repro.datasets import clustered_dataset, paper_text_dataset
+from repro.experiments import (
+    build_text_setup,
+    build_vector_setup,
+    paper_range_radius,
+    relative_error,
+)
+from repro.mtree import bulk_load, collect_level_stats, collect_node_stats
+from repro.workloads import (
+    LinearScanBaseline,
+    run_knn_workload,
+    run_range_workload,
+    sample_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def vector_setup():
+    dataset = clustered_dataset(4000, 10, seed=42)
+    return dataset, build_vector_setup(dataset, n_queries=80)
+
+
+class TestRangeModelAccuracy:
+    def test_both_models_within_25_percent(self, vector_setup):
+        dataset, setup = vector_setup
+        radius = paper_range_radius(10)
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        for model in (setup.node_model, setup.level_model):
+            assert relative_error(
+                float(model.range_dists(radius)), measured.mean_dists
+            ) < 0.25
+            assert relative_error(
+                float(model.range_nodes(radius)), measured.mean_nodes
+            ) < 0.25
+
+    def test_selectivity_estimate(self, vector_setup):
+        dataset, setup = vector_setup
+        radius = paper_range_radius(10)
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        assert relative_error(
+            float(setup.node_model.range_objs(radius)), measured.mean_results
+        ) < 0.15
+
+    def test_models_track_radius_sweep(self, vector_setup):
+        """Estimated and actual cost curves must rise together."""
+        dataset, setup = vector_setup
+        radii = [0.1, 0.2, 0.3, 0.4]
+        actual = [
+            run_range_workload(setup.tree, setup.workload, r).mean_dists
+            for r in radii
+        ]
+        predicted = [float(setup.node_model.range_dists(r)) for r in radii]
+        assert actual == sorted(actual)
+        assert predicted == sorted(predicted)
+        # Correlated within a reasonable band everywhere.
+        for a, p in zip(actual, predicted):
+            assert relative_error(p, a) < 0.3
+
+
+class TestKNNModelAccuracy:
+    def test_nn_estimates_in_band(self, vector_setup):
+        dataset, setup = vector_setup
+        measured = run_knn_workload(setup.tree, setup.workload, 1)
+        estimate = setup.level_model.nn_costs(1, method="integral")
+        assert relative_error(estimate.dists, measured.mean_dists) < 0.6
+        assert relative_error(estimate.nodes, measured.mean_nodes) < 0.6
+
+    def test_expected_nn_distance_close(self, vector_setup):
+        dataset, setup = vector_setup
+        measured = run_knn_workload(setup.tree, setup.workload, 1)
+        estimate = setup.level_model.nn_costs(1, method="integral")
+        assert relative_error(
+            estimate.expected_nn_distance, measured.mean_nn_distance
+        ) < 0.35
+
+    def test_generalised_k(self, vector_setup):
+        """Extension: NN cost estimates grow with k and stay bounded."""
+        dataset, setup = vector_setup
+        estimates = [
+            setup.level_model.nn_costs(k, method="integral").dists
+            for k in (1, 5, 20)
+        ]
+        assert estimates == sorted(estimates)
+        assert estimates[-1] <= setup.n_objects + setup.tree.n_nodes()
+
+
+class TestTextPipeline:
+    def test_text_model_accuracy(self):
+        dataset = paper_text_dataset("GL", scale=0.06)
+        setup = build_text_setup(dataset, n_queries=40)
+        measured = run_range_workload(setup.tree, setup.workload, 3.0)
+        assert relative_error(
+            float(setup.node_model.range_dists(3.0)), measured.mean_dists
+        ) < 0.25
+        assert relative_error(
+            float(setup.node_model.range_nodes(3.0)), measured.mean_nodes
+        ) < 0.25
+
+
+class TestIndexBeatsBaseline:
+    def test_mtree_beats_linear_scan_on_selective_queries(self, vector_setup):
+        dataset, setup = vector_setup
+        baseline = LinearScanBaseline(
+            list(dataset.points), dataset.metric, 4 * dataset.dim, 4096
+        )
+        radius = 0.05
+        measured = run_range_workload(setup.tree, setup.workload, radius)
+        _matches, _nodes, scan_dists = baseline.range_query(
+            setup.workload.queries[0], radius
+        )
+        assert measured.mean_dists < scan_dists
+
+    def test_knn_beats_linear_scan(self, vector_setup):
+        dataset, setup = vector_setup
+        measured = run_knn_workload(setup.tree, setup.workload, 1)
+        assert measured.mean_dists < len(dataset.points)
+
+
+class TestModelConsistency:
+    def test_node_and_level_models_agree_roughly(self, vector_setup):
+        """The two models are views of the same tree: their estimates may
+        differ but must stay within a band of each other."""
+        dataset, setup = vector_setup
+        for radius in (0.1, 0.25, 0.4):
+            node_est = float(setup.node_model.range_dists(radius))
+            level_est = float(setup.level_model.range_dists(radius))
+            assert relative_error(level_est, node_est) < 0.2
+
+    def test_stats_roundtrip(self, vector_setup):
+        """Rebuilding models from freshly collected stats reproduces the
+        same estimates (stats collection is deterministic)."""
+        dataset, setup = vector_setup
+        node_stats = collect_node_stats(setup.tree, dataset.d_plus)
+        level_stats = collect_level_stats(setup.tree, dataset.d_plus)
+        node_model = NodeBasedCostModel(
+            setup.hist, node_stats, setup.n_objects
+        )
+        level_model = LevelBasedCostModel(
+            setup.hist, level_stats, setup.n_objects
+        )
+        assert float(node_model.range_dists(0.2)) == pytest.approx(
+            float(setup.node_model.range_dists(0.2))
+        )
+        assert float(level_model.range_nodes(0.2)) == pytest.approx(
+            float(setup.level_model.range_nodes(0.2))
+        )

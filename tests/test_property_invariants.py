@@ -1,0 +1,271 @@
+"""Cross-module property-based tests on randomised inputs.
+
+Hypothesis drives data, radii and tree parameters; the invariants are the
+structural guarantees DESIGN.md §3 lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistanceHistogram, NodeBasedCostModel
+from repro.metrics import L2, LInf
+from repro.mtree import NodeLayout, bulk_load, collect_node_stats
+from repro.vptree import VPTree
+
+
+def dataset_strategy():
+    return st.tuples(
+        st.integers(min_value=2, max_value=120),  # n
+        st.integers(min_value=1, max_value=4),  # dim
+        st.integers(min_value=0, max_value=10_000),  # data seed
+    )
+
+
+@st.composite
+def tree_case(draw):
+    n, dim, seed = draw(dataset_strategy())
+    radius = draw(st.floats(min_value=0.0, max_value=1.5))
+    points = np.random.default_rng(seed).random((n, dim))
+    return points, radius
+
+
+class TestMTreeProperties:
+    @given(tree_case())
+    @settings(max_examples=25)
+    def test_range_equals_linear_scan(self, case):
+        points, radius = case
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=1)
+        query = points.mean(axis=0)
+        got = sorted(tree.range_query(query, radius).oids())
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if L2().distance(query, p) <= radius
+        )
+        assert got == expected
+
+    @given(tree_case(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25)
+    def test_knn_matches_brute_force(self, case, k):
+        points, _radius = case
+        if k > len(points):
+            k = len(points)
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=2)
+        query = points[0] + 0.01
+        got = tree.knn_query(query, k).distances()
+        brute = sorted(L2().distance(query, p) for p in points)[:k]
+        np.testing.assert_allclose(got, brute, atol=1e-9)
+
+    @given(dataset_strategy())
+    @settings(max_examples=20)
+    def test_structural_invariants(self, params):
+        n, dim, seed = params
+        points = np.random.default_rng(seed).random((n, dim))
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=3)
+        tree.validate()  # covering radii, balance, capacities, counts
+
+
+class TestVPTreeProperties:
+    @given(tree_case(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20)
+    def test_range_equals_linear_scan(self, case, arity):
+        points, radius = case
+        tree = VPTree.build(list(points), LInf(), arity=arity, seed=4)
+        tree.validate()
+        query = points.mean(axis=0)
+        got = sorted(tree.range_query(query, radius).oids())
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if LInf().distance(query, p) <= radius
+        )
+        assert got == expected
+
+
+class TestCostModelProperties:
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=1, max_size=20),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30)
+    def test_nmcm_bounds(self, radii, query_radius):
+        """0 <= nodes(range) <= M for any stats and radius."""
+        hist = DistanceHistogram.uniform(50, 1.0)
+        from repro.core import NodeStat
+
+        stats = [
+            NodeStat(radius=r, n_entries=3, level=1 + (i % 2))
+            for i, r in enumerate(radii)
+        ]
+        model = NodeBasedCostModel(hist, stats, n_objects=max(3, len(radii)))
+        nodes = float(model.range_nodes(query_radius))
+        assert 0.0 <= nodes <= len(radii) + 1e-9
+        dists = float(model.range_dists(query_radius))
+        assert 0.0 <= dists <= 3 * len(radii) + 1e-9
+
+    @given(st.integers(2, 500), st.floats(0.0, 1.0))
+    @settings(max_examples=30)
+    def test_model_agrees_with_exact_expectation_single_level(
+        self, n_nodes, query_radius
+    ):
+        """For a flat collection of nodes with a known uniform F, Eq. 6 is
+        just n_nodes * F(r + r_Q); check the vectorised code equals it."""
+        hist = DistanceHistogram.uniform(64, 1.0)
+        from repro.core import NodeStat
+
+        stats = [
+            NodeStat(radius=0.25, n_entries=2, level=1)
+            for _ in range(n_nodes)
+        ]
+        model = NodeBasedCostModel(hist, stats, n_objects=2 * n_nodes)
+        expected = n_nodes * float(hist.cdf(0.25 + query_radius))
+        assert float(model.range_nodes(query_radius)) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+
+class TestComplexQuerySemantics:
+    @given(tree_case(), st.floats(0.0, 1.0), st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_and_is_intersection_or_is_union(self, case, radius2, qseed):
+        """complex_range_query must equal the set algebra of the single
+        predicates, for any data, radii and query pair."""
+        points, radius1 = case
+        if len(points) < 2:
+            return
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=5)
+        qrng = np.random.default_rng(qseed)
+        q1 = qrng.random(points.shape[1])
+        q2 = qrng.random(points.shape[1])
+        single1 = set(tree.range_query(q1, radius1).oids())
+        single2 = set(tree.range_query(q2, radius2).oids())
+        both = tree.complex_range_query(
+            [(q1, radius1), (q2, radius2)], mode="and"
+        )
+        either = tree.complex_range_query(
+            [(q1, radius1), (q2, radius2)], mode="or"
+        )
+        assert set(both.oids()) == single1 & single2
+        assert set(either.oids()) == single1 | single2
+
+
+class TestPersistenceProperties:
+    @given(dataset_strategy())
+    @settings(max_examples=15)
+    def test_mtree_roundtrip_preserves_queries(self, params):
+        from repro.persistence import mtree_from_dict, mtree_to_dict
+
+        n, dim, seed = params
+        points = np.random.default_rng(seed).random((n, dim))
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=6)
+        clone = mtree_from_dict(mtree_to_dict(tree), L2())
+        clone.validate()
+        query = points.mean(axis=0)
+        for radius in (0.1, 0.5):
+            assert sorted(clone.range_query(query, radius).oids()) == sorted(
+                tree.range_query(query, radius).oids()
+            )
+
+    @given(
+        st.lists(st.floats(0.01, 5.0), min_size=1, max_size=40),
+        st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=30)
+    def test_histogram_roundtrip_exact(self, probs, d_plus):
+        from repro.persistence import histogram_from_dict, histogram_to_dict
+
+        hist = DistanceHistogram(probs, d_plus)
+        clone = histogram_from_dict(histogram_to_dict(hist))
+        xs = np.linspace(0, d_plus, 17)
+        np.testing.assert_allclose(clone.cdf(xs), hist.cdf(xs), atol=1e-12)
+
+
+class TestDeleteProperties:
+    @given(dataset_strategy(), st.integers(0, 10_000))
+    @settings(max_examples=15)
+    def test_random_deletions_preserve_search(self, params, delete_seed):
+        n, dim, seed = params
+        if n < 4:
+            return
+        points = np.random.default_rng(seed).random((n, dim))
+        layout = NodeLayout(node_size_bytes=160, object_bytes=16)
+        tree = bulk_load(points, L2(), layout, seed=7)
+        delete_rng = np.random.default_rng(delete_seed)
+        victims = delete_rng.choice(n, size=n // 3, replace=False)
+        for victim in victims:
+            assert tree.delete(points[victim], oid=int(victim))
+        tree.validate()
+        survivors = set(range(n)) - set(int(v) for v in victims)
+        query = points.mean(axis=0)
+        got = set(tree.range_query(query, 0.4).oids())
+        expected = {
+            i
+            for i in survivors
+            if L2().distance(query, points[i]) <= 0.4
+        }
+        assert got == expected
+
+
+class TestGiSTProperties:
+    @given(tree_case())
+    @settings(max_examples=15)
+    def test_metric_ball_gist_matches_scan(self, case):
+        from repro.gist import BallRangeQuery, GiST, MetricBallExtension
+
+        points, radius = case
+        tree = GiST(MetricBallExtension(L2()), node_capacity=6)
+        tree.insert_many(points)
+        tree.validate()
+        query = points.mean(axis=0)
+        found, _stats = tree.search(BallRangeQuery(query, radius))
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if L2().distance(query, p) <= radius
+        )
+        assert sorted(oid for oid, _obj in found) == expected
+
+    @given(dataset_strategy())
+    @settings(max_examples=15)
+    def test_box_gist_point_queries_find_everything(self, params):
+        from repro.gist import Box, BoxRangeQuery, GiST, BoundingBoxExtension
+
+        n, dim, seed = params
+        points = np.random.default_rng(seed).random((n, dim))
+        tree = GiST(BoundingBoxExtension(), node_capacity=5)
+        tree.insert_many(points)
+        tree.validate()
+        for i in range(0, n, max(1, n // 7)):
+            found, _stats = tree.search(
+                BoxRangeQuery(Box.around_point(points[i]))
+            )
+            assert i in {oid for oid, _obj in found}
+
+
+class TestHistogramProperties:
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=300),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40)
+    def test_cdf_tracks_empirical(self, sample, n_bins):
+        """Histogram CDF at bin edges equals the empirical CDF exactly."""
+        hist = DistanceHistogram.from_sample(sample, n_bins, 1.0)
+        arr = np.asarray(sample)
+        edges = hist.bin_edges
+        for edge in edges[1:-1]:
+            empirical = (arr <= edge).mean()
+            # Values exactly on an edge may be counted either side by
+            # np.histogram; allow one observation of slack.
+            assert abs(float(hist.cdf(edge)) - empirical) <= (
+                np.sum(arr == edge) + 1e-9
+            ) / len(sample) + 1e-9

@@ -1,0 +1,158 @@
+"""Tests for the vp-tree access method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTreeError, InvalidParameterError
+from repro.metrics import L2, EditDistance, LInf
+from repro.vptree import VPTree, collect_vptree_shape
+from repro.workloads import LinearScanBaseline
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).random((400, 3))
+
+
+class TestBuild:
+    @pytest.mark.parametrize("arity", [2, 3, 5])
+    def test_structure_valid(self, points, arity):
+        tree = VPTree.build(list(points), L2(), arity=arity, seed=1)
+        tree.validate()
+        assert len(tree) == 400
+        assert tree.n_nodes() == 400  # one object per node
+
+    def test_empty_build(self):
+        tree = VPTree.build([], L2())
+        assert len(tree) == 0
+        assert tree.n_nodes() == 0
+        assert tree.height() == 0
+
+    def test_single_object(self):
+        tree = VPTree.build([np.array([0.5, 0.5])], L2())
+        assert tree.n_nodes() == 1
+        result = tree.range_query(np.array([0.5, 0.5]), 0.1)
+        assert len(result) == 1
+
+    def test_height_logarithmic(self, points):
+        binary = VPTree.build(list(points), L2(), arity=2, seed=2)
+        wide = VPTree.build(list(points), L2(), arity=5, seed=2)
+        assert wide.height() <= binary.height()
+        assert binary.height() <= 3 * np.log2(len(points))
+
+    @pytest.mark.parametrize("selection", ["random", "spread"])
+    def test_vantage_selection_variants(self, points, selection):
+        tree = VPTree.build(
+            list(points[:100]), L2(), vantage_selection=selection, seed=3
+        )
+        tree.validate()
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            VPTree(L2(), arity=1)
+        with pytest.raises(InvalidParameterError):
+            VPTree(L2(), vantage_selection="best")
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_matches_linear_scan(self, points, arity):
+        tree = VPTree.build(list(points), LInf(), arity=arity, seed=4)
+        baseline = LinearScanBaseline(list(points), LInf(), 12, 4096)
+        rng = np.random.default_rng(5)
+        for radius in (0.0, 0.05, 0.2, 0.6):
+            query = rng.random(3)
+            assert sorted(tree.range_query(query, radius).oids()) == sorted(
+                i for i, _o, _d in baseline.range_query(query, radius)[0]
+            )
+
+    def test_one_distance_per_accessed_node(self, points):
+        """The cost-model assumption e(N) = 1."""
+        tree = VPTree.build(list(points), L2(), arity=3, seed=6)
+        result = tree.range_query(np.random.default_rng(7).random(3), 0.2)
+        assert result.stats.dists_computed == result.stats.nodes_accessed
+
+    def test_pruning_saves_work(self, points):
+        tree = VPTree.build(list(points), L2(), arity=2, seed=8)
+        small = tree.range_query(points[0], 0.01)
+        assert small.stats.dists_computed < len(points)
+
+    def test_negative_radius_rejected(self, points):
+        tree = VPTree.build(list(points[:10]), L2())
+        with pytest.raises(InvalidParameterError):
+            tree.range_query(points[0], -1.0)
+
+    def test_empty_tree(self):
+        tree = VPTree.build([], L2())
+        assert len(tree.range_query(np.zeros(2), 1.0)) == 0
+
+
+class TestKNNQuery:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_brute_force(self, points, k):
+        tree = VPTree.build(list(points), L2(), arity=3, seed=9)
+        baseline = LinearScanBaseline(list(points), L2(), 12, 4096)
+        rng = np.random.default_rng(10)
+        for _ in range(5):
+            query = rng.random(3)
+            np.testing.assert_allclose(
+                tree.knn_query(query, k).distances(),
+                [d for _i, _o, d in baseline.knn_query(query, k)[0]],
+                atol=1e-12,
+            )
+
+    def test_beats_linear_scan_distance_count(self, points):
+        tree = VPTree.build(list(points), L2(), arity=2, seed=11)
+        result = tree.knn_query(points[3], 1)
+        assert result.stats.dists_computed < len(points)
+
+    def test_validation(self, points):
+        tree = VPTree.build(list(points[:10]), L2())
+        with pytest.raises(InvalidParameterError):
+            tree.knn_query(points[0], 0)
+        with pytest.raises(InvalidParameterError):
+            tree.knn_query(points[0], 11)
+        empty = VPTree.build([], L2())
+        with pytest.raises(EmptyTreeError):
+            empty.knn_query(points[0], 1)
+
+
+class TestStringVPTree:
+    def test_strings(self, words):
+        tree = VPTree.build(words, EditDistance(), arity=2, seed=12)
+        tree.validate()
+        result = tree.range_query("casa", 1)
+        found = {obj for _oid, obj, _d in result.items}
+        assert {"casa", "cassa", "cosa", "caso"} <= found
+
+
+class TestShapeStats:
+    def test_shape_summary(self, points):
+        tree = VPTree.build(list(points), L2(), arity=3, seed=13)
+        shape = collect_vptree_shape(tree)
+        assert shape.n_nodes == 400
+        assert shape.height == tree.height()
+        assert sum(shape.nodes_per_depth.values()) == 400
+        assert len(shape.root_cutoffs) == 3
+        assert shape.root_cutoffs == sorted(shape.root_cutoffs)
+
+    def test_empty_rejected(self):
+        tree = VPTree.build([], L2())
+        with pytest.raises(EmptyTreeError):
+            collect_vptree_shape(tree)
+
+    def test_cutoffs_near_quantiles(self):
+        """The homogeneity assumption: actual cutoffs should track the
+        distance-distribution quantiles the model uses."""
+        from repro.core import estimate_distance_histogram
+
+        rng = np.random.default_rng(14)
+        pts = rng.random((2000, 4))
+        metric = LInf()
+        tree = VPTree.build(list(pts), metric, arity=2, seed=15)
+        hist = estimate_distance_histogram(pts, metric, 1.0, n_bins=100)
+        predicted_median = float(hist.quantile(0.5))
+        actual_median = tree.root.cutoffs[0]
+        assert actual_median == pytest.approx(predicted_median, abs=0.1)

@@ -1,0 +1,46 @@
+"""Tests for biased-query workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import keyword_dataset, uniform_dataset
+from repro.exceptions import InvalidParameterError
+from repro.workloads import sample_workload
+
+
+class TestSampleWorkload:
+    def test_size_and_iteration(self):
+        data = uniform_dataset(100, 3, seed=1)
+        workload = sample_workload(data, 25, seed=2)
+        assert len(workload) == 25
+        assert len(list(workload)) == 25
+
+    def test_determinism(self):
+        data = uniform_dataset(100, 3, seed=1)
+        first = sample_workload(data, 10, seed=3)
+        second = sample_workload(data, 10, seed=3)
+        np.testing.assert_array_equal(
+            np.asarray(first.queries), np.asarray(second.queries)
+        )
+
+    def test_queries_not_from_dataset(self):
+        """Continuous domain: fresh samples coincide with indexed objects
+        with probability zero."""
+        data = uniform_dataset(100, 3, seed=1)
+        workload = sample_workload(data, 20, seed=4)
+        members = {p.tobytes() for p in data.points}
+        for query in workload:
+            assert np.asarray(query).tobytes() not in members
+
+    def test_exclude_members_on_discrete_domain(self):
+        data = keyword_dataset(200, seed=5)
+        workload = sample_workload(data, 30, seed=6, exclude_members=True)
+        members = set(data.words)
+        assert all(q not in members for q in workload)
+
+    def test_invalid_count(self):
+        data = uniform_dataset(10, 2, seed=1)
+        with pytest.raises(InvalidParameterError):
+            sample_workload(data, 0)

@@ -1,0 +1,103 @@
+"""Extension: query survival and cost-model fidelity under injected faults.
+
+The paper's model assumes every page read succeeds.  This chaos bench
+replays each query's page accesses through a
+:class:`~repro.reliability.FaultyPageStore` at growing read-fault rates and
+reports (a) the query success rate with and without a bounded-backoff
+:class:`~repro.reliability.RetryPolicy`, and (b) the cost-model's relative
+error over the *surviving* queries — quantifying two degradation effects:
+lost answers, and survivorship bias creeping into the node-read estimate
+(queries that touch more pages are more likely to hit a fault and drop
+out, so the measured mean drifts below the model's prediction as the
+fault rate climbs).
+"""
+
+from __future__ import annotations
+
+from repro.core import NodeBasedCostModel, estimate_distance_histogram
+from repro.datasets import clustered_dataset
+from repro.experiments import format_table, paper_range_radius
+from repro.mtree import bulk_load, collect_node_stats, vector_layout
+from repro.reliability import FaultPolicy, RetryPolicy
+from repro.workloads import run_range_workload, sample_workload
+
+FAULT_RATES = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def run_fault_sweep(size: int, n_queries: int):
+    data = clustered_dataset(size, 10, seed=61)
+    tree = bulk_load(data.points, data.metric, vector_layout(10), seed=62)
+    hist = estimate_distance_histogram(
+        data.points, data.metric, data.d_plus, n_bins=100
+    )
+    model = NodeBasedCostModel(
+        hist, collect_node_stats(tree, data.d_plus), data.size
+    )
+    radius = paper_range_radius(10)
+    queries = sample_workload(data, n_queries, seed=63)
+    predicted_nodes = float(model.range_nodes(radius))
+
+    rows = []
+    for rate in FAULT_RATES:
+        plain = run_range_workload(
+            tree,
+            queries,
+            radius,
+            fault_policy=FaultPolicy(read_fail_rate=rate, seed=64),
+        )
+        retried = run_range_workload(
+            tree,
+            queries,
+            radius,
+            fault_policy=FaultPolicy(read_fail_rate=rate, seed=64),
+            retry=RetryPolicy(max_attempts=5, seed=65, sleep=lambda _d: None),
+        )
+        model_error = (
+            abs(predicted_nodes - plain.mean_nodes) / plain.mean_nodes
+            if plain.n_queries
+            else float("nan")
+        )
+        rows.append(
+            {
+                "fault rate": rate,
+                "failed": plain.failed_queries,
+                "success %": round(100 * plain.success_rate, 1),
+                "success % (retry x5)": round(100 * retried.success_rate, 1),
+                "mean nodes (survivors)": round(plain.mean_nodes, 1),
+                "model nodes": round(predicted_nodes, 1),
+                "model error %": round(100 * model_error, 1),
+            }
+        )
+    return rows
+
+
+def test_ext_fault_sweep(benchmark, scale, show):
+    n_queries = max(200, scale.n_queries)
+    rows = benchmark.pedantic(
+        run_fault_sweep,
+        args=(scale.vector_size, n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title=(
+                "Extension - query survival & model error vs injected "
+                f"read-fault rate ({n_queries} range queries)"
+            ),
+        )
+    )
+    # No faults: every query succeeds and none are reported failed.
+    assert rows[0]["failed"] == 0
+    assert rows[0]["success %"] == 100.0
+    # Success rate decays (weakly) as the fault rate climbs ...
+    success = [row["success %"] for row in rows]
+    assert success == sorted(success, reverse=True)
+    # ... and a 5% fault rate visibly hurts an un-retried workload.
+    assert rows[3]["success %"] < 100.0
+    # Bounded retries recover success at every rate below certainty.
+    for row in rows:
+        assert row["success % (retry x5)"] >= row["success %"]
+    # With retries, moderate fault rates lose (almost) nothing.
+    assert rows[3]["success % (retry x5)"] >= 99.0

@@ -25,14 +25,28 @@ Quickstart::
     print(model.range_costs(radius=0.1))
 """
 
-from . import core, datasets, gist, metrics, mtree, optimizer, storage, vptree
+from . import (
+    core,
+    datasets,
+    gist,
+    metrics,
+    mtree,
+    optimizer,
+    reliability,
+    storage,
+    vptree,
+)
 from .exceptions import (
     CapacityError,
+    CorruptedDataError,
     EmptyDatasetError,
     EmptyTreeError,
+    FormatVersionError,
     HistogramDomainError,
     InvalidParameterError,
+    IOFaultError,
     MetricostError,
+    RetryExhaustedError,
 )
 
 __version__ = "1.0.0"
@@ -44,6 +58,7 @@ __all__ = [
     "metrics",
     "mtree",
     "optimizer",
+    "reliability",
     "storage",
     "vptree",
     "MetricostError",
@@ -52,5 +67,9 @@ __all__ = [
     "EmptyTreeError",
     "CapacityError",
     "HistogramDomainError",
+    "IOFaultError",
+    "RetryExhaustedError",
+    "CorruptedDataError",
+    "FormatVersionError",
     "__version__",
 ]

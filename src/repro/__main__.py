@@ -7,9 +7,13 @@ Usage::
     python -m repro figure5 --size 100000
     python -m repro vptree
     python -m repro all --quick
+    python -m repro doctor --artifacts ./artifacts
 
-Each subcommand runs the corresponding experiment driver and prints the
-paper-shaped table; ``all`` runs every experiment in sequence.
+Each experiment subcommand runs the corresponding driver and prints the
+paper-shaped table; ``all`` runs every experiment in sequence.  ``doctor``
+runs the reliability self-test (fault injection, retry, checksum and
+degradation checks) and, with ``--artifacts``, integrity-checks every
+persisted artifact in a directory; it exits non-zero on any problem.
 """
 
 from __future__ import annotations
@@ -111,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="experiment", required=True)
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="verify artifact integrity and run the fault-injection "
+        "self-test",
+    )
+    doctor.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="directory of persisted *.json artifacts to integrity-check",
+    )
+    doctor.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection self-test (default 0)",
+    )
     for name in [*EXPERIMENTS, "all"]:
         sub = subparsers.add_parser(
             name,
@@ -146,8 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_doctor(args: argparse.Namespace) -> int:
+    from .reliability import render_doctor, run_doctor
+
+    checks, reports = run_doctor(artifacts_dir=args.artifacts, seed=args.seed)
+    print(render_doctor(checks, reports))
+    healthy = all(c.ok for c in checks) and all(r.ok for r in reports)
+    return 0 if healthy else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "doctor":
+        return _run_doctor(args)
     if args.quick:
         for key, value in QUICK_OVERRIDES.items():
             setattr(args, key, value)

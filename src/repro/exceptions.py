@@ -29,3 +29,43 @@ class CapacityError(MetricostError, ValueError):
 
 class HistogramDomainError(MetricostError, ValueError):
     """A distance fell outside the declared ``[0, d_plus]`` domain."""
+
+
+class IOFaultError(MetricostError, IOError):
+    """A page read or write failed at the storage layer.
+
+    Raised both for real device errors surfaced by a store and for faults
+    injected by :class:`~repro.reliability.FaultPolicy` during chaos runs.
+    """
+
+
+class RetryExhaustedError(MetricostError):
+    """Every attempt allowed by a :class:`~repro.reliability.RetryPolicy`
+    failed.
+
+    ``attempts`` holds the per-attempt log (a list of
+    :class:`~repro.reliability.RetryAttempt`) so callers can see what was
+    tried and how long each backoff waited.
+    """
+
+    def __init__(self, message: str, attempts=None):
+        super().__init__(message)
+        self.attempts = list(attempts) if attempts is not None else []
+
+
+class CorruptedDataError(MetricostError):
+    """A persisted artifact failed its integrity check on load.
+
+    ``offset`` is the byte offset of the first detected mismatch within
+    the artifact body (``None`` when the corruption cannot be localised,
+    e.g. the file is not parseable at all).
+    """
+
+    def __init__(self, message: str, offset=None):
+        super().__init__(message)
+        self.offset = offset
+
+
+class FormatVersionError(MetricostError, ValueError):
+    """A persisted artifact declares a format version this library cannot
+    read; the message names the expected and found versions."""

@@ -1,6 +1,6 @@
 """Cost-based plan selection for metric similarity queries."""
 
-from .optimizer import PlanChoice, SimilarityQueryOptimizer
+from .optimizer import DegradedPlan, PlanChoice, SimilarityQueryOptimizer
 from .plans import (
     AccessPlan,
     ExecutionOutcome,
@@ -14,6 +14,7 @@ from .plans import (
 __all__ = [
     "SimilarityQueryOptimizer",
     "PlanChoice",
+    "DegradedPlan",
     "AccessPlan",
     "MTreeRangePlan",
     "MTreeKNNPlan",

@@ -15,21 +15,43 @@ optimiser's choice against the measured best plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, MetricostError
 from ..storage.diskmodel import DiskModel
 from .plans import AccessPlan, ExecutionOutcome, PlanCostEstimate
 
-__all__ = ["PlanChoice", "SimilarityQueryOptimizer"]
+__all__ = ["DegradedPlan", "PlanChoice", "SimilarityQueryOptimizer"]
+
+
+@dataclass(frozen=True)
+class DegradedPlan:
+    """A plan the optimiser demoted instead of letting it fail the query.
+
+    ``stage`` is ``"estimate"`` (its cost model raised while ranking) or
+    ``"execute"`` (it was chosen but raised while running, and the next
+    ranked plan took over).
+    """
+
+    plan_name: str
+    stage: str
+    error: str
 
 
 @dataclass
 class PlanChoice:
-    """The optimiser's decision: ranked estimates plus the winner."""
+    """The optimiser's decision: ranked estimates plus the winner.
+
+    ``degraded`` records every plan demoted along the way — a broken
+    statistics artifact or a raising cost model removes that plan from the
+    ranking (degradation ladder: N-MCM → L-MCM → linear scan) rather than
+    failing the query.
+    """
 
     ranked: List[PlanCostEstimate]
+    degraded: List[DegradedPlan] = field(default_factory=list)
 
     @property
     def best(self) -> PlanCostEstimate:
@@ -64,47 +86,116 @@ class SimilarityQueryOptimizer:
                 return plan
         raise InvalidParameterError(f"no plan named {name!r}")
 
+    def _fallback_plan(self) -> Optional[AccessPlan]:
+        """The guaranteed last rung of the degradation ladder, if present."""
+        for plan in self.plans:
+            if plan.name == "linear-scan":
+                return plan
+        return None
+
     # ------------------------------------------------------------------
+
+    def _choose(self, estimate_one, what: str) -> PlanChoice:
+        """Rank plans, demoting (not failing on) broken cost models.
+
+        A plan whose estimator raises — a statistics artifact that failed
+        integrity checks, a model dividing by zero in an adverse regime —
+        lands in ``PlanChoice.degraded`` and the ranking proceeds without
+        it.  If *every* estimator breaks, the linear scan (which needs no
+        statistics) is returned as an unranked fallback so ``choose()``
+        always yields an executable plan.
+        """
+        estimates: List[PlanCostEstimate] = []
+        degraded: List[DegradedPlan] = []
+        for plan in self.plans:
+            try:
+                estimate = estimate_one(plan)
+            except Exception as exc:  # noqa: BLE001 — demote, don't fail
+                degraded.append(
+                    DegradedPlan(
+                        plan.name, "estimate", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                continue
+            if estimate is not None:
+                estimates.append(estimate)
+        if not estimates:
+            fallback = self._fallback_plan()
+            if fallback is None or not degraded:
+                raise InvalidParameterError(f"no plan supports {what}")
+            # The scan's own estimator raised too; rank it at infinite
+            # cost — it can still *execute* without any statistics.
+            estimates = [
+                PlanCostEstimate(
+                    fallback.name, math.inf, math.inf, math.inf, math.inf
+                )
+            ]
+        return PlanChoice(
+            sorted(estimates, key=lambda e: e.total_ms), degraded
+        )
 
     def choose_range_plan(self, radius: float) -> PlanChoice:
         """Rank plans for ``range(Q, radius)`` by predicted total cost."""
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
-        estimates = [
-            estimate
-            for plan in self.plans
-            if (estimate := plan.estimate_range(radius, self.disk)) is not None
-        ]
-        if not estimates:
-            raise InvalidParameterError("no plan supports range queries")
-        return PlanChoice(sorted(estimates, key=lambda e: e.total_ms))
+        return self._choose(
+            lambda plan: plan.estimate_range(radius, self.disk),
+            "range queries",
+        )
 
     def choose_knn_plan(self, k: int) -> PlanChoice:
         """Rank plans for ``NN(Q, k)`` by predicted total cost."""
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
-        estimates = [
-            estimate
-            for plan in self.plans
-            if (estimate := plan.estimate_knn(k, self.disk)) is not None
-        ]
-        if not estimates:
-            raise InvalidParameterError("no plan supports k-NN queries")
-        return PlanChoice(sorted(estimates, key=lambda e: e.total_ms))
+        return self._choose(
+            lambda plan: plan.estimate_knn(k, self.disk), "k-NN queries"
+        )
 
     # ------------------------------------------------------------------
 
+    def _execute_ladder(
+        self, choice: PlanChoice, execute_one
+    ) -> ExecutionOutcome:
+        """Execute ranked plans in order until one succeeds.
+
+        A chosen plan that raises at *execution* time (a faulting page
+        store, a corrupted node) is demoted into ``choice.degraded`` and
+        the next-cheapest plan takes over; only when every ranked plan
+        fails does the last error propagate.
+        """
+        last_error: Optional[BaseException] = None
+        for estimate in choice.ranked:
+            plan = self._plan_by_name(estimate.plan_name)
+            try:
+                return execute_one(plan)
+            except Exception as exc:  # noqa: BLE001 — try the next rung
+                choice.degraded.append(
+                    DegradedPlan(
+                        plan.name, "execute", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                last_error = exc
+        assert last_error is not None
+        if isinstance(last_error, MetricostError):
+            raise last_error
+        raise MetricostError(
+            f"every ranked plan failed to execute "
+            f"(last: {type(last_error).__name__}: {last_error})"
+        ) from last_error
+
     def run_range(self, query: Any, radius: float) -> ExecutionOutcome:
-        """Choose and execute the best range plan."""
+        """Choose and execute the cheapest working range plan."""
         choice = self.choose_range_plan(radius)
-        plan = self._plan_by_name(choice.best.plan_name)
-        return plan.execute_range(query, radius, self.disk)
+        return self._execute_ladder(
+            choice, lambda plan: plan.execute_range(query, radius, self.disk)
+        )
 
     def run_knn(self, query: Any, k: int) -> ExecutionOutcome:
-        """Choose and execute the best k-NN plan."""
+        """Choose and execute the cheapest working k-NN plan."""
         choice = self.choose_knn_plan(k)
-        plan = self._plan_by_name(choice.best.plan_name)
-        return plan.execute_knn(query, k, self.disk)
+        return self._execute_ladder(
+            choice, lambda plan: plan.execute_knn(query, k, self.disk)
+        )
 
     def explain_range(self, radius: float) -> str:
         """EXPLAIN-style text: the ranked plans for ``range(Q, radius)``.

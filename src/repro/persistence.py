@@ -13,11 +13,21 @@ should be reloadable.  This module provides JSON round-trips for:
 Objects are encoded by a codec: numpy vectors become lists tagged
 ``{"t": "vec", "v": [...]}``, strings pass through tagged ``{"t": "str"}``.
 Custom domains can supply their own ``encode``/``decode`` callables.
+
+Durability (see ``docs/robustness.md``): every ``save_*`` writes a
+CRC32-checksummed envelope (:mod:`repro.reliability.integrity`)
+atomically — to a temp file in the target directory, then
+``os.replace`` — so a crash mid-save never leaves a torn artifact, and a
+flipped bit is caught (and localised) on load.  Every ``load_*`` accepts
+an optional :class:`~repro.reliability.RetryPolicy` to survive transient
+read faults, and every decode path validates the artifact's ``version``.
+Legacy unchecksummed files remain loadable.
 """
 
 from __future__ import annotations
 
-import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -25,11 +35,13 @@ import numpy as np
 
 from .core.histogram import DistanceHistogram
 from .core.mtree_model import LevelStat, NodeStat
-from .exceptions import InvalidParameterError
+from .exceptions import FormatVersionError, InvalidParameterError
 from .metrics import Metric
 from .mtree import MTree, NodeLayout
 from .mtree.entries import LeafEntry, RoutingEntry
 from .mtree.node import Node
+from .reliability.integrity import dumps_artifact, loads_artifact
+from .reliability.retry import RetryPolicy
 from .vptree import VPNode, VPTree
 
 __all__ = [
@@ -39,6 +51,8 @@ __all__ = [
     "load_histogram",
     "stats_to_dict",
     "stats_from_dict",
+    "save_stats",
+    "load_stats",
     "mtree_to_dict",
     "mtree_from_dict",
     "save_mtree",
@@ -54,6 +68,55 @@ Decoder = Callable[[Any], Any]
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+
+def _atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + ``os.replace``.
+
+    ``os.replace`` is atomic on POSIX and Windows, so readers see either
+    the old artifact or the complete new one — never a torn file.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _save_artifact(payload: Dict[str, Any], path: PathLike) -> None:
+    _atomic_write_text(path, dumps_artifact(payload))
+
+
+def _load_artifact(
+    path: PathLike, retry: Optional[RetryPolicy] = None
+) -> Dict[str, Any]:
+    path = Path(path)
+    read = path.read_text if retry is None else (
+        lambda: retry.call(path.read_text)
+    )
+    return loads_artifact(read(), source=str(path))
+
+
+def _require_version(
+    payload: Dict[str, Any], what: str, expected: int = FORMAT_VERSION
+) -> None:
+    found = payload.get("version")
+    if found != expected:
+        raise FormatVersionError(
+            f"cannot read {what} artifact: expected version {expected}, "
+            f"found {found!r}"
+        )
 
 
 def _default_encode(obj: Any) -> Any:
@@ -101,17 +164,20 @@ def histogram_from_dict(payload: Dict[str, Any]) -> DistanceHistogram:
         raise InvalidParameterError(
             f"not a histogram payload: kind={payload.get('kind')!r}"
         )
+    _require_version(payload, "histogram")
     return DistanceHistogram(payload["bin_probs"], payload["d_plus"])
 
 
 def save_histogram(hist: DistanceHistogram, path: PathLike) -> None:
-    """Write a histogram to a JSON file."""
-    Path(path).write_text(json.dumps(histogram_to_dict(hist)))
+    """Atomically write a checksummed histogram artifact."""
+    _save_artifact(histogram_to_dict(hist), path)
 
 
-def load_histogram(path: PathLike) -> DistanceHistogram:
-    """Read a histogram from a JSON file."""
-    return histogram_from_dict(json.loads(Path(path).read_text()))
+def load_histogram(
+    path: PathLike, retry: Optional[RetryPolicy] = None
+) -> DistanceHistogram:
+    """Read a histogram artifact, verifying its checksums."""
+    return histogram_from_dict(_load_artifact(path, retry))
 
 
 # ---------------------------------------------------------------------------
@@ -152,6 +218,7 @@ def stats_from_dict(payload: Dict[str, Any]):
         raise InvalidParameterError(
             f"not a stats payload: kind={payload.get('kind')!r}"
         )
+    _require_version(payload, "mtree-stats")
     node_stats = None
     if "node_stats" in payload:
         node_stats = [
@@ -165,6 +232,25 @@ def stats_from_dict(payload: Dict[str, Any]):
             for lv, m, r in payload["level_stats"]
         ]
     return node_stats, level_stats, payload.get("n_objects")
+
+
+def save_stats(
+    path: PathLike,
+    node_stats: Optional[List[NodeStat]] = None,
+    level_stats: Optional[List[LevelStat]] = None,
+    n_objects: Optional[int] = None,
+) -> None:
+    """Atomically write a checksummed N-MCM / L-MCM statistics artifact."""
+    _save_artifact(stats_to_dict(node_stats, level_stats, n_objects), path)
+
+
+def load_stats(path: PathLike, retry: Optional[RetryPolicy] = None):
+    """Read a statistics artifact, verifying its checksums.
+
+    Returns ``(node_stats or None, level_stats or None, n_objects or
+    None)`` exactly like :func:`stats_from_dict`.
+    """
+    return stats_from_dict(_load_artifact(path, retry))
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +335,7 @@ def mtree_from_dict(
         raise InvalidParameterError(
             f"not an M-tree payload: kind={payload.get('kind')!r}"
         )
+    _require_version(payload, "mtree")
     layout = NodeLayout(
         node_size_bytes=payload["layout"]["node_size_bytes"],
         object_bytes=payload["layout"]["object_bytes"],
@@ -264,15 +351,18 @@ def mtree_from_dict(
 def save_mtree(
     tree: MTree, path: PathLike, encode: Encoder = _default_encode
 ) -> None:
-    """Write an M-tree to a JSON file."""
-    Path(path).write_text(json.dumps(mtree_to_dict(tree, encode)))
+    """Atomically write a checksummed M-tree artifact."""
+    _save_artifact(mtree_to_dict(tree, encode), path)
 
 
 def load_mtree(
-    path: PathLike, metric: Metric, decode: Decoder = _default_decode
+    path: PathLike,
+    metric: Metric,
+    decode: Decoder = _default_decode,
+    retry: Optional[RetryPolicy] = None,
 ) -> MTree:
-    """Read an M-tree from a JSON file."""
-    return mtree_from_dict(json.loads(Path(path).read_text()), metric, decode)
+    """Read an M-tree artifact, verifying its checksums."""
+    return mtree_from_dict(_load_artifact(path, retry), metric, decode)
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +418,7 @@ def vptree_from_dict(
         raise InvalidParameterError(
             f"not a vp-tree payload: kind={payload.get('kind')!r}"
         )
+    _require_version(payload, "vptree")
     tree = VPTree(
         metric,
         arity=payload["arity"],
@@ -342,12 +433,15 @@ def vptree_from_dict(
 def save_vptree(
     tree: VPTree, path: PathLike, encode: Encoder = _default_encode
 ) -> None:
-    """Write a vp-tree to a JSON file."""
-    Path(path).write_text(json.dumps(vptree_to_dict(tree, encode)))
+    """Atomically write a checksummed vp-tree artifact."""
+    _save_artifact(vptree_to_dict(tree, encode), path)
 
 
 def load_vptree(
-    path: PathLike, metric: Metric, decode: Decoder = _default_decode
+    path: PathLike,
+    metric: Metric,
+    decode: Decoder = _default_decode,
+    retry: Optional[RetryPolicy] = None,
 ) -> VPTree:
-    """Read a vp-tree from a JSON file."""
-    return vptree_from_dict(json.loads(Path(path).read_text()), metric, decode)
+    """Read a vp-tree artifact, verifying its checksums."""
+    return vptree_from_dict(_load_artifact(path, retry), metric, decode)

@@ -1,0 +1,57 @@
+"""Reliability layer: fault injection, integrity, retry, and the doctor.
+
+A production cost-model service must degrade gracefully in adverse
+operational regimes — flaky reads, torn writes, bit rot, missing
+statistics — instead of failing queries.  This package provides the
+machinery (see ``docs/robustness.md``):
+
+* :mod:`~repro.reliability.faults` — seedable :class:`FaultPolicy` and
+  the :class:`FaultyPageStore` chaos wrapper;
+* :mod:`~repro.reliability.retry` — :class:`RetryPolicy` with bounded
+  exponential backoff + jitter and per-call accounting;
+* :mod:`~repro.reliability.integrity` — CRC32-checksummed artifact
+  envelopes with block-level corruption localisation;
+* :mod:`~repro.reliability.doctor` — the ``python -m repro doctor``
+  self-test and artifact scanner.
+"""
+
+from .doctor import DoctorCheck, render_doctor, run_doctor
+from .faults import (
+    CorruptedPayload,
+    FaultPolicy,
+    FaultStats,
+    FaultyPageStore,
+    TornPage,
+)
+from .integrity import (
+    ArtifactReport,
+    dumps_artifact,
+    is_wrapped,
+    loads_artifact,
+    unwrap_artifact,
+    verify_file,
+    wrap_artifact,
+)
+from .retry import RetryAttempt, RetryingPageStore, RetryPolicy, RetryStats
+
+__all__ = [
+    "FaultPolicy",
+    "FaultStats",
+    "FaultyPageStore",
+    "TornPage",
+    "CorruptedPayload",
+    "RetryPolicy",
+    "RetryAttempt",
+    "RetryStats",
+    "RetryingPageStore",
+    "ArtifactReport",
+    "wrap_artifact",
+    "unwrap_artifact",
+    "is_wrapped",
+    "dumps_artifact",
+    "loads_artifact",
+    "verify_file",
+    "DoctorCheck",
+    "run_doctor",
+    "render_doctor",
+]

@@ -1,0 +1,306 @@
+"""``python -m repro doctor`` — integrity verification + fault self-test.
+
+The doctor answers two questions an operator asks before trusting a
+deployment:
+
+1. *Are my artifacts sound?*  ``--artifacts DIR`` integrity-checks every
+   ``*.json`` artifact (checksums, envelope structure, format version)
+   and reports each corruption with its byte offset.
+2. *Does the reliability machinery actually work here?*  A built-in
+   self-test exercises the whole ladder end to end: checksummed
+   round-trips, detection of a deliberately bit-flipped histogram,
+   version gating, truncation, fault injection, retry recovery,
+   optimizer degradation, and per-query error isolation under a 5%
+   read-fault rate.
+
+Every check is seeded and self-contained (temp files only), so a failing
+check is reproducible and a passing run leaves nothing behind.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    CorruptedDataError,
+    FormatVersionError,
+    IOFaultError,
+    RetryExhaustedError,
+)
+from ..storage.pager import PageStore
+from .faults import FaultPolicy, FaultyPageStore
+from .integrity import ArtifactReport, verify_file
+from .retry import RetryPolicy
+
+__all__ = ["DoctorCheck", "run_doctor", "render_doctor", "flip_body_bit"]
+
+
+@dataclass
+class DoctorCheck:
+    """One self-test outcome."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def flip_body_bit(path: Path) -> int:
+    """Flip one bit of a digit inside an artifact's body, in place.
+
+    XOR-ing a digit character with ``0x04`` yields another digit
+    (``'3' -> '7'``), so the file stays valid JSON and only the checksum
+    can catch the change — the worst-case silent corruption.  Returns the
+    file offset of the flipped byte.
+    """
+    text = path.read_text()
+    anchor = text.find('"body"')
+    if anchor < 0:
+        anchor = 0
+    for index in range(anchor, len(text)):
+        if text[index] in "0123456789":
+            flipped = chr(ord(text[index]) ^ 0x04)
+            if flipped in "0123456789":
+                path.write_text(text[:index] + flipped + text[index + 1 :])
+                return index
+    raise CorruptedDataError(f"no flippable digit found in {path}")
+
+
+def _check(
+    name: str, fn: Callable[[], str], checks: List[DoctorCheck]
+) -> None:
+    try:
+        checks.append(DoctorCheck(name, True, fn()))
+    except Exception as exc:  # noqa: BLE001 — the doctor must not crash
+        checks.append(
+            DoctorCheck(name, False, f"{type(exc).__name__}: {exc}")
+        )
+
+
+def _self_test(seed: int) -> List[DoctorCheck]:
+    # Imported here: persistence imports this package, so the doctor pulls
+    # it in lazily to keep the module graph acyclic.
+    from .. import persistence
+    from ..core import NodeBasedCostModel, estimate_distance_histogram
+    from ..metrics import L2
+    from ..mtree import bulk_load, collect_node_stats, vector_layout
+    from ..optimizer import LinearScanPlan, MTreeRangePlan
+    from ..optimizer.optimizer import SimilarityQueryOptimizer
+    from ..workloads import LinearScanBaseline, run_range_workload
+    from ..core.histogram import DistanceHistogram
+
+    checks: List[DoctorCheck] = []
+    rng = np.random.default_rng(seed)
+
+    def checksum_roundtrip() -> str:
+        hist = DistanceHistogram.uniform(64, 1.0)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "hist.json"
+            persistence.save_histogram(hist, path)
+            clone = persistence.load_histogram(path)
+        np.testing.assert_allclose(clone.bin_probs, hist.bin_probs)
+        return "histogram survives a checksummed save/load round-trip"
+
+    def bit_flip_detection() -> str:
+        hist = DistanceHistogram.uniform(64, 1.0)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "hist.json"
+            persistence.save_histogram(hist, path)
+            file_offset = flip_body_bit(path)
+            try:
+                persistence.load_histogram(path)
+            except CorruptedDataError as exc:
+                return (
+                    f"flipped bit at file offset {file_offset} caught: "
+                    f"checksum mismatch at body offset {exc.offset}"
+                )
+        raise AssertionError("bit-flipped histogram loaded without error")
+
+    def version_gate() -> str:
+        hist = DistanceHistogram.uniform(16, 1.0)
+        payload = persistence.histogram_to_dict(hist)
+        payload["version"] = 99
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "hist.json"
+            persistence._save_artifact(payload, path)
+            try:
+                persistence.load_histogram(path)
+            except FormatVersionError as exc:
+                return f"future version refused: {exc}"
+        raise AssertionError("version-99 artifact loaded without error")
+
+    def truncation_detection() -> str:
+        hist = DistanceHistogram.uniform(64, 1.0)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "hist.json"
+            persistence.save_histogram(hist, path)
+            text = path.read_text()
+            path.write_text(text[: len(text) // 2])
+            try:
+                persistence.load_histogram(path)
+            except CorruptedDataError:
+                return "truncated artifact refused"
+        raise AssertionError("truncated histogram loaded without error")
+
+    def fault_injection() -> str:
+        payloads = [rng.random(4) for _ in range(32)]
+        always = FaultyPageStore(
+            PageStore(4096), FaultPolicy(read_fail_rate=1.0, seed=seed)
+        )
+        page = always.allocate(payloads[0])
+        try:
+            always.read(page)
+        except IOFaultError:
+            pass
+        else:
+            raise AssertionError("read_fail_rate=1.0 read did not fault")
+        clean = PageStore(4096)
+        gated = FaultyPageStore(PageStore(4096), FaultPolicy(seed=seed))
+        for payload in payloads:
+            clean.allocate(payload)
+            gated.allocate(payload)
+        for pid in range(len(payloads)):
+            np.testing.assert_array_equal(clean.read(pid), gated.read(pid))
+        if clean.stats != gated.stats:
+            raise AssertionError("zero-rate store accounting diverged")
+        return "rate 1.0 faults every read; rate 0.0 is a pass-through"
+
+    def retry_recovery() -> str:
+        failures = {"left": 2}
+
+        def flaky() -> str:
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise IOFaultError("transient")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=5, seed=seed, sleep=lambda _delay: None
+        )
+        if policy.call(flaky) != "ok" or policy.stats.retries != 2:
+            raise AssertionError("transient fault not retried to success")
+
+        def doomed() -> None:
+            raise IOFaultError("permanent")
+
+        try:
+            policy.call(doomed)
+        except RetryExhaustedError as exc:
+            return (
+                f"2 transient faults recovered; permanent fault exhausted "
+                f"after {len(exc.attempts)} logged attempts"
+            )
+        raise AssertionError("permanent fault did not exhaust the budget")
+
+    def degradation_ladder() -> str:
+        points = rng.random((300, 4))
+        metric = L2()
+        tree = bulk_load(points, metric, vector_layout(4), seed=seed)
+        hist = estimate_distance_histogram(points, metric, 2.0, n_bins=50)
+        model = NodeBasedCostModel(
+            hist, collect_node_stats(tree, 2.0), len(points)
+        )
+        broken = MTreeRangePlan(tree, model)
+        broken.model = None  # simulates a statistics artifact that failed
+        scan = LinearScanPlan(
+            LinearScanBaseline(list(points), metric, 32, 4096)
+        )
+        optimizer = SimilarityQueryOptimizer([broken, scan])
+        choice = optimizer.choose_range_plan(0.2)
+        if choice.best.plan_name != "linear-scan" or not choice.degraded:
+            raise AssertionError("broken plan was not demoted to the scan")
+        outcome = optimizer.run_range(rng.random(4), 0.2)
+        return (
+            f"broken cost model demoted ({choice.degraded[0].plan_name}); "
+            f"linear-scan fallback answered with {len(outcome.items)} items"
+        )
+
+    def workload_isolation() -> str:
+        points = rng.random((400, 3))
+        tree = bulk_load(points, L2(), vector_layout(3), seed=seed)
+        queries = rng.random((200, 3))
+        measurement = run_range_workload(
+            tree,
+            queries,
+            0.25,
+            fault_policy=FaultPolicy(read_fail_rate=0.05, seed=seed),
+        )
+        total = measurement.n_queries + measurement.failed_queries
+        if total != 200:
+            raise AssertionError(f"expected 200 accounted queries, {total}")
+        return (
+            f"200-query workload at 5% read faults: "
+            f"{measurement.n_queries} ok, "
+            f"{measurement.failed_queries} isolated failures"
+        )
+
+    _check("checksum round-trip", checksum_roundtrip, checks)
+    _check("bit-flip detection", bit_flip_detection, checks)
+    _check("version gate", version_gate, checks)
+    _check("truncation detection", truncation_detection, checks)
+    _check("fault injection", fault_injection, checks)
+    _check("retry recovery", retry_recovery, checks)
+    _check("degradation ladder", degradation_ladder, checks)
+    _check("workload isolation", workload_isolation, checks)
+    return checks
+
+
+def run_doctor(
+    artifacts_dir: Optional[str] = None, seed: int = 0
+) -> Tuple[List[DoctorCheck], List[ArtifactReport]]:
+    """Run the self-test and (optionally) scan an artifact directory."""
+    checks = _self_test(seed)
+    reports: List[ArtifactReport] = []
+    if artifacts_dir is not None:
+        root = Path(artifacts_dir)
+        if not root.is_dir():
+            # A typo'd path must not scan zero files and report "healthy".
+            reports.append(
+                ArtifactReport(
+                    path=str(root),
+                    ok=False,
+                    error="not a directory (nothing scanned)",
+                )
+            )
+        else:
+            for path in sorted(root.glob("*.json")):
+                reports.append(verify_file(path))
+    return checks, reports
+
+
+def render_doctor(
+    checks: List[DoctorCheck], reports: List[ArtifactReport]
+) -> str:
+    """Human-readable doctor report, one status line per check/artifact."""
+    lines = ["metricost doctor — reliability self-test"]
+    for check in checks:
+        status = "ok  " if check.ok else "FAIL"
+        lines.append(f"{status} {check.name:<22} {check.detail}")
+    if reports:
+        n_ok = sum(report.ok for report in reports)
+        lines.append(
+            f"artifact scan: {n_ok}/{len(reports)} sound"
+        )
+        for report in reports:
+            if report.ok:
+                lines.append(
+                    f"ok   {report.path} "
+                    f"({report.kind}, v{report.version}, "
+                    f"{'checksummed' if report.checksummed else 'legacy'})"
+                )
+            else:
+                where = (
+                    f" at byte offset {report.offset}"
+                    if report.offset is not None
+                    else ""
+                )
+                lines.append(f"FAIL {report.path}{where}: {report.error}")
+    healthy = all(check.ok for check in checks) and all(
+        report.ok for report in reports
+    )
+    lines.append("doctor: healthy" if healthy else "doctor: PROBLEMS FOUND")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the storage layer.
+
+Pestov's lower-bound results (arXiv:0812.0146) show metric indexes degrade
+sharply in adverse *data* regimes; a production deployment must also
+survive adverse *operational* regimes — flaky devices, torn writes, silent
+bit rot.  This module makes those regimes reproducible: a seedable
+:class:`FaultPolicy` decides, draw by draw, whether the next page access
+fails, and :class:`FaultyPageStore` applies the policy to any
+:class:`~repro.storage.PageStore`-shaped store.
+
+With every rate at ``0.0`` the wrapper is a transparent pass-through:
+identical payloads, identical accounting — which is what the test suite
+asserts, so chaos machinery can stay permanently wired into benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..exceptions import InvalidParameterError, IOFaultError
+from ..storage.pager import PageStore
+
+__all__ = [
+    "FaultPolicy",
+    "FaultStats",
+    "FaultyPageStore",
+    "TornPage",
+    "CorruptedPayload",
+]
+
+
+@dataclass
+class FaultStats:
+    """How many faults a policy actually injected."""
+
+    reads: int = 0
+    writes: int = 0
+    read_faults: int = 0
+    write_faults: int = 0
+    torn_writes: int = 0
+    corruptions: int = 0
+
+
+class TornPage:
+    """Payload left behind by a torn (partially persisted) write."""
+
+    def __init__(self, prefix: Any):
+        self.prefix = prefix
+
+    def __repr__(self) -> str:
+        return f"TornPage(prefix={self.prefix!r})"
+
+
+class CorruptedPayload:
+    """Opaque stand-in for a payload whose type cannot be bit-flipped."""
+
+    def __init__(self, original: Any):
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"CorruptedPayload({self.original!r})"
+
+
+class FaultPolicy:
+    """Seedable Bernoulli fault source with independent per-kind rates.
+
+    Rates are probabilities in ``[0, 1]``:
+
+    * ``read_fail_rate`` — a read raises :class:`IOFaultError` before any
+      data is returned (a device error);
+    * ``write_fail_rate`` — a write or allocation raises
+      :class:`IOFaultError` and leaves the store unchanged;
+    * ``torn_write_rate`` — a write "succeeds" but persists only a prefix
+      of the payload (:class:`TornPage`), the classic crash-mid-write;
+    * ``corrupt_rate`` — a read returns silently corrupted data (one
+      element/bit perturbed) instead of failing loudly.
+
+    A zero rate never consumes randomness, so the draw sequence — and
+    hence the exact fault schedule — depends only on the seed and the
+    non-zero rates.  ``clone()`` returns a fresh policy with the original
+    seed, for replaying a schedule.
+    """
+
+    def __init__(
+        self,
+        read_fail_rate: float = 0.0,
+        write_fail_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        for name, rate in (
+            ("read_fail_rate", read_fail_rate),
+            ("write_fail_rate", write_fail_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not (0.0 <= rate <= 1.0):
+                raise InvalidParameterError(
+                    f"{name} must lie in [0, 1], got {rate}"
+                )
+        self.read_fail_rate = read_fail_rate
+        self.write_fail_rate = write_fail_rate
+        self.torn_write_rate = torn_write_rate
+        self.corrupt_rate = corrupt_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def clone(self) -> "FaultPolicy":
+        """Fresh policy with the same rates and the same seed."""
+        return FaultPolicy(
+            self.read_fail_rate,
+            self.write_fail_rate,
+            self.torn_write_rate,
+            self.corrupt_rate,
+            self.seed,
+        )
+
+    def _draw(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self._rng.random() < rate
+
+    def next_read_fails(self) -> bool:
+        return self._draw(self.read_fail_rate)
+
+    def next_write_fails(self) -> bool:
+        return self._draw(self.write_fail_rate)
+
+    def next_write_tears(self) -> bool:
+        return self._draw(self.torn_write_rate)
+
+    def next_read_corrupts(self) -> bool:
+        return self._draw(self.corrupt_rate)
+
+    def corrupt(self, payload: Any) -> Any:
+        """A silently corrupted copy of ``payload`` (original untouched)."""
+        return _corrupt(payload, self._rng)
+
+    def tear(self, payload: Any) -> TornPage:
+        """The torn-write remnant of ``payload``."""
+        try:
+            prefix = payload[: max(0, len(payload) // 2)]
+        except TypeError:
+            prefix = None
+        return TornPage(prefix)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPolicy(read_fail_rate={self.read_fail_rate}, "
+            f"write_fail_rate={self.write_fail_rate}, "
+            f"torn_write_rate={self.torn_write_rate}, "
+            f"corrupt_rate={self.corrupt_rate}, seed={self.seed})"
+        )
+
+
+def _corrupt(payload: Any, rng: random.Random) -> Any:
+    """One-element / one-bit perturbation of a payload copy."""
+    import numpy as np
+
+    if isinstance(payload, np.ndarray) and payload.size:
+        flat = payload.copy().reshape(-1)
+        idx = rng.randrange(flat.size)
+        flat[idx] = -flat[idx] - 1
+        return flat.reshape(payload.shape)
+    if isinstance(payload, (bytes, bytearray)) and len(payload):
+        idx = rng.randrange(len(payload))
+        mutated = bytearray(payload)
+        mutated[idx] ^= 1 << rng.randrange(8)
+        return bytes(mutated) if isinstance(payload, bytes) else mutated
+    if isinstance(payload, str) and payload:
+        idx = rng.randrange(len(payload))
+        flipped = chr((ord(payload[idx]) ^ 1) & 0x10FFFF) or "?"
+        return payload[:idx] + flipped + payload[idx + 1 :]
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, int):
+        return payload ^ 1
+    if isinstance(payload, float):
+        return -payload - 1.0
+    if isinstance(payload, (list, tuple)) and len(payload):
+        idx = rng.randrange(len(payload))
+        items = list(payload)
+        items[idx] = _corrupt(items[idx], rng)
+        return type(payload)(items) if isinstance(payload, tuple) else items
+    if isinstance(payload, dict) and payload:
+        key = rng.choice(sorted(payload, key=repr))
+        mutated = dict(payload)
+        mutated[key] = _corrupt(mutated[key], rng)
+        return mutated
+    return CorruptedPayload(payload)
+
+
+class FaultyPageStore:
+    """A :class:`~repro.storage.PageStore` front that injects faults.
+
+    Mirrors the ``PageStore`` API exactly, so it can substitute anywhere a
+    page store is expected (including under a
+    :class:`~repro.reliability.RetryingPageStore`).  Injected read faults
+    fire *before* the inner store is touched — a device error returns no
+    data and costs no logical read — while corruption happens *after* a
+    successful read, so accounting matches the fault-free store.
+    """
+
+    def __init__(self, inner: PageStore, policy: FaultPolicy):
+        self.inner = inner
+        self.policy = policy
+        self.fault_stats = FaultStats()
+
+    # -- delegated surface -------------------------------------------------
+
+    @property
+    def page_size_bytes(self) -> int:
+        return self.inner.page_size_bytes
+
+    @property
+    def buffer_pages(self) -> int:
+        return self.inner.buffer_pages
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def reset_stats(self) -> None:
+        self.inner.reset_stats()
+        self.fault_stats = FaultStats()
+
+    # -- faulting operations ----------------------------------------------
+
+    def allocate(self, payload: Any) -> int:
+        self.fault_stats.writes += 1
+        if self.policy.next_write_fails():
+            self.fault_stats.write_faults += 1
+            raise IOFaultError("injected write fault during page allocation")
+        if self.policy.next_write_tears():
+            self.fault_stats.torn_writes += 1
+            return self.inner.allocate(self.policy.tear(payload))
+        return self.inner.allocate(payload)
+
+    def write(self, page_id: int, payload: Any) -> None:
+        self.fault_stats.writes += 1
+        if self.policy.next_write_fails():
+            self.fault_stats.write_faults += 1
+            raise IOFaultError(f"injected write fault on page {page_id}")
+        if self.policy.next_write_tears():
+            self.fault_stats.torn_writes += 1
+            self.inner.write(page_id, self.policy.tear(payload))
+            return
+        self.inner.write(page_id, payload)
+
+    def read(self, page_id: int) -> Any:
+        self.fault_stats.reads += 1
+        if self.policy.next_read_fails():
+            self.fault_stats.read_faults += 1
+            raise IOFaultError(f"injected read fault on page {page_id}")
+        payload = self.inner.read(page_id)
+        if self.policy.next_read_corrupts():
+            self.fault_stats.corruptions += 1
+            return self.policy.corrupt(payload)
+        return payload

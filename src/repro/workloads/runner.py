@@ -5,26 +5,45 @@ query workload (the paper averages over 1000 queries).  The runner executes
 each query, collects the per-query node accesses / distance computations /
 result sizes, and reports means with standard errors so benches can print
 confidence alongside the point estimates.
+
+Error isolation: with ``capture_errors=True`` (implied whenever a
+``fault_policy`` is given) a query that raises is recorded in
+``failed_queries``/``errors`` and the workload continues — one bad query
+out of 1000 yields a partial :class:`WorkloadMeasurement`, not an aborted
+run.  A :class:`~repro.reliability.FaultPolicy` replays each query's page
+accesses through a :class:`~repro.reliability.FaultyPageStore`, optionally
+under a :class:`~repro.reliability.RetryPolicy`, simulating flaky storage
+under the tree (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..mtree import MTree
+from ..reliability.faults import FaultPolicy, FaultyPageStore
+from ..reliability.retry import RetryingPageStore, RetryPolicy
+from ..storage.pager import PageStore
 from ..vptree import VPTree
 
 __all__ = ["WorkloadMeasurement", "run_range_workload", "run_knn_workload",
            "run_vptree_range_workload", "LinearScanBaseline"]
 
+MAX_RECORDED_ERRORS = 20  # keep the measurement small on pathological runs
+
 
 @dataclass
 class WorkloadMeasurement:
-    """Mean observed costs over a workload, with dispersion."""
+    """Mean observed costs over a workload, with dispersion.
+
+    Means cover the *successful* queries only; ``failed_queries`` counts
+    the ones isolated by error capture, and ``errors`` keeps the first few
+    error strings for diagnosis.
+    """
 
     mean_nodes: float
     mean_dists: float
@@ -33,6 +52,13 @@ class WorkloadMeasurement:
     std_dists: float
     n_queries: int
     mean_nn_distance: Optional[float] = None  # k-NN workloads only
+    failed_queries: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        total = self.n_queries + self.failed_queries
+        return self.n_queries / total if total else 0.0
 
     def stderr_nodes(self) -> float:
         return self.std_nodes / np.sqrt(self.n_queries) if self.n_queries else 0.0
@@ -46,7 +72,21 @@ def _summarise(
     dists: List[int],
     results: List[int],
     nn_distances: Optional[List[float]] = None,
+    failures: Optional[List[str]] = None,
 ) -> WorkloadMeasurement:
+    failures = failures or []
+    if not nodes:
+        # Every query failed: a degenerate but *reportable* measurement.
+        return WorkloadMeasurement(
+            mean_nodes=0.0,
+            mean_dists=0.0,
+            mean_results=0.0,
+            std_nodes=0.0,
+            std_dists=0.0,
+            n_queries=0,
+            failed_queries=len(failures),
+            errors=failures[:MAX_RECORDED_ERRORS],
+        )
     nodes_arr = np.asarray(nodes, dtype=np.float64)
     dists_arr = np.asarray(dists, dtype=np.float64)
     results_arr = np.asarray(results, dtype=np.float64)
@@ -60,6 +100,85 @@ def _summarise(
         mean_nn_distance=(
             float(np.mean(nn_distances)) if nn_distances else None
         ),
+        failed_queries=len(failures),
+        errors=failures[:MAX_RECORDED_ERRORS],
+    )
+
+
+class _PageReplayer:
+    """Replay a query's node-access log through a (possibly faulty) store.
+
+    One page per M-tree node, like the buffer-pool bench: the store raises
+    :class:`~repro.exceptions.IOFaultError` (or, retries exhausted,
+    :class:`~repro.exceptions.RetryExhaustedError`) when the policy decides
+    a read fails — which fails the *query*, exactly as a real device error
+    under the index would.
+    """
+
+    def __init__(
+        self,
+        tree: MTree,
+        policy: FaultPolicy,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        inner = PageStore(page_size_bytes=tree.layout.node_size_bytes)
+        self._page_of = {
+            id(node): inner.allocate(None) for node in tree.iter_nodes()
+        }
+        store = FaultyPageStore(inner, policy)
+        self.store = (
+            RetryingPageStore(store, retry) if retry is not None else store
+        )
+
+    def replay(self, access_log: List[int]) -> None:
+        for node_id in access_log:
+            self.store.read(self._page_of[node_id])
+
+
+def _run_mtree_workload(
+    tree: MTree,
+    queries: Iterable[Any],
+    run_one,
+    capture_errors: bool,
+    fault_policy: Optional[FaultPolicy],
+    retry: Optional[RetryPolicy],
+    want_kth: bool,
+) -> WorkloadMeasurement:
+    capture = capture_errors or fault_policy is not None
+    replayer = (
+        _PageReplayer(tree, fault_policy, retry)
+        if fault_policy is not None
+        else None
+    )
+    nodes: List[int] = []
+    dists: List[int] = []
+    results: List[int] = []
+    kth: List[float] = []
+    failures: List[str] = []
+    n_seen = 0
+    for index, query in enumerate(queries):
+        n_seen += 1
+        log: Optional[List[int]] = [] if replayer is not None else None
+        try:
+            outcome = run_one(query, log)
+            if replayer is not None:
+                replayer.replay(log)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            if not capture:
+                raise
+            failures.append(
+                f"query {index}: {type(exc).__name__}: {exc}"
+            )
+            continue
+        nodes.append(outcome.stats.nodes_accessed)
+        dists.append(outcome.stats.dists_computed)
+        results.append(len(outcome))
+        if want_kth:
+            kth.append(outcome.neighbors[-1].distance)
+    if n_seen == 0:
+        raise InvalidParameterError("workload is empty")
+    return _summarise(
+        nodes, dists, results, kth if want_kth else None, failures
     )
 
 
@@ -68,19 +187,22 @@ def run_range_workload(
     queries: Iterable[Any],
     radius: float,
     use_parent_pruning: bool = False,
+    capture_errors: bool = False,
+    fault_policy: Optional[FaultPolicy] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> WorkloadMeasurement:
     """Run ``range(Q, radius)`` for every query on an M-tree."""
-    nodes: List[int] = []
-    dists: List[int] = []
-    results: List[int] = []
-    for query in queries:
-        outcome = tree.range_query(query, radius, use_parent_pruning)
-        nodes.append(outcome.stats.nodes_accessed)
-        dists.append(outcome.stats.dists_computed)
-        results.append(len(outcome))
-    if not nodes:
-        raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results)
+    return _run_mtree_workload(
+        tree,
+        queries,
+        lambda query, log: tree.range_query(
+            query, radius, use_parent_pruning, access_log=log
+        ),
+        capture_errors,
+        fault_policy,
+        retry,
+        want_kth=False,
+    )
 
 
 def run_knn_workload(
@@ -88,61 +210,86 @@ def run_knn_workload(
     queries: Iterable[Any],
     k: int,
     use_parent_pruning: bool = False,
+    capture_errors: bool = False,
+    fault_policy: Optional[FaultPolicy] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> WorkloadMeasurement:
     """Run ``NN(Q, k)`` for every query on an M-tree.
 
     ``mean_nn_distance`` records the average distance of the k-th neighbor
     (compared against ``E[nn_{Q,k}]`` in Figure 2(c)).
     """
-    nodes: List[int] = []
-    dists: List[int] = []
-    results: List[int] = []
-    kth_distances: List[float] = []
-    for query in queries:
-        outcome = tree.knn_query(query, k, use_parent_pruning)
-        nodes.append(outcome.stats.nodes_accessed)
-        dists.append(outcome.stats.dists_computed)
-        results.append(len(outcome))
-        kth_distances.append(outcome.neighbors[-1].distance)
-    if not nodes:
-        raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results, kth_distances)
+    return _run_mtree_workload(
+        tree,
+        queries,
+        lambda query, log: tree.knn_query(
+            query, k, use_parent_pruning, access_log=log
+        ),
+        capture_errors,
+        fault_policy,
+        retry,
+        want_kth=True,
+    )
 
 
 def run_vptree_range_workload(
-    tree: VPTree, queries: Iterable[Any], radius: float
+    tree: VPTree,
+    queries: Iterable[Any],
+    radius: float,
+    capture_errors: bool = False,
 ) -> WorkloadMeasurement:
     """Run ``range(Q, radius)`` for every query on a vp-tree."""
     nodes: List[int] = []
     dists: List[int] = []
     results: List[int] = []
-    for query in queries:
-        outcome = tree.range_query(query, radius)
+    failures: List[str] = []
+    n_seen = 0
+    for index, query in enumerate(queries):
+        n_seen += 1
+        try:
+            outcome = tree.range_query(query, radius)
+        except Exception as exc:  # noqa: BLE001
+            if not capture_errors:
+                raise
+            failures.append(f"query {index}: {type(exc).__name__}: {exc}")
+            continue
         nodes.append(outcome.stats.nodes_accessed)
         dists.append(outcome.stats.dists_computed)
         results.append(len(outcome))
-    if not nodes:
+    if n_seen == 0:
         raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results)
+    return _summarise(nodes, dists, results, failures=failures)
 
 
 def run_vptree_knn_workload(
-    tree: VPTree, queries: Iterable[Any], k: int
+    tree: VPTree,
+    queries: Iterable[Any],
+    k: int,
+    capture_errors: bool = False,
 ) -> WorkloadMeasurement:
     """Run ``NN(Q, k)`` for every query on a vp-tree."""
     nodes: List[int] = []
     dists: List[int] = []
     results: List[int] = []
     kth: List[float] = []
-    for query in queries:
-        outcome = tree.knn_query(query, k)
+    failures: List[str] = []
+    n_seen = 0
+    for index, query in enumerate(queries):
+        n_seen += 1
+        try:
+            outcome = tree.knn_query(query, k)
+        except Exception as exc:  # noqa: BLE001
+            if not capture_errors:
+                raise
+            failures.append(f"query {index}: {type(exc).__name__}: {exc}")
+            continue
         nodes.append(outcome.stats.nodes_accessed)
         dists.append(outcome.stats.dists_computed)
         results.append(len(outcome))
         kth.append(outcome.neighbors[-1][2])
-    if not nodes:
+    if n_seen == 0:
         raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results, kth)
+    return _summarise(nodes, dists, results, kth, failures)
 
 
 class LinearScanBaseline:

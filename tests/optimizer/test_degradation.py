@@ -1,0 +1,182 @@
+"""Tests for graceful cost-model degradation in the optimizer.
+
+The ladder: a plan whose estimator raises is demoted into
+``PlanChoice.degraded``; a chosen plan that raises at execution time hands
+over to the next ranked plan; and with every estimator broken, the linear
+scan (which needs no statistics) still answers the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CorruptedDataError,
+    InvalidParameterError,
+    IOFaultError,
+    MetricostError,
+)
+from repro.metrics import L2
+from repro.optimizer import (
+    AccessPlan,
+    LinearScanPlan,
+    PlanChoice,
+    PlanCostEstimate,
+    SimilarityQueryOptimizer,
+)
+from repro.storage import DiskModel
+from repro.workloads import LinearScanBaseline
+
+
+class BrokenEstimatePlan(AccessPlan):
+    """Estimator raises — as if its statistics artifact failed to load."""
+
+    def __init__(self, name="broken-estimate", error=None):
+        self.name = name
+        self.error = error or CorruptedDataError("stats artifact corrupt")
+
+    def estimate_range(self, radius, disk):
+        raise self.error
+
+    def estimate_knn(self, k, disk):
+        raise self.error
+
+    def execute_range(self, query, radius, disk):
+        raise AssertionError("must never be chosen")
+
+    def execute_knn(self, query, k, disk):
+        raise AssertionError("must never be chosen")
+
+
+class CheapButFailingPlan(AccessPlan):
+    """Estimates near-zero cost, then faults at execution time."""
+
+    def __init__(self):
+        self.name = "cheap-liar"
+        self.executions = 0
+
+    def _estimate(self):
+        return PlanCostEstimate(self.name, 0.0, 0.0, 0.0, 0.0)
+
+    def estimate_range(self, radius, disk):
+        return self._estimate()
+
+    def estimate_knn(self, k, disk):
+        return self._estimate()
+
+    def execute_range(self, query, radius, disk):
+        self.executions += 1
+        raise IOFaultError("device gone")
+
+    def execute_knn(self, query, k, disk):
+        self.executions += 1
+        raise IOFaultError("device gone")
+
+
+@pytest.fixture()
+def points():
+    return list(np.random.default_rng(0).random((200, 4)))
+
+
+@pytest.fixture()
+def scan_plan(points):
+    return LinearScanPlan(LinearScanBaseline(points, L2(), 32, 4096))
+
+
+class TestEstimateDegradation:
+    def test_broken_plan_demoted_not_fatal(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [BrokenEstimatePlan(), scan_plan]
+        )
+        choice = optimizer.choose_range_plan(0.2)
+        assert choice.best.plan_name == "linear-scan"
+        assert len(choice.degraded) == 1
+        demoted = choice.degraded[0]
+        assert demoted.plan_name == "broken-estimate"
+        assert demoted.stage == "estimate"
+        assert "CorruptedDataError" in demoted.error
+
+    def test_knn_degradation(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [BrokenEstimatePlan(), scan_plan]
+        )
+        choice = optimizer.choose_knn_plan(3)
+        assert choice.best.plan_name == "linear-scan"
+        assert choice.degraded[0].stage == "estimate"
+
+    def test_healthy_catalog_has_empty_degraded(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer([scan_plan])
+        choice = optimizer.choose_range_plan(0.2)
+        assert choice.degraded == []
+
+    def test_all_estimators_broken_falls_back_to_scan(self, points):
+        """Even the scan's estimator can break; it is still returned
+        (at infinite cost) because it can execute without statistics."""
+
+        class BrokenScan(LinearScanPlan):
+            def estimate_range(self, radius, disk):
+                raise ZeroDivisionError("disk model exploded")
+
+        scan = BrokenScan(LinearScanBaseline(points, L2(), 32, 4096))
+        optimizer = SimilarityQueryOptimizer([BrokenEstimatePlan(), scan])
+        choice = optimizer.choose_range_plan(0.2)
+        assert choice.best.plan_name == "linear-scan"
+        assert choice.best.total_ms == float("inf")
+        assert len(choice.degraded) == 2
+        # ... and the query is still answerable end to end.
+        outcome = optimizer.run_range(np.zeros(4), 0.5)
+        assert outcome.plan_name == "linear-scan"
+
+    def test_no_plans_at_all_still_raises(self):
+        """Degradation never silently invents capacity: a catalog with no
+        working plan and no linear scan keeps the loud failure."""
+        optimizer = SimilarityQueryOptimizer([BrokenEstimatePlan()])
+        with pytest.raises(InvalidParameterError):
+            optimizer.choose_range_plan(0.2)
+
+    def test_invalid_radius_still_validated(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer([scan_plan])
+        with pytest.raises(InvalidParameterError):
+            optimizer.choose_range_plan(-1.0)
+
+
+class TestExecuteDegradation:
+    def test_execution_fault_hands_over_to_next_plan(self, scan_plan):
+        liar = CheapButFailingPlan()
+        optimizer = SimilarityQueryOptimizer([liar, scan_plan])
+        outcome = optimizer.run_range(np.zeros(4), 0.5)
+        assert outcome.plan_name == "linear-scan"
+        assert liar.executions == 1
+
+    def test_knn_execution_fault_hands_over(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [CheapButFailingPlan(), scan_plan]
+        )
+        outcome = optimizer.run_knn(np.zeros(4), 3)
+        assert outcome.plan_name == "linear-scan"
+        assert len(outcome.items) == 3
+
+    def test_every_plan_failing_raises_metricost_error(self):
+        optimizer = SimilarityQueryOptimizer([CheapButFailingPlan()])
+        with pytest.raises(MetricostError):
+            optimizer.run_range(np.zeros(4), 0.5)
+
+    def test_results_identical_to_direct_scan(self, points, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [CheapButFailingPlan(), scan_plan]
+        )
+        query = np.full(4, 0.5)
+        via_ladder = optimizer.run_range(query, 0.3)
+        direct = scan_plan.execute_range(query, 0.3, DiskModel())
+        assert sorted(i for i, _o, _d in via_ladder.items) == sorted(
+            i for i, _o, _d in direct.items
+        )
+
+
+class TestPlanChoiceCompat:
+    def test_positional_construction_still_works(self):
+        estimate = PlanCostEstimate("x", 1.0, 1.0, 1.0, 1.0)
+        choice = PlanChoice([estimate])
+        assert choice.best is estimate
+        assert choice.degraded == []

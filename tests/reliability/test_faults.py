@@ -1,0 +1,154 @@
+"""Tests for the deterministic fault injector and the faulty page store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, IOFaultError
+from repro.reliability import (
+    CorruptedPayload,
+    FaultPolicy,
+    FaultyPageStore,
+    TornPage,
+)
+from repro.storage import PageStore
+
+
+class TestFaultPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_fail_rate": -0.1},
+            {"read_fail_rate": 1.5},
+            {"write_fail_rate": 2.0},
+            {"torn_write_rate": -1.0},
+            {"corrupt_rate": 1.0001},
+        ],
+    )
+    def test_rates_validated(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            FaultPolicy(**kwargs)
+
+    def test_deterministic_given_seed(self):
+        first = FaultPolicy(read_fail_rate=0.3, seed=7)
+        second = FaultPolicy(read_fail_rate=0.3, seed=7)
+        draws_first = [first.next_read_fails() for _ in range(200)]
+        draws_second = [second.next_read_fails() for _ in range(200)]
+        assert draws_first == draws_second
+        assert any(draws_first) and not all(draws_first)
+
+    def test_clone_replays_schedule(self):
+        policy = FaultPolicy(read_fail_rate=0.5, seed=11)
+        schedule = [policy.next_read_fails() for _ in range(50)]
+        clone = policy.clone()
+        assert [clone.next_read_fails() for _ in range(50)] == schedule
+
+    def test_zero_rate_consumes_no_randomness(self):
+        """Zero-rate draws must not advance the stream: the read-fault
+        schedule is identical whether or not corruption draws happen."""
+        lone = FaultPolicy(read_fail_rate=0.4, seed=3)
+        mixed = FaultPolicy(read_fail_rate=0.4, corrupt_rate=0.0, seed=3)
+        for _ in range(100):
+            assert mixed.next_read_corrupts() is False
+            assert lone.next_read_fails() == mixed.next_read_fails()
+
+    def test_extreme_rates_short_circuit(self):
+        policy = FaultPolicy(read_fail_rate=1.0, write_fail_rate=0.0)
+        assert all(policy.next_read_fails() for _ in range(20))
+        assert not any(policy.next_write_fails() for _ in range(20))
+
+
+class TestCorruption:
+    def test_ndarray_corrupted_copy(self):
+        policy = FaultPolicy(seed=1)
+        original = np.arange(6, dtype=np.float64).reshape(2, 3)
+        snapshot = original.copy()
+        corrupted = policy.corrupt(original)
+        np.testing.assert_array_equal(original, snapshot)  # copy, not inplace
+        assert corrupted.shape == original.shape
+        assert (corrupted != original).sum() == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [b"hello world", "routing entry", 42, 1.5, [1.0, 2.0], (3, 4), True],
+    )
+    def test_simple_payloads_change(self, payload):
+        corrupted = FaultPolicy(seed=2).corrupt(payload)
+        assert corrupted != payload
+
+    def test_opaque_payload_wrapped(self):
+        sentinel = object()
+        corrupted = FaultPolicy(seed=3).corrupt(sentinel)
+        assert isinstance(corrupted, CorruptedPayload)
+        assert corrupted.original is sentinel
+
+
+class TestFaultyPageStore:
+    def _stores(self, **rates):
+        inner = PageStore(page_size_bytes=4096, buffer_pages=0)
+        return inner, FaultyPageStore(inner, FaultPolicy(seed=5, **rates))
+
+    def test_zero_rates_identical_to_plain_store(self):
+        """Rate 0.0 must be a byte-for-byte pass-through, payloads and
+        accounting both."""
+        rng = np.random.default_rng(0)
+        payloads = [rng.random(8) for _ in range(40)]
+        plain = PageStore(page_size_bytes=4096)
+        _inner, gated = self._stores()
+        for payload in payloads:
+            assert plain.allocate(payload) == gated.allocate(payload)
+        for page_id in range(len(payloads)):
+            np.testing.assert_array_equal(
+                plain.read(page_id), gated.read(page_id)
+            )
+        assert plain.stats == gated.stats
+        assert len(plain) == len(gated)
+        assert gated.fault_stats.read_faults == 0
+        assert gated.fault_stats.corruptions == 0
+
+    def test_read_fault_raises_before_data(self):
+        _inner, store = self._stores(read_fail_rate=1.0)
+        page = store.allocate(np.ones(3))
+        with pytest.raises(IOFaultError):
+            store.read(page)
+        # The fault fired before the inner store was touched.
+        assert store.stats.logical_reads == 0
+        assert store.fault_stats.read_faults == 1
+
+    def test_write_fault_leaves_store_unchanged(self):
+        inner, store = self._stores(write_fail_rate=1.0)
+        with pytest.raises(IOFaultError):
+            store.allocate(np.ones(3))
+        assert len(inner) == 0
+        assert store.fault_stats.write_faults == 1
+
+    def test_torn_write_persists_prefix(self):
+        _inner, store = self._stores(torn_write_rate=1.0)
+        page = store.allocate(np.arange(10.0))
+        payload = store.read(page)
+        assert isinstance(payload, TornPage)
+        np.testing.assert_array_equal(payload.prefix, np.arange(5.0))
+        assert store.fault_stats.torn_writes == 1
+
+    def test_silent_corruption_on_read(self):
+        _inner, store = self._stores(corrupt_rate=1.0)
+        original = np.arange(4.0)
+        page = store.allocate(original.copy())
+        corrupted = store.read(page)
+        assert (corrupted != original).any()
+        # The stored page itself is pristine — the corruption was in
+        # transit, as a device would deliver it.
+        _, clean = self._stores()
+        assert store.fault_stats.corruptions == 1
+
+    def test_fault_rate_approximately_respected(self):
+        _inner, store = self._stores(read_fail_rate=0.25)
+        page = store.allocate(1.0)
+        failures = 0
+        for _ in range(400):
+            try:
+                store.read(page)
+            except IOFaultError:
+                failures += 1
+        assert 0.15 < failures / 400 < 0.35

@@ -1,0 +1,149 @@
+"""Tests for CRC32-checksummed artifact envelopes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    CorruptedDataError,
+    FormatVersionError,
+    InvalidParameterError,
+)
+from repro.reliability import (
+    dumps_artifact,
+    is_wrapped,
+    loads_artifact,
+    unwrap_artifact,
+    verify_file,
+    wrap_artifact,
+)
+from repro.reliability.integrity import DEFAULT_BLOCK_SIZE
+
+PAYLOAD = {"kind": "distance-histogram", "version": 1, "values": [1, 2, 3]}
+
+
+class TestRoundTrip:
+    def test_wrap_unwrap(self):
+        assert unwrap_artifact(wrap_artifact(PAYLOAD)) == PAYLOAD
+
+    def test_dumps_loads(self):
+        assert loads_artifact(dumps_artifact(PAYLOAD)) == PAYLOAD
+
+    def test_envelope_is_json_serialisable(self):
+        json.dumps(wrap_artifact(PAYLOAD))
+
+    def test_is_wrapped(self):
+        assert is_wrapped(wrap_artifact(PAYLOAD))
+        assert not is_wrapped(PAYLOAD)
+        assert not is_wrapped([1, 2])
+
+    def test_legacy_payload_passes_through(self):
+        assert loads_artifact(json.dumps(PAYLOAD)) == PAYLOAD
+
+    def test_multi_block_bodies(self):
+        big = {"kind": "x", "version": 1, "values": list(range(2000))}
+        doc = wrap_artifact(big)
+        assert len(doc["block_crcs"]) > 1
+        assert unwrap_artifact(doc) == big
+
+    def test_block_size_validated(self):
+        with pytest.raises(InvalidParameterError):
+            wrap_artifact(PAYLOAD, block_size=0)
+
+
+class TestDetection:
+    def test_tampered_body_detected_with_offset(self):
+        big = {"kind": "x", "version": 1, "values": list(range(2000))}
+        doc = wrap_artifact(big)
+        # Corrupt a byte in the *second* block to check localisation.
+        body = doc["body"]
+        index = DEFAULT_BLOCK_SIZE + 10
+        assert body[index] in "0123456789,"
+        doc["body"] = body[:index] + ("5" if body[index] != "5" else "6") + body[index + 1 :]
+        with pytest.raises(CorruptedDataError) as excinfo:
+            unwrap_artifact(doc)
+        assert excinfo.value.offset == DEFAULT_BLOCK_SIZE
+        assert "checksum mismatch" in str(excinfo.value)
+
+    def test_truncated_body_detected(self):
+        doc = wrap_artifact(PAYLOAD)
+        doc["body"] = doc["body"][:10]
+        with pytest.raises(CorruptedDataError) as excinfo:
+            unwrap_artifact(doc)
+        assert "truncated" in str(excinfo.value)
+        assert excinfo.value.offset == 10
+
+    def test_missing_body_detected(self):
+        doc = wrap_artifact(PAYLOAD)
+        del doc["body"]
+        with pytest.raises(CorruptedDataError):
+            unwrap_artifact(doc)
+
+    def test_wrong_envelope_version(self):
+        doc = wrap_artifact(PAYLOAD)
+        doc["version"] = 99
+        with pytest.raises(FormatVersionError) as excinfo:
+            unwrap_artifact(doc)
+        assert "expected 1" in str(excinfo.value)
+        assert "99" in str(excinfo.value)
+
+    def test_unknown_algorithm(self):
+        doc = wrap_artifact(PAYLOAD)
+        doc["algo"] = "md5"
+        with pytest.raises(CorruptedDataError):
+            unwrap_artifact(doc)
+
+    def test_consistently_tampered_blocks_caught_by_whole_crc(self):
+        doc = wrap_artifact(PAYLOAD)
+        doc["crc32"] ^= 1
+        with pytest.raises(CorruptedDataError) as excinfo:
+            unwrap_artifact(doc)
+        assert "whole-body" in str(excinfo.value)
+
+    def test_unparseable_text(self):
+        with pytest.raises(CorruptedDataError):
+            loads_artifact("{not json")
+
+    def test_empty_text(self):
+        with pytest.raises(CorruptedDataError):
+            loads_artifact("")
+
+    def test_non_object_root(self):
+        with pytest.raises(CorruptedDataError):
+            loads_artifact("[1, 2, 3]")
+
+
+class TestVerifyFile:
+    def test_sound_file(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text(dumps_artifact(PAYLOAD))
+        report = verify_file(path)
+        assert report.ok
+        assert report.checksummed
+        assert report.kind == "distance-histogram"
+        assert report.version == 1
+
+    def test_legacy_file(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(PAYLOAD))
+        report = verify_file(path)
+        assert report.ok
+        assert not report.checksummed
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        doc = wrap_artifact(PAYLOAD)
+        doc["body"] = doc["body"].replace("1", "2", 1)
+        path.write_text(json.dumps(doc))
+        report = verify_file(path)
+        assert not report.ok
+        assert report.checksummed
+        assert report.offset == 0
+        assert "checksum" in report.error
+
+    def test_missing_file(self, tmp_path):
+        report = verify_file(tmp_path / "nope.json")
+        assert not report.ok
+        assert "unreadable" in report.error

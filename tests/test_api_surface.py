@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.optimizer",
     "repro.persistence",
     "repro.gist",
+    "repro.reliability",
 ]
 
 
@@ -56,11 +57,15 @@ def test_version():
 def test_exceptions_hierarchy():
     from repro.exceptions import (
         CapacityError,
+        CorruptedDataError,
         EmptyDatasetError,
         EmptyTreeError,
+        FormatVersionError,
         HistogramDomainError,
         InvalidParameterError,
+        IOFaultError,
         MetricostError,
+        RetryExhaustedError,
     )
 
     for error_type in (
@@ -69,8 +74,14 @@ def test_exceptions_hierarchy():
         EmptyTreeError,
         CapacityError,
         HistogramDomainError,
+        IOFaultError,
+        RetryExhaustedError,
+        CorruptedDataError,
+        FormatVersionError,
     ):
         assert issubclass(error_type, MetricostError)
-    # ValueError compatibility where promised.
+    # ValueError / IOError compatibility where promised.
     assert issubclass(InvalidParameterError, ValueError)
     assert issubclass(CapacityError, ValueError)
+    assert issubclass(FormatVersionError, ValueError)
+    assert issubclass(IOFaultError, IOError)

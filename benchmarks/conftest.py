@@ -11,14 +11,24 @@ controlled by the ``METRICOST_BENCH_SCALE`` environment variable:
 
 Benches print through ``capsys.disabled()`` so the tables appear even
 without ``pytest -s``.
+
+Every bench also runs with the observability layer installed and emits a
+metrics snapshot: counters land in ``benchmark.extra_info["metrics"]``
+(visible in ``--benchmark-json`` output) and, when ``METRICOST_METRICS_DIR``
+is set, each test additionally writes ``<test-name>.metrics.json`` there.
+Set ``METRICOST_BENCH_METRICS=0`` to opt out.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from dataclasses import dataclass
 
 import pytest
+
+from repro import observability
 
 
 @dataclass(frozen=True)
@@ -78,6 +88,36 @@ def scale() -> BenchScale:
             f"got {name!r}"
         )
     return _SCALES[name]
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Install observability per bench and emit a metrics snapshot.
+
+    The snapshot rides on ``benchmark.extra_info["metrics"]`` (so
+    ``--benchmark-json`` captures it) and is written to
+    ``$METRICOST_METRICS_DIR/<test-name>.metrics.json`` when that
+    directory is set.  Disabled by ``METRICOST_BENCH_METRICS=0``.
+    """
+    if os.environ.get("METRICOST_BENCH_METRICS", "1") == "0":
+        yield
+        return
+    observability.install()
+    try:
+        yield
+        snap = observability.snapshot()
+        benchmark = request.node.funcargs.get("benchmark")
+        if benchmark is not None:
+            benchmark.extra_info["metrics"] = snap.to_dict()
+        out_dir = os.environ.get("METRICOST_METRICS_DIR")
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+            path = os.path.join(out_dir, f"{stem}.metrics.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(snap.to_dict(), handle, indent=2)
+    finally:
+        observability.uninstall()
 
 
 @pytest.fixture

@@ -31,6 +31,7 @@ from . import (
     gist,
     metrics,
     mtree,
+    observability,
     optimizer,
     reliability,
     storage,
@@ -57,6 +58,7 @@ __all__ = [
     "gist",
     "metrics",
     "mtree",
+    "observability",
     "optimizer",
     "reliability",
     "storage",

@@ -8,12 +8,21 @@ Usage::
     python -m repro vptree
     python -m repro all --quick
     python -m repro doctor --artifacts ./artifacts
+    python -m repro figure1 --quick --metrics --metrics-out metrics.json
+    python -m repro metrics --input metrics.json
+    python -m repro metrics --input metrics.json --json
 
 Each experiment subcommand runs the corresponding driver and prints the
 paper-shaped table; ``all`` runs every experiment in sequence.  ``doctor``
 runs the reliability self-test (fault injection, retry, checksum and
 degradation checks) and, with ``--artifacts``, integrity-checks every
 persisted artifact in a directory; it exits non-zero on any problem.
+
+``--metrics`` installs the observability layer for the run and prints the
+counter table afterwards; ``--metrics-out FILE`` additionally persists the
+snapshot as JSON.  ``metrics`` renders the live registry (or, with
+``--input``, a persisted snapshot) as a table or JSON, and ``--reset``
+clears the live registry — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -115,6 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="experiment", required=True)
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="dump (or reset) the observability metrics registry",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the snapshot as JSON instead of a table",
+    )
+    metrics.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="render a persisted snapshot file instead of the live registry",
+    )
+    metrics.add_argument(
+        "--reset",
+        action="store_true",
+        help="clear the live registry after dumping",
+    )
     doctor = subparsers.add_parser(
         "doctor",
         help="verify artifact integrity and run the fault-injection "
@@ -164,6 +193,19 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="shrink all sizes for a fast smoke run",
         )
+        sub.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect observability counters and print them after "
+            "the run",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="write the collected metrics snapshot as JSON "
+            "(implies --metrics)",
+        )
     return parser
 
 
@@ -176,13 +218,35 @@ def _run_doctor(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _run_metrics(args: argparse.Namespace) -> int:
+    from . import observability
+    from .observability import MetricsSnapshot
+
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            snap = MetricsSnapshot.from_json(handle.read())
+    else:
+        snap = observability.snapshot()
+    print(snap.to_json(indent=2) if args.json else snap.render())
+    if args.reset:
+        observability.reset()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "doctor":
         return _run_doctor(args)
+    if args.experiment == "metrics":
+        return _run_metrics(args)
     if args.quick:
         for key, value in QUICK_OVERRIDES.items():
             setattr(args, key, value)
+    collect_metrics = args.metrics or args.metrics_out is not None
+    if collect_metrics:
+        from . import observability
+
+        observability.install()
     names: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
@@ -191,6 +255,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"== {name} " + "=" * max(0, 66 - len(name)))
         print(EXPERIMENTS[name](args))
         print(f"-- {name} done in {time.perf_counter() - started:.1f}s\n")
+    if collect_metrics:
+        snap = observability.snapshot()
+        print("== metrics " + "=" * 59)
+        print(snap.render())
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(snap.to_json(indent=2))
+            print(f"(snapshot written to {args.metrics_out})")
     return 0
 
 

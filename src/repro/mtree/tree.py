@@ -30,6 +30,7 @@ import numpy as np
 
 from ..exceptions import EmptyTreeError, InvalidParameterError
 from ..metrics import Metric
+from ..observability import state as _obs
 from .entries import LeafEntry, RoutingEntry
 from .layout import NodeLayout
 from .node import Node
@@ -40,10 +41,39 @@ __all__ = ["MTree", "QueryStats", "RangeResult", "KNNResult", "Neighbor"]
 
 @dataclass
 class QueryStats:
-    """Costs actually paid by one query."""
+    """Costs actually paid by one query.
+
+    With observability installed (:func:`repro.observability.install`) the
+    same quantities are mirrored, increment for increment, into the
+    registry counters ``mtree.nodes_accessed`` / ``mtree.dists_computed``
+    (labelled by query ``kind``) — this dataclass remains the per-query
+    view, the registry the process-wide accumulation.  The golden-counter
+    tests assert the two stay equal field-for-field.
+    """
 
     nodes_accessed: int = 0
     dists_computed: int = 0
+
+    @classmethod
+    def from_registry(
+        cls, kind: str = "range", tree: str = "mtree", registry=None
+    ) -> "QueryStats":
+        """Accumulated stats for one query kind, as the registry saw them.
+
+        A thin view over the metrics registry; all zeros when
+        observability is disabled.
+        """
+        registry = registry if registry is not None else _obs.registry
+        if registry is None:
+            return cls()
+        return cls(
+            nodes_accessed=int(
+                registry.counter_value(f"{tree}.nodes_accessed", kind=kind)
+            ),
+            dists_computed=int(
+                registry.counter_value(f"{tree}.dists_computed", kind=kind)
+            ),
+        )
 
 
 @dataclass
@@ -319,16 +349,47 @@ class MTree:
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        tracer = _obs.tracer
+        if tracer is not None:
+            with tracer.span("mtree.range_query", radius=float(radius)) as sp:
+                result = self._range_query_impl(
+                    query, radius, use_parent_pruning, access_log
+                )
+                sp.set(
+                    nodes=result.stats.nodes_accessed,
+                    dists=result.stats.dists_computed,
+                    results=len(result),
+                )
+                return result
+        return self._range_query_impl(
+            query, radius, use_parent_pruning, access_log
+        )
+
+    def _range_query_impl(
+        self,
+        query: Any,
+        radius: float,
+        use_parent_pruning: bool,
+        access_log: Optional[List[int]],
+    ) -> RangeResult:
+        reg = _obs.registry
+        tracer = _obs.tracer
+        trace_nodes = tracer is not None and tracer.trace_nodes
         stats = QueryStats()
         items: List[Tuple[int, Any, float]] = []
         if self._root is None:
             return RangeResult(items, stats)
-        # Stack holds (node, distance from Q to the node's routing object,
-        # or None for the root which has no routing object).
-        stack: List[Tuple[Node, Optional[float]]] = [(self._root, None)]
+        # Stack holds (node, distance from Q to the node's routing object
+        # — None for the root which has no routing object —, level).
+        stack: List[Tuple[Node, Optional[float], int]] = [
+            (self._root, None, 1)
+        ]
         while stack:
-            node, dist_to_routing = stack.pop()
+            node, dist_to_routing, level = stack.pop()
             stats.nodes_accessed += 1
+            if reg is not None:
+                reg.inc("mtree.nodes_accessed", kind="range")
+                reg.observe("mtree.fanout", len(node.entries), level=level)
             if access_log is not None:
                 access_log.append(id(node))
             entries = node.entries
@@ -346,10 +407,14 @@ class MTree:
                 continue
             # One batched distance evaluation per node: counts identically,
             # but keeps vectorised metrics in numpy.
-            dists = self.metric.one_to_many(
-                query, [entry.obj for entry in entries]
-            )
+            objs = [entry.obj for entry in entries]
+            if trace_nodes:
+                dists = self._traced_distances(query, objs, level)
+            else:
+                dists = self.metric.one_to_many(query, objs)
             stats.dists_computed += len(entries)
+            if reg is not None:
+                reg.inc("mtree.dists_computed", len(entries), kind="range")
             if node.is_leaf:
                 for entry, dist in zip(entries, dists):
                     if dist <= radius:
@@ -357,8 +422,22 @@ class MTree:
             else:
                 for entry, dist in zip(entries, dists):
                     if dist <= radius + entry.radius:
-                        stack.append((entry.child, float(dist)))
+                        stack.append((entry.child, float(dist), level + 1))
+                    elif reg is not None:
+                        reg.inc("mtree.pruned_subtrees", kind="range")
+        if reg is not None:
+            reg.inc("mtree.queries", kind="range")
+            reg.inc("mtree.results", len(items), kind="range")
         return RangeResult(items, stats)
+
+    def _traced_distances(self, query: Any, objs: List[Any], level: int):
+        """Batched distance evaluation under node-visit/distance spans."""
+        tracer = _obs.tracer
+        with tracer.span("mtree.node_visit", level=level, entries=len(objs)):
+            if tracer.trace_distances:
+                with tracer.span("mtree.distance_eval", n=len(objs)):
+                    return self.metric.one_to_many(query, objs)
+            return self.metric.one_to_many(query, objs)
 
     def knn_query(
         self,
@@ -380,6 +459,29 @@ class MTree:
             raise InvalidParameterError(
                 f"k must lie in [1, {self._n_objects}], got {k}"
             )
+        tracer = _obs.tracer
+        if tracer is not None:
+            with tracer.span("mtree.knn_query", k=k) as sp:
+                result = self._knn_query_impl(
+                    query, k, use_parent_pruning, access_log
+                )
+                sp.set(
+                    nodes=result.stats.nodes_accessed,
+                    dists=result.stats.dists_computed,
+                )
+                return result
+        return self._knn_query_impl(query, k, use_parent_pruning, access_log)
+
+    def _knn_query_impl(
+        self,
+        query: Any,
+        k: int,
+        use_parent_pruning: bool,
+        access_log: Optional[List[int]],
+    ) -> KNNResult:
+        reg = _obs.registry
+        tracer = _obs.tracer
+        trace_nodes = tracer is not None and tracer.trace_nodes
         stats = QueryStats()
         # Max-heap (as negated distances) of the best k candidates found.
         best: List[Tuple[float, int, Any]] = []  # (-distance, oid, obj)
@@ -388,12 +490,17 @@ class MTree:
             return -best[0][0] if len(best) == k else float("inf")
 
         counter = itertools.count()  # heap tie-breaker
-        pending: List[Tuple[float, int, Node, Optional[float]]] = [
-            (0.0, next(counter), self._root, None)
+        pending: List[Tuple[float, int, Node, Optional[float], int]] = [
+            (0.0, next(counter), self._root, None, 1)
         ]
         while pending and pending[0][0] <= kth_distance():
-            _d_min, _tie, node, dist_to_routing = heapq.heappop(pending)
+            _d_min, _tie, node, dist_to_routing, level = heapq.heappop(
+                pending
+            )
             stats.nodes_accessed += 1
+            if reg is not None:
+                reg.inc("mtree.nodes_accessed", kind="knn")
+                reg.observe("mtree.fanout", len(node.entries), level=level)
             if access_log is not None:
                 access_log.append(id(node))
             entries = node.entries
@@ -413,10 +520,14 @@ class MTree:
                     ]
             if not entries:
                 continue
-            dists = self.metric.one_to_many(
-                query, [entry.obj for entry in entries]
-            )
+            objs = [entry.obj for entry in entries]
+            if trace_nodes:
+                dists = self._traced_distances(query, objs, level)
+            else:
+                dists = self.metric.one_to_many(query, objs)
             stats.dists_computed += len(entries)
+            if reg is not None:
+                reg.inc("mtree.dists_computed", len(entries), kind="knn")
             if node.is_leaf:
                 for entry, dist in zip(entries, dists):
                     if dist <= kth_distance():
@@ -429,12 +540,23 @@ class MTree:
                     if d_min <= kth_distance():
                         heapq.heappush(
                             pending,
-                            (d_min, next(counter), entry.child, float(dist)),
+                            (
+                                d_min,
+                                next(counter),
+                                entry.child,
+                                float(dist),
+                                level + 1,
+                            ),
                         )
+                    elif reg is not None:
+                        reg.inc("mtree.pruned_subtrees", kind="knn")
         neighbors = sorted(
             (Neighbor(oid, obj, -neg) for neg, oid, obj in best),
             key=lambda nb: (nb.distance, nb.oid),
         )
+        if reg is not None:
+            reg.inc("mtree.queries", kind="knn")
+            reg.inc("mtree.results", len(neighbors), kind="knn")
         return KNNResult(neighbors, stats)
 
     def range_count(self, query: Any, radius: float) -> Tuple[int, QueryStats]:
@@ -450,15 +572,19 @@ class MTree:
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        reg = _obs.registry
         stats = QueryStats()
         if self._root is None:
             return 0, stats
         counts = self._subtree_counts()
         total = 0
-        stack: List[Node] = [self._root]
+        stack: List[Tuple[Node, int]] = [(self._root, 1)]
         while stack:
-            node = stack.pop()
+            node, level = stack.pop()
             stats.nodes_accessed += 1
+            if reg is not None:
+                reg.inc("mtree.nodes_accessed", kind="range_count")
+                reg.observe("mtree.fanout", len(node.entries), level=level)
             entries = node.entries
             if not entries:
                 continue
@@ -466,14 +592,27 @@ class MTree:
                 query, [entry.obj for entry in entries]
             )
             stats.dists_computed += len(entries)
+            if reg is not None:
+                reg.inc(
+                    "mtree.dists_computed", len(entries), kind="range_count"
+                )
             if node.is_leaf:
                 total += int(sum(1 for d in dists if d <= radius))
                 continue
             for entry, dist in zip(entries, dists):
                 if dist + entry.radius <= radius:
                     total += counts[id(entry.child)]  # fully contained
+                    if reg is not None:
+                        reg.inc(
+                            "mtree.aggregated_subtrees", kind="range_count"
+                        )
                 elif dist <= radius + entry.radius:
-                    stack.append(entry.child)
+                    stack.append((entry.child, level + 1))
+                elif reg is not None:
+                    reg.inc("mtree.pruned_subtrees", kind="range_count")
+        if reg is not None:
+            reg.inc("mtree.queries", kind="range_count")
+            reg.inc("mtree.results", total, kind="range_count")
         return total, stats
 
     def _subtree_counts(self) -> dict:
@@ -667,15 +806,19 @@ class MTree:
                 raise InvalidParameterError(
                     f"radius must be >= 0, got {radius}"
                 )
+        reg = _obs.registry
         stats = QueryStats()
         items: List[Tuple[int, Any, float]] = []
         if self._root is None:
             return RangeResult(items, stats)
         combine = all if mode == "and" else any
-        stack: List[Node] = [self._root]
+        stack: List[Tuple[Node, int]] = [(self._root, 1)]
         while stack:
-            node = stack.pop()
+            node, level = stack.pop()
             stats.nodes_accessed += 1
+            if reg is not None:
+                reg.inc("mtree.nodes_accessed", kind="complex")
+                reg.observe("mtree.fanout", len(node.entries), level=level)
             entries = node.entries
             if not entries:
                 continue
@@ -685,6 +828,12 @@ class MTree:
                 for query, _radius in predicates
             ]
             stats.dists_computed += len(predicates) * len(entries)
+            if reg is not None:
+                reg.inc(
+                    "mtree.dists_computed",
+                    len(predicates) * len(entries),
+                    kind="complex",
+                )
             for col, entry in enumerate(entries):
                 if node.is_leaf:
                     hit = combine(
@@ -703,7 +852,12 @@ class MTree:
                         for row, (_q, radius) in enumerate(predicates)
                     )
                     if descend:
-                        stack.append(entry.child)
+                        stack.append((entry.child, level + 1))
+                    elif reg is not None:
+                        reg.inc("mtree.pruned_subtrees", kind="complex")
+        if reg is not None:
+            reg.inc("mtree.queries", kind="complex")
+            reg.inc("mtree.results", len(items), kind="complex")
         return RangeResult(items, stats)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,354 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The cost models predict *observable* quantities — node reads and distance
+computations per query (Eqs. 5-8) — so the observations themselves deserve
+first-class treatment.  This registry is the single collection point: hot
+paths increment labelled counters, benches and the CLI snapshot the whole
+registry, and the verification tests pin model predictions to the counted
+reality.
+
+Design constraints, in order:
+
+* **zero cost when disabled** — the hot paths guard every touch with an
+  ``if registry is not None`` check against the module singleton (see
+  :func:`repro.observability.active_registry`); no registry, no work;
+* **exact** — counters are plain Python ints/floats updated at the same
+  program points as the legacy stats fields, so the golden-counter tests
+  can assert field-for-field equality with :class:`~repro.mtree.QueryStats`
+  and :class:`~repro.storage.PagerStats`;
+* **serialisable** — :meth:`MetricsRegistry.snapshot` produces a
+  :class:`MetricsSnapshot` that round-trips through JSON losslessly.
+
+Labels are passed as keyword arguments and stored as a sorted tuple of
+``(key, value)`` pairs, so ``inc("x", kind="range")`` and a later
+``inc("x", kind="knn")`` are distinct series of the same metric.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "HistogramData",
+    "MetricSeries",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+# Bucket upper bounds for histograms: 1-2-5 decades covering microseconds
+# to minutes for timings and 1 to 10^6 for discrete sizes (fan-outs,
+# batch lengths).  A catch-all +inf bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 7) for m in (1.0, 2.0, 5.0)
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class HistogramData:
+    """Aggregated observations: count/sum/min/max plus bucket counts.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; values
+    above the last bound land in the implicit overflow bucket (tracked by
+    ``count`` minus the sum of ``bucket_counts``).
+    """
+
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        # Linear scan from the low end; observations are usually small
+        # relative to the 1-2-5 ladder, and the ladder is short.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HistogramData":
+        return cls(
+            buckets=tuple(data["buckets"]),
+            bucket_counts=list(data["bucket_counts"]),
+            count=int(data["count"]),
+            total=float(data["sum"]),
+            min_value=data["min"],
+            max_value=data["max"],
+        )
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """One (name, labels) series frozen into a snapshot."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: LabelPairs
+    value: Any  # number for counter/gauge, dict for histogram
+
+    @property
+    def label_str(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in self.labels)
+
+
+@dataclass
+class MetricsSnapshot:
+    """An immutable, JSON-serialisable copy of a registry's state."""
+
+    series: List[MetricSeries]
+    taken_at: float  # wall-clock seconds (time.time())
+
+    def counters(self) -> List[MetricSeries]:
+        return [s for s in self.series if s.kind == "counter"]
+
+    def get(
+        self, name: str, default: float = 0.0, /, **labels: Any
+    ) -> Any:
+        """Value of one series; ``default`` if it was never touched."""
+        key = _label_key(labels)
+        for s in self.series:
+            if s.name == name and s.labels == key:
+                return s.value
+        return default
+
+    def total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(
+            s.value for s in self.series
+            if s.name == name and s.kind == "counter"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "metricost-metrics-v1",
+            "taken_at": self.taken_at,
+            "series": [
+                {
+                    "name": s.name,
+                    "kind": s.kind,
+                    "labels": {k: v for k, v in s.labels},
+                    "value": s.value,
+                }
+                for s in self.series
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        if data.get("format") != "metricost-metrics-v1":
+            raise InvalidParameterError(
+                f"not a metrics snapshot: format={data.get('format')!r}"
+            )
+        series = [
+            MetricSeries(
+                name=item["name"],
+                kind=item["kind"],
+                labels=_label_key(item.get("labels", {})),
+                value=item["value"],
+            )
+            for item in data["series"]
+        ]
+        return cls(series=series, taken_at=float(data["taken_at"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable table, grouped by metric kind."""
+        if not self.series:
+            return "(no metrics recorded)"
+        lines: List[str] = []
+        width = max(len(s.name) for s in self.series)
+        by_kind = {"counter": [], "gauge": [], "histogram": []}
+        for s in self.series:
+            by_kind.setdefault(s.kind, []).append(s)
+        for kind in ("counter", "gauge", "histogram"):
+            entries = by_kind.get(kind, [])
+            if not entries:
+                continue
+            lines.append(f"{kind}s:")
+            for s in sorted(entries, key=lambda x: (x.name, x.labels)):
+                label = f"{{{s.label_str}}}" if s.labels else ""
+                if kind == "histogram":
+                    hist = (
+                        s.value
+                        if isinstance(s.value, HistogramData)
+                        else HistogramData.from_dict(s.value)
+                    )
+                    lines.append(
+                        f"  {s.name:<{width}} {label:<24} "
+                        f"count={hist.count} mean={hist.mean:.6g} "
+                        f"min={hist.min_value:.6g} max={hist.max_value:.6g}"
+                        if hist.count
+                        else f"  {s.name:<{width}} {label:<24} count=0"
+                    )
+                else:
+                    value = (
+                        f"{s.value:g}"
+                        if isinstance(s.value, float)
+                        else str(s.value)
+                    )
+                    lines.append(f"  {s.name:<{width}} {label:<24} {value}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Mutable metric store; all hot-path updates land here.
+
+    Not thread-safe by design: the reproduction is single-process and the
+    paper's counted quantities are per-query deterministic.  Every update
+    is a dict lookup plus an integer add.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelPairs], float] = {}
+        self._gauges: Dict[Tuple[str, LabelPairs], float] = {}
+        self._histograms: Dict[Tuple[str, LabelPairs], HistogramData] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, /, **labels: Any) -> None:
+        """Add ``value`` (default 1) to a counter series."""
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        """Set a gauge series to ``value``."""
+        self._gauges[(name, _label_key(labels))] = value
+
+    def observe(self, name: str, value: float, /, **labels: Any) -> None:
+        """Record one observation into a histogram series."""
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramData()
+        hist.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter_value(self, name: str, /, **labels: Any) -> float:
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label combinations."""
+        return sum(
+            v for (n, _labels), v in self._counters.items() if n == name
+        )
+
+    def gauge_value(self, name: str, /, **labels: Any) -> Optional[float]:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def histogram(self, name: str, /, **labels: Any) -> Optional[HistogramData]:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def names(self) -> List[str]:
+        seen = {name for name, _labels in self._counters}
+        seen.update(name for name, _labels in self._gauges)
+        seen.update(name for name, _labels in self._histograms)
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every series (names included)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current state into a serialisable snapshot."""
+        series: List[MetricSeries] = []
+        for (name, labels), value in sorted(self._counters.items()):
+            series.append(MetricSeries(name, "counter", labels, value))
+        for (name, labels), value in sorted(self._gauges.items()):
+            series.append(MetricSeries(name, "gauge", labels, value))
+        for (name, labels), hist in sorted(self._histograms.items()):
+            series.append(
+                MetricSeries(name, "histogram", labels, hist.to_dict())
+            )
+        return MetricsSnapshot(series=series, taken_at=time.time())
+
+    def load(self, snapshot: MetricsSnapshot) -> None:
+        """Merge a snapshot back into this registry (used by the CLI to
+        re-render persisted snapshots; counters add, gauges overwrite)."""
+        for s in snapshot.series:
+            if s.kind == "counter":
+                key = (s.name, s.labels)
+                self._counters[key] = self._counters.get(key, 0) + s.value
+            elif s.kind == "gauge":
+                self._gauges[(s.name, s.labels)] = s.value
+            elif s.kind == "histogram":
+                data = HistogramData.from_dict(s.value)
+                key = (s.name, s.labels)
+                existing = self._histograms.get(key)
+                if existing is None:
+                    self._histograms[key] = data
+                else:
+                    existing.count += data.count
+                    existing.total += data.total
+                    for i, c in enumerate(data.bucket_counts):
+                        if i < len(existing.bucket_counts):
+                            existing.bucket_counts[i] += c
+                    for bound in (data.min_value, data.max_value):
+                        if bound is None:
+                            continue
+                        if (
+                            existing.min_value is None
+                            or bound < existing.min_value
+                        ):
+                            existing.min_value = bound
+                        if (
+                            existing.max_value is None
+                            or bound > existing.max_value
+                        ):
+                            existing.max_value = bound
+            else:
+                raise InvalidParameterError(
+                    f"unknown metric kind {s.kind!r}"
+                )

@@ -1,0 +1,18 @@
+"""The process-local observability state.
+
+A tiny module so that hot paths can read two module globals —
+``state.registry`` and ``state.tracer`` — with no indirection and no
+import cycles.  Both are ``None`` unless :func:`repro.observability.install`
+has been called; every instrumentation site guards on that, which is what
+makes the default configuration zero-cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import MetricsRegistry
+from .tracer import Tracer
+
+registry: Optional[MetricsRegistry] = None
+tracer: Optional[Tracer] = None

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
 from ..exceptions import InvalidParameterError, MetricostError
+from ..observability import state as _obs
 from ..storage.diskmodel import DiskModel
 from .plans import AccessPlan, ExecutionOutcome, PlanCostEstimate
 
@@ -95,7 +96,7 @@ class SimilarityQueryOptimizer:
 
     # ------------------------------------------------------------------
 
-    def _choose(self, estimate_one, what: str) -> PlanChoice:
+    def _choose(self, estimate_one, what: str, kind: str) -> PlanChoice:
         """Rank plans, demoting (not failing on) broken cost models.
 
         A plan whose estimator raises — a statistics artifact that failed
@@ -104,7 +105,12 @@ class SimilarityQueryOptimizer:
         it.  If *every* estimator breaks, the linear scan (which needs no
         statistics) is returned as an unranked fallback so ``choose()``
         always yields an executable plan.
+
+        Plan choices and demotions are mirrored into the registry
+        (``optimizer.plans_chosen`` / ``optimizer.degraded``) when
+        observability is installed.
         """
+        reg = _obs.registry
         estimates: List[PlanCostEstimate] = []
         degraded: List[DegradedPlan] = []
         for plan in self.plans:
@@ -116,6 +122,12 @@ class SimilarityQueryOptimizer:
                         plan.name, "estimate", f"{type(exc).__name__}: {exc}"
                     )
                 )
+                if reg is not None:
+                    reg.inc(
+                        "optimizer.degraded",
+                        plan=plan.name,
+                        stage="estimate",
+                    )
                 continue
             if estimate is not None:
                 estimates.append(estimate)
@@ -130,9 +142,16 @@ class SimilarityQueryOptimizer:
                     fallback.name, math.inf, math.inf, math.inf, math.inf
                 )
             ]
-        return PlanChoice(
+        choice = PlanChoice(
             sorted(estimates, key=lambda e: e.total_ms), degraded
         )
+        if reg is not None:
+            reg.inc(
+                "optimizer.plans_chosen",
+                plan=choice.best.plan_name,
+                kind=kind,
+            )
+        return choice
 
     def choose_range_plan(self, radius: float) -> PlanChoice:
         """Rank plans for ``range(Q, radius)`` by predicted total cost."""
@@ -141,6 +160,7 @@ class SimilarityQueryOptimizer:
         return self._choose(
             lambda plan: plan.estimate_range(radius, self.disk),
             "range queries",
+            kind="range",
         )
 
     def choose_knn_plan(self, k: int) -> PlanChoice:
@@ -148,7 +168,9 @@ class SimilarityQueryOptimizer:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         return self._choose(
-            lambda plan: plan.estimate_knn(k, self.disk), "k-NN queries"
+            lambda plan: plan.estimate_knn(k, self.disk),
+            "k-NN queries",
+            kind="knn",
         )
 
     # ------------------------------------------------------------------
@@ -163,6 +185,7 @@ class SimilarityQueryOptimizer:
         the next-cheapest plan takes over; only when every ranked plan
         fails does the last error propagate.
         """
+        reg = _obs.registry
         last_error: Optional[BaseException] = None
         for estimate in choice.ranked:
             plan = self._plan_by_name(estimate.plan_name)
@@ -174,6 +197,12 @@ class SimilarityQueryOptimizer:
                         plan.name, "execute", f"{type(exc).__name__}: {exc}"
                     )
                 )
+                if reg is not None:
+                    reg.inc(
+                        "optimizer.degraded",
+                        plan=plan.name,
+                        stage="execute",
+                    )
                 last_error = exc
         assert last_error is not None
         if isinstance(last_error, MetricostError):

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..exceptions import InvalidParameterError, IOFaultError
+from ..observability import state as _obs
 from ..storage.pager import PageStore
 
 __all__ = [
@@ -234,13 +235,21 @@ class FaultyPageStore:
 
     # -- faulting operations ----------------------------------------------
 
+    @staticmethod
+    def _count_fault(kind: str) -> None:
+        """Mirror an injected fault into the metrics registry."""
+        if _obs.registry is not None:
+            _obs.registry.inc("reliability.faults_injected", kind=kind)
+
     def allocate(self, payload: Any) -> int:
         self.fault_stats.writes += 1
         if self.policy.next_write_fails():
             self.fault_stats.write_faults += 1
+            self._count_fault("write")
             raise IOFaultError("injected write fault during page allocation")
         if self.policy.next_write_tears():
             self.fault_stats.torn_writes += 1
+            self._count_fault("torn_write")
             return self.inner.allocate(self.policy.tear(payload))
         return self.inner.allocate(payload)
 
@@ -248,9 +257,11 @@ class FaultyPageStore:
         self.fault_stats.writes += 1
         if self.policy.next_write_fails():
             self.fault_stats.write_faults += 1
+            self._count_fault("write")
             raise IOFaultError(f"injected write fault on page {page_id}")
         if self.policy.next_write_tears():
             self.fault_stats.torn_writes += 1
+            self._count_fault("torn_write")
             self.inner.write(page_id, self.policy.tear(payload))
             return
         self.inner.write(page_id, payload)
@@ -259,9 +270,11 @@ class FaultyPageStore:
         self.fault_stats.reads += 1
         if self.policy.next_read_fails():
             self.fault_stats.read_faults += 1
+            self._count_fault("read")
             raise IOFaultError(f"injected read fault on page {page_id}")
         payload = self.inner.read(page_id)
         if self.policy.next_read_corrupts():
             self.fault_stats.corruptions += 1
+            self._count_fault("corruption")
             return self.policy.corrupt(payload)
         return payload

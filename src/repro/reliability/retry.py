@@ -23,6 +23,7 @@ from ..exceptions import (
     IOFaultError,
     RetryExhaustedError,
 )
+from ..observability import state as _obs
 
 __all__ = ["RetryAttempt", "RetryStats", "RetryPolicy", "RetryingPageStore"]
 
@@ -113,10 +114,15 @@ class RetryPolicy:
 
     def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Invoke ``fn`` under this policy; return its first success."""
+        reg = _obs.registry
         attempts = []
         self.stats.calls += 1
+        if reg is not None:
+            reg.inc("retry.calls")
         for number in range(1, self.max_attempts + 1):
             self.stats.attempts += 1
+            if reg is not None:
+                reg.inc("retry.attempts")
             try:
                 return fn(*args, **kwargs)
             except self.retry_on as exc:
@@ -124,6 +130,8 @@ class RetryPolicy:
                 if number == self.max_attempts:
                     attempts.append(RetryAttempt(number, error, 0.0))
                     self.stats.exhausted += 1
+                    if reg is not None:
+                        reg.inc("retry.exhausted")
                     name = getattr(fn, "__name__", repr(fn))
                     raise RetryExhaustedError(
                         f"{name} still failing after {self.max_attempts} "
@@ -134,6 +142,9 @@ class RetryPolicy:
                 attempts.append(RetryAttempt(number, error, delay))
                 self.stats.retries += 1
                 self.stats.total_sleep_s += delay
+                if reg is not None:
+                    reg.inc("retry.retries")
+                    reg.observe("retry.backoff_seconds", delay)
                 self._sleep(delay)
 
     def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:

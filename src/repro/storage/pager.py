@@ -13,13 +13,21 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..exceptions import InvalidParameterError
+from ..observability import state as _obs
 
 __all__ = ["PageStore", "PagerStats"]
 
 
 @dataclass
 class PagerStats:
-    """Accounting of a :class:`PageStore`."""
+    """Accounting of a :class:`PageStore`.
+
+    When observability is installed (:func:`repro.observability.install`)
+    the same quantities are mirrored, update for update, into the registry
+    counters ``pager.logical_reads`` / ``pager.physical_reads`` /
+    ``pager.writes`` / ``pager.buffer_hits`` — this dataclass stays the
+    per-store view, the registry the process-wide one.
+    """
 
     logical_reads: int = 0
     physical_reads: int = 0
@@ -30,6 +38,29 @@ class PagerStats:
         if self.logical_reads == 0:
             return 0.0
         return 1.0 - self.physical_reads / self.logical_reads
+
+    @property
+    def buffer_hits(self) -> int:
+        return self.logical_reads - self.physical_reads
+
+    @classmethod
+    def from_registry(cls, registry=None) -> "PagerStats":
+        """Process-wide pager stats as seen by the metrics registry.
+
+        A thin view for callers that want aggregate accounting across
+        every live :class:`PageStore`; with observability disabled the
+        result is all zeros.
+        """
+        registry = registry if registry is not None else _obs.registry
+        if registry is None:
+            return cls()
+        return cls(
+            logical_reads=int(registry.counter_value("pager.logical_reads")),
+            physical_reads=int(
+                registry.counter_value("pager.physical_reads")
+            ),
+            writes=int(registry.counter_value("pager.writes")),
+        )
 
 
 class PageStore:
@@ -61,6 +92,8 @@ class PageStore:
         self._next_id += 1
         self._pages[page_id] = payload
         self.stats.writes += 1
+        if _obs.registry is not None:
+            _obs.registry.inc("pager.writes")
         return page_id
 
     def write(self, page_id: int, payload: Any) -> None:
@@ -70,16 +103,25 @@ class PageStore:
         self._pages[page_id] = payload
         self._buffer.pop(page_id, None)
         self.stats.writes += 1
+        if _obs.registry is not None:
+            _obs.registry.inc("pager.writes")
 
     def read(self, page_id: int) -> Any:
         """Read a page, through the buffer if one is configured."""
         if page_id not in self._pages:
             raise InvalidParameterError(f"unknown page id {page_id}")
+        reg = _obs.registry
         self.stats.logical_reads += 1
+        if reg is not None:
+            reg.inc("pager.logical_reads")
         if self.buffer_pages > 0 and page_id in self._buffer:
             self._buffer.move_to_end(page_id)
+            if reg is not None:
+                reg.inc("pager.buffer_hits")
             return self._buffer[page_id]
         self.stats.physical_reads += 1
+        if reg is not None:
+            reg.inc("pager.physical_reads")
         payload = self._pages[page_id]
         if self.buffer_pages > 0:
             self._buffer[page_id] = payload

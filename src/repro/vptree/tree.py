@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -26,16 +27,40 @@ import numpy as np
 
 from ..exceptions import EmptyTreeError, InvalidParameterError
 from ..metrics import Metric
+from ..observability import state as _obs
 
 __all__ = ["VPNode", "VPTree", "VPQueryStats", "VPRangeResult", "VPKNNResult"]
 
 
 @dataclass
 class VPQueryStats:
-    """Costs paid by one vp-tree query (one distance per accessed node)."""
+    """Costs paid by one vp-tree query (one distance per accessed node).
+
+    With observability installed the same quantities are mirrored into the
+    registry counters ``vptree.nodes_accessed`` / ``vptree.dists_computed``
+    (labelled by query ``kind``); see :mod:`repro.observability`.
+    """
 
     nodes_accessed: int = 0
     dists_computed: int = 0
+
+    @classmethod
+    def from_registry(
+        cls, kind: str = "range", registry=None
+    ) -> "VPQueryStats":
+        """Accumulated vp-tree stats as the registry saw them (zeros when
+        observability is disabled)."""
+        registry = registry if registry is not None else _obs.registry
+        if registry is None:
+            return cls()
+        return cls(
+            nodes_accessed=int(
+                registry.counter_value("vptree.nodes_accessed", kind=kind)
+            ),
+            dists_computed=int(
+                registry.counter_value("vptree.dists_computed", kind=kind)
+            ),
+        )
 
 
 @dataclass
@@ -228,24 +253,47 @@ class VPTree:
         """All objects within ``radius``; one distance per accessed node."""
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
-        stats = VPQueryStats()
-        items: List[Tuple[int, Any, float]] = []
-        if self._root is None:
+        reg = _obs.registry
+        tracer = _obs.tracer
+        span = (
+            tracer.span("vptree.range_query", radius=float(radius))
+            if tracer is not None
+            else nullcontext()
+        )
+        with span as sp:
+            stats = VPQueryStats()
+            items: List[Tuple[int, Any, float]] = []
+            if self._root is None:
+                return VPRangeResult(items, stats)
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                stats.nodes_accessed += 1
+                dist = self.metric.distance(query, node.obj)
+                stats.dists_computed += 1
+                if reg is not None:
+                    reg.inc("vptree.nodes_accessed", kind="range")
+                    reg.inc("vptree.dists_computed", kind="range")
+                if dist <= radius:
+                    items.append((node.oid, node.obj, dist))
+                previous_cut = 0.0
+                for cut, child in zip(node.cutoffs, node.children):
+                    if child is not None:
+                        if previous_cut - radius < dist <= cut + radius:
+                            stack.append(child)
+                        elif reg is not None:
+                            reg.inc("vptree.pruned_subtrees", kind="range")
+                    previous_cut = cut
+            if reg is not None:
+                reg.inc("vptree.queries", kind="range")
+                reg.inc("vptree.results", len(items), kind="range")
+            if sp is not None:
+                sp.set(
+                    nodes=stats.nodes_accessed,
+                    dists=stats.dists_computed,
+                    results=len(items),
+                )
             return VPRangeResult(items, stats)
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            stats.nodes_accessed += 1
-            dist = self.metric.distance(query, node.obj)
-            stats.dists_computed += 1
-            if dist <= radius:
-                items.append((node.oid, node.obj, dist))
-            previous_cut = 0.0
-            for cut, child in zip(node.cutoffs, node.children):
-                if child is not None and previous_cut - radius < dist <= cut + radius:
-                    stack.append(child)
-                previous_cut = cut
-        return VPRangeResult(items, stats)
 
     def knn_query(self, query: Any, k: int) -> VPKNNResult:
         """Best-first k-NN using per-subtree distance lower bounds."""
@@ -255,37 +303,61 @@ class VPTree:
             raise InvalidParameterError(
                 f"k must lie in [1, {self._n_objects}], got {k}"
             )
-        stats = VPQueryStats()
-        best: List[Tuple[float, int, Any]] = []  # max-heap via negation
-
-        def kth() -> float:
-            return -best[0][0] if len(best) == k else float("inf")
-
-        counter = itertools.count()
-        pending: List[Tuple[float, int, VPNode]] = [(0.0, next(counter), self._root)]
-        while pending and pending[0][0] <= kth():
-            _bound, _tie, node = heapq.heappop(pending)
-            stats.nodes_accessed += 1
-            dist = self.metric.distance(query, node.obj)
-            stats.dists_computed += 1
-            if dist <= kth():
-                heapq.heappush(best, (-dist, node.oid, node.obj))
-                if len(best) > k:
-                    heapq.heappop(best)
-            previous_cut = 0.0
-            for cut, child in zip(node.cutoffs, node.children):
-                if child is not None:
-                    # Lower bound on d(Q, x) for x in the (previous_cut, cut]
-                    # shell around the vantage point.
-                    lower = max(previous_cut - dist, dist - cut, 0.0)
-                    if lower <= kth():
-                        heapq.heappush(pending, (lower, next(counter), child))
-                previous_cut = cut
-        neighbors = sorted(
-            ((oid, obj, -neg) for neg, oid, obj in best),
-            key=lambda item: (item[2], item[0]),
+        reg = _obs.registry
+        tracer = _obs.tracer
+        span = (
+            tracer.span("vptree.knn_query", k=k)
+            if tracer is not None
+            else nullcontext()
         )
-        return VPKNNResult(neighbors, stats)
+        with span as sp:
+            stats = VPQueryStats()
+            best: List[Tuple[float, int, Any]] = []  # max-heap via negation
+
+            def kth() -> float:
+                return -best[0][0] if len(best) == k else float("inf")
+
+            counter = itertools.count()
+            pending: List[Tuple[float, int, VPNode]] = [
+                (0.0, next(counter), self._root)
+            ]
+            while pending and pending[0][0] <= kth():
+                _bound, _tie, node = heapq.heappop(pending)
+                stats.nodes_accessed += 1
+                dist = self.metric.distance(query, node.obj)
+                stats.dists_computed += 1
+                if reg is not None:
+                    reg.inc("vptree.nodes_accessed", kind="knn")
+                    reg.inc("vptree.dists_computed", kind="knn")
+                if dist <= kth():
+                    heapq.heappush(best, (-dist, node.oid, node.obj))
+                    if len(best) > k:
+                        heapq.heappop(best)
+                previous_cut = 0.0
+                for cut, child in zip(node.cutoffs, node.children):
+                    if child is not None:
+                        # Lower bound on d(Q, x) for x in the
+                        # (previous_cut, cut] shell around the vantage point.
+                        lower = max(previous_cut - dist, dist - cut, 0.0)
+                        if lower <= kth():
+                            heapq.heappush(
+                                pending, (lower, next(counter), child)
+                            )
+                        elif reg is not None:
+                            reg.inc("vptree.pruned_subtrees", kind="knn")
+                    previous_cut = cut
+            neighbors = sorted(
+                ((oid, obj, -neg) for neg, oid, obj in best),
+                key=lambda item: (item[2], item[0]),
+            )
+            if reg is not None:
+                reg.inc("vptree.queries", kind="knn")
+                reg.inc("vptree.results", len(neighbors), kind="knn")
+            if sp is not None:
+                sp.set(
+                    nodes=stats.nodes_accessed, dists=stats.dists_computed
+                )
+            return VPKNNResult(neighbors, stats)
 
     # ------------------------------------------------------------------
     # Validation

@@ -18,6 +18,8 @@ under the tree (see ``docs/robustness.md``).
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional
 
@@ -25,6 +27,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..mtree import MTree
+from ..observability import state as _obs
 from ..reliability.faults import FaultPolicy, FaultyPageStore
 from ..reliability.retry import RetryingPageStore, RetryPolicy
 from ..storage.pager import PageStore
@@ -54,6 +57,7 @@ class WorkloadMeasurement:
     mean_nn_distance: Optional[float] = None  # k-NN workloads only
     failed_queries: int = 0
     errors: List[str] = field(default_factory=list)
+    mean_query_seconds: Optional[float] = None  # wall-clock per query
 
     @property
     def success_rate(self) -> float:
@@ -73,6 +77,7 @@ def _summarise(
     results: List[int],
     nn_distances: Optional[List[float]] = None,
     failures: Optional[List[str]] = None,
+    seconds: Optional[List[float]] = None,
 ) -> WorkloadMeasurement:
     failures = failures or []
     if not nodes:
@@ -102,7 +107,22 @@ def _summarise(
         ),
         failed_queries=len(failures),
         errors=failures[:MAX_RECORDED_ERRORS],
+        mean_query_seconds=(
+            float(np.mean(seconds)) if seconds else None
+        ),
     )
+
+
+def _record_query(kind: str, ok: bool, elapsed_s: float) -> None:
+    """Mirror one workload query into the registry (no-op when disabled)."""
+    reg = _obs.registry
+    if reg is None:
+        return
+    if ok:
+        reg.inc("workload.queries", kind=kind)
+        reg.observe("workload.query_seconds", elapsed_s, kind=kind)
+    else:
+        reg.inc("workload.failed_queries", kind=kind)
 
 
 class _PageReplayer:
@@ -143,6 +163,7 @@ def _run_mtree_workload(
     fault_policy: Optional[FaultPolicy],
     retry: Optional[RetryPolicy],
     want_kth: bool,
+    kind: str,
 ) -> WorkloadMeasurement:
     capture = capture_errors or fault_policy is not None
     replayer = (
@@ -150,26 +171,45 @@ def _run_mtree_workload(
         if fault_policy is not None
         else None
     )
+    tracer = _obs.tracer
     nodes: List[int] = []
     dists: List[int] = []
     results: List[int] = []
     kth: List[float] = []
     failures: List[str] = []
+    seconds: List[float] = []
     n_seen = 0
     for index, query in enumerate(queries):
         n_seen += 1
         log: Optional[List[int]] = [] if replayer is not None else None
+        span = (
+            tracer.span("workload.query", kind=kind, index=index)
+            if tracer is not None
+            else nullcontext()
+        )
+        started = time.perf_counter()
         try:
-            outcome = run_one(query, log)
-            if replayer is not None:
-                replayer.replay(log)
+            with span as sp:
+                outcome = run_one(query, log)
+                if replayer is not None:
+                    replayer.replay(log)
+                if sp is not None:
+                    sp.set(
+                        nodes=outcome.stats.nodes_accessed,
+                        dists=outcome.stats.dists_computed,
+                        results=len(outcome),
+                    )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
+            _record_query(kind, False, 0.0)
             if not capture:
                 raise
             failures.append(
                 f"query {index}: {type(exc).__name__}: {exc}"
             )
             continue
+        elapsed = time.perf_counter() - started
+        _record_query(kind, True, elapsed)
+        seconds.append(elapsed)
         nodes.append(outcome.stats.nodes_accessed)
         dists.append(outcome.stats.dists_computed)
         results.append(len(outcome))
@@ -178,7 +218,7 @@ def _run_mtree_workload(
     if n_seen == 0:
         raise InvalidParameterError("workload is empty")
     return _summarise(
-        nodes, dists, results, kth if want_kth else None, failures
+        nodes, dists, results, kth if want_kth else None, failures, seconds
     )
 
 
@@ -202,6 +242,7 @@ def run_range_workload(
         fault_policy,
         retry,
         want_kth=False,
+        kind="range",
     )
 
 
@@ -229,6 +270,7 @@ def run_knn_workload(
         fault_policy,
         retry,
         want_kth=True,
+        kind="knn",
     )
 
 
@@ -243,22 +285,29 @@ def run_vptree_range_workload(
     dists: List[int] = []
     results: List[int] = []
     failures: List[str] = []
+    seconds: List[float] = []
     n_seen = 0
     for index, query in enumerate(queries):
         n_seen += 1
+        started = time.perf_counter()
         try:
             outcome = tree.range_query(query, radius)
         except Exception as exc:  # noqa: BLE001
+            _record_query("vptree_range", False, 0.0)
             if not capture_errors:
                 raise
             failures.append(f"query {index}: {type(exc).__name__}: {exc}")
             continue
+        elapsed = time.perf_counter() - started
+        _record_query("vptree_range", True, elapsed)
+        seconds.append(elapsed)
         nodes.append(outcome.stats.nodes_accessed)
         dists.append(outcome.stats.dists_computed)
         results.append(len(outcome))
     if n_seen == 0:
         raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results, failures=failures)
+    return _summarise(nodes, dists, results, failures=failures,
+                      seconds=seconds)
 
 
 def run_vptree_knn_workload(
@@ -273,23 +322,30 @@ def run_vptree_knn_workload(
     results: List[int] = []
     kth: List[float] = []
     failures: List[str] = []
+    seconds: List[float] = []
     n_seen = 0
     for index, query in enumerate(queries):
         n_seen += 1
+        started = time.perf_counter()
         try:
             outcome = tree.knn_query(query, k)
         except Exception as exc:  # noqa: BLE001
+            _record_query("vptree_knn", False, 0.0)
             if not capture_errors:
                 raise
             failures.append(f"query {index}: {type(exc).__name__}: {exc}")
             continue
+        elapsed = time.perf_counter() - started
+        _record_query("vptree_knn", True, elapsed)
+        seconds.append(elapsed)
         nodes.append(outcome.stats.nodes_accessed)
         dists.append(outcome.stats.dists_computed)
         results.append(len(outcome))
         kth.append(outcome.neighbors[-1][2])
     if n_seen == 0:
         raise InvalidParameterError("workload is empty")
-    return _summarise(nodes, dists, results, kth, failures)
+    return _summarise(nodes, dists, results, kth, failures,
+                      seconds=seconds)
 
 
 class LinearScanBaseline:

@@ -1,0 +1,23 @@
+"""Observability test fixtures: per-test install/uninstall hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Guarantee each test starts and ends with observability disabled."""
+    observability.uninstall()
+    yield
+    observability.uninstall()
+
+
+@pytest.fixture
+def installed_registry():
+    """A freshly installed registry, torn down after the test."""
+    registry = observability.install()
+    yield registry
+    observability.uninstall()

@@ -1,0 +1,218 @@
+"""Golden counter tests: exact pinned costs on a seeded 2-D hypercube.
+
+The datasets, layouts, seeds and queries below are all fixed, so the
+M-tree / vp-tree traversals are fully deterministic and the exact
+``nodes_accessed`` / ``dists_computed`` values can be pinned.  Every test
+also asserts the metrics registry agrees with the legacy per-query stats
+field-for-field — the registry is updated at the *same program points*,
+so any drift between the two is a bug.
+
+If a legitimate algorithm change shifts these numbers, re-derive them by
+running the queries and update the pins alongside the change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import observability
+from repro.metrics import L2
+from repro.mtree import NodeLayout, QueryStats, bulk_load
+from repro.storage import PageStore, PagerStats
+from repro.vptree import VPQueryStats, VPTree
+
+SEED = 20260805
+QUERY = np.array([0.5, 0.5])
+RADIUS = 0.2
+K = 10
+
+
+@pytest.fixture(scope="module")
+def hypercube_points():
+    """400 uniform points in the unit square [0, 1]^2."""
+    return np.random.default_rng(SEED).random((400, 2))
+
+
+@pytest.fixture(scope="module")
+def mtree(hypercube_points):
+    layout = NodeLayout(node_size_bytes=256, object_bytes=16)
+    return bulk_load(hypercube_points, L2(), layout, seed=5)
+
+
+@pytest.fixture(scope="module")
+def vptree(hypercube_points):
+    return VPTree.build(list(hypercube_points), L2(), arity=2, seed=9)
+
+
+class TestMTreeGoldenCounters:
+    def test_range_query_pinned_costs(self, mtree):
+        result = mtree.range_query(QUERY, RADIUS)
+        assert result.stats.nodes_accessed == 28
+        assert result.stats.dists_computed == 163
+        assert len(result.items) == 52
+
+    def test_knn_query_pinned_costs(self, mtree):
+        result = mtree.knn_query(QUERY, K)
+        assert result.stats.nodes_accessed == 22
+        assert result.stats.dists_computed == 132
+
+    def test_range_count_pinned_costs(self, mtree):
+        count, stats = mtree.range_count(QUERY, RADIUS)
+        assert count == 52
+        assert stats.nodes_accessed == 26  # aggregation skips covered leaves
+        assert stats.dists_computed == 157
+
+    def test_complex_query_pinned_costs(self, mtree):
+        predicates = [
+            (np.array([0.4, 0.4]), 0.25),
+            (np.array([0.6, 0.6]), 0.25),
+        ]
+        result = mtree.complex_range_query(predicates, mode="and")
+        assert result.stats.nodes_accessed == 23
+        assert result.stats.dists_computed == 274
+        assert len(result.items) == 21
+
+    def test_registry_matches_stats_for_every_kind(self, mtree):
+        registry = observability.install()
+        try:
+            range_result = mtree.range_query(QUERY, RADIUS)
+            knn_result = mtree.knn_query(QUERY, K)
+            _count, count_stats = mtree.range_count(QUERY, RADIUS)
+            complex_result = mtree.complex_range_query(
+                [(QUERY, RADIUS)], mode="or"
+            )
+            expected = {
+                "range": range_result.stats,
+                "knn": knn_result.stats,
+                "range_count": count_stats,
+                "complex": complex_result.stats,
+            }
+            for kind, stats in expected.items():
+                mirrored = QueryStats.from_registry(kind, registry=registry)
+                assert mirrored == stats, f"kind={kind}"
+            assert registry.counter_value("mtree.queries", kind="range") == 1
+            assert registry.counter_value("mtree.results", kind="range") == (
+                len(range_result.items)
+            )
+        finally:
+            observability.uninstall()
+
+    def test_registry_accumulates_across_queries(self, mtree):
+        registry = observability.install()
+        try:
+            first = mtree.range_query(QUERY, RADIUS)
+            second = mtree.range_query(np.array([0.1, 0.9]), RADIUS)
+            mirrored = QueryStats.from_registry("range", registry=registry)
+            assert mirrored.nodes_accessed == (
+                first.stats.nodes_accessed + second.stats.nodes_accessed
+            )
+            assert mirrored.dists_computed == (
+                first.stats.dists_computed + second.stats.dists_computed
+            )
+        finally:
+            observability.uninstall()
+
+    def test_pruned_plus_visited_covers_every_touched_entry(self, mtree):
+        """Every parent entry is either descended into or pruned."""
+        registry = observability.install()
+        try:
+            mtree.range_query(QUERY, RADIUS)
+            visited = registry.counter_value(
+                "mtree.nodes_accessed", kind="range"
+            )
+            pruned = registry.counter_value(
+                "mtree.pruned_subtrees", kind="range"
+            )
+            # Root is visited without being anyone's child entry; every
+            # other considered entry resolves to exactly one of the two.
+            fanout_total = sum(
+                registry.histogram("mtree.fanout", level=level).count
+                * registry.histogram("mtree.fanout", level=level).mean
+                for level in (1, 2, 3)
+                if registry.histogram("mtree.fanout", level=level)
+            )
+            assert visited >= 1
+            assert pruned >= 0
+            assert visited - 1 + pruned <= fanout_total
+        finally:
+            observability.uninstall()
+
+
+class TestVPTreeGoldenCounters:
+    def test_range_query_pinned_costs(self, vptree):
+        result = vptree.range_query(QUERY, RADIUS)
+        assert result.stats.nodes_accessed == 136
+        assert result.stats.dists_computed == 136
+        assert len(result.items) == 52
+
+    def test_knn_query_pinned_costs(self, vptree):
+        result = vptree.knn_query(QUERY, K)
+        assert result.stats.nodes_accessed == 48
+        assert result.stats.dists_computed == 48
+
+    def test_one_distance_per_accessed_node(self, vptree):
+        for radius in (0.05, 0.2, 0.6):
+            stats = vptree.range_query(QUERY, radius).stats
+            assert stats.nodes_accessed == stats.dists_computed
+
+    def test_registry_matches_stats(self, vptree):
+        registry = observability.install()
+        try:
+            range_result = vptree.range_query(QUERY, RADIUS)
+            knn_result = vptree.knn_query(QUERY, K)
+            assert VPQueryStats.from_registry(
+                "range", registry=registry
+            ) == range_result.stats
+            assert VPQueryStats.from_registry(
+                "knn", registry=registry
+            ) == knn_result.stats
+            assert registry.counter_value(
+                "vptree.results", kind="range"
+            ) == len(range_result.items)
+        finally:
+            observability.uninstall()
+
+
+class TestMTreeVsVPTreeConsistency:
+    def test_same_result_set_on_the_hypercube(self, mtree, vptree):
+        """Both indexes return the identical 52 objects at the pin point."""
+        mtree_oids = sorted(mtree.range_query(QUERY, RADIUS).oids())
+        vptree_oids = sorted(vptree.range_query(QUERY, RADIUS).oids())
+        assert mtree_oids == vptree_oids
+        assert len(mtree_oids) == 52
+
+
+class TestPagerGoldenCounters:
+    def test_registry_matches_pager_stats(self):
+        registry = observability.install()
+        try:
+            store = PageStore(page_size_bytes=64, buffer_pages=2)
+            ids = [store.allocate(f"payload-{i}") for i in range(4)]
+            for page_id in (ids[0], ids[1], ids[0], ids[2], ids[3], ids[0]):
+                store.read(page_id)
+            mirrored = PagerStats.from_registry(registry=registry)
+            assert mirrored == store.stats
+            assert mirrored.buffer_hits == store.stats.buffer_hits
+            assert registry.counter_value("pager.buffer_hits") == (
+                store.stats.buffer_hits
+            )
+        finally:
+            observability.uninstall()
+
+    def test_exact_buffer_accounting(self):
+        registry = observability.install()
+        try:
+            store = PageStore(page_size_bytes=64, buffer_pages=1)
+            a = store.allocate("a")
+            b = store.allocate("b")
+            store.read(a)  # miss
+            store.read(a)  # hit
+            store.read(b)  # miss, evicts a
+            store.read(a)  # miss again
+            assert registry.counter_value("pager.logical_reads") == 4
+            assert registry.counter_value("pager.physical_reads") == 3
+            assert registry.counter_value("pager.buffer_hits") == 1
+            assert registry.counter_value("pager.writes") == 2
+        finally:
+            observability.uninstall()

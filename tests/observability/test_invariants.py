@@ -1,0 +1,187 @@
+"""Property-based invariants over the observed (counted) costs.
+
+Hypothesis drives datasets, radii and buffer sizes; the invariants are
+the monotonicity facts the cost model relies on — Eqs. 5-8 predict
+quantities that are non-decreasing in the radius and in k, and the pager
+obeys basic caching laws.  Everything is asserted against *measured*
+counters, not model output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import observability
+from repro.metrics import L2
+from repro.mtree import NodeLayout, QueryStats, bulk_load
+from repro.storage import PageStore
+from repro.vptree import VPTree
+
+
+def _points(n: int, dim: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, dim))
+
+
+def _mtree(points: np.ndarray):
+    layout = NodeLayout(node_size_bytes=192, object_bytes=16)
+    return bulk_load(points, L2(), layout, seed=1)
+
+
+dataset = st.tuples(
+    st.integers(min_value=10, max_value=150),  # n
+    st.integers(min_value=1, max_value=3),  # dim
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+class TestRadiusMonotonicity:
+    @given(dataset, st.floats(min_value=0.0, max_value=0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_mtree_costs_monotone_in_radius(self, params, radius):
+        n, dim, seed = params
+        tree = _mtree(_points(n, dim, seed))
+        query = np.full(dim, 0.5)
+        small = tree.range_query(query, radius).stats
+        large = tree.range_query(query, radius + 0.3).stats
+        assert large.nodes_accessed >= small.nodes_accessed
+        assert large.dists_computed >= small.dists_computed
+
+    @given(dataset, st.floats(min_value=0.0, max_value=0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_vptree_costs_monotone_in_radius(self, params, radius):
+        n, dim, seed = params
+        points = _points(n, dim, seed)
+        tree = VPTree.build(list(points), L2(), seed=2)
+        query = np.full(dim, 0.5)
+        small = tree.range_query(query, radius).stats
+        large = tree.range_query(query, radius + 0.3).stats
+        assert large.nodes_accessed >= small.nodes_accessed
+        assert large.dists_computed >= small.dists_computed
+
+    @given(dataset, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_result_count_monotone_in_radius(self, params, radius):
+        n, dim, seed = params
+        tree = _mtree(_points(n, dim, seed))
+        query = np.full(dim, 0.5)
+        assert len(tree.range_query(query, radius + 0.2).items) >= len(
+            tree.range_query(query, radius).items
+        )
+
+
+class TestKnnMonotonicity:
+    @given(dataset, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_mtree_knn_cost_non_decreasing_in_k(self, params, k):
+        n, dim, seed = params
+        tree = _mtree(_points(n, dim, seed))
+        query = np.full(dim, 0.5)
+        k2 = min(n, k + 3)
+        k1 = min(n, k)
+        small = tree.knn_query(query, k1).stats
+        large = tree.knn_query(query, k2).stats
+        assert large.nodes_accessed >= small.nodes_accessed
+        assert large.dists_computed >= small.dists_computed
+
+    @given(dataset, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_vptree_knn_cost_non_decreasing_in_k(self, params, k):
+        n, dim, seed = params
+        points = _points(n, dim, seed)
+        tree = VPTree.build(list(points), L2(), seed=3)
+        query = np.full(dim, 0.5)
+        small = tree.knn_query(query, min(n, k)).stats
+        large = tree.knn_query(query, min(n, k + 3)).stats
+        assert large.nodes_accessed >= small.nodes_accessed
+
+
+class TestRegistryMirrorsStats:
+    @given(dataset, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_registry_equals_stats_on_random_inputs(self, params, radius):
+        """The golden-counter equality holds for arbitrary seeded data."""
+        n, dim, seed = params
+        tree = _mtree(_points(n, dim, seed))
+        query = np.full(dim, 0.5)
+        registry = observability.install()
+        try:
+            result = tree.range_query(query, radius)
+            assert QueryStats.from_registry(
+                "range", registry=registry
+            ) == result.stats
+        finally:
+            observability.uninstall()
+
+
+class TestPagerLaws:
+    @given(
+        st.integers(min_value=0, max_value=12),  # buffer pages
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hit_ratio_in_unit_interval(self, buffer_pages, accesses):
+        store = PageStore(page_size_bytes=32, buffer_pages=buffer_pages)
+        ids = [store.allocate(i) for i in range(10)]
+        for idx in accesses:
+            store.read(ids[idx])
+        assert 0.0 <= store.stats.hit_ratio <= 1.0
+        assert store.stats.buffer_hits == (
+            store.stats.logical_reads - store.stats.physical_reads
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_physical_reads_never_decrease_when_buffer_shrinks(
+        self, buffer_pages, accesses
+    ):
+        """Replaying the same access trace with a smaller LRU buffer can
+        only cost more physical reads (LRU inclusion property)."""
+        counts = []
+        for pages in (buffer_pages, buffer_pages - 1):
+            store = PageStore(page_size_bytes=32, buffer_pages=pages)
+            ids = [store.allocate(i) for i in range(10)]
+            for idx in accesses:
+                store.read(ids[idx])
+            counts.append(store.stats.physical_reads)
+        larger_buffer_reads, smaller_buffer_reads = counts
+        assert smaller_buffer_reads >= larger_buffer_reads
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unbuffered_store_reads_are_all_physical(self, accesses):
+        store = PageStore(page_size_bytes=32, buffer_pages=0)
+        ids = [store.allocate(i) for i in range(10)]
+        for idx in accesses:
+            store.read(ids[idx])
+        assert store.stats.physical_reads == store.stats.logical_reads
+        assert store.stats.hit_ratio == 0.0
+
+
+@pytest.mark.parametrize("radius", [0.0, 0.1, 0.4])
+def test_disabled_observability_changes_nothing(radius):
+    """Query results and stats are identical with and without the layer."""
+    points = _points(120, 2, 77)
+    tree = _mtree(points)
+    query = np.full(2, 0.5)
+    baseline = tree.range_query(query, radius)
+    observability.install()
+    try:
+        instrumented = tree.range_query(query, radius)
+    finally:
+        observability.uninstall()
+    assert instrumented.oids() == baseline.oids()
+    assert instrumented.stats == baseline.stats

@@ -1,0 +1,204 @@
+"""Unit tests for the metrics registry and snapshot round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.observability import (
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.inc("queries")
+        reg.inc("queries")
+        assert reg.counter_value("queries") == 2
+
+    def test_inc_with_explicit_value(self):
+        reg = MetricsRegistry()
+        reg.inc("dists", 17)
+        reg.inc("dists", 3)
+        assert reg.counter_value("dists") == 20
+
+    def test_labels_create_independent_series(self):
+        reg = MetricsRegistry()
+        reg.inc("queries", kind="range")
+        reg.inc("queries", 2, kind="knn")
+        assert reg.counter_value("queries", kind="range") == 1
+        assert reg.counter_value("queries", kind="knn") == 2
+        assert reg.counter_value("queries") == 0  # unlabelled is distinct
+
+    def test_counter_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("queries", kind="range")
+        reg.inc("queries", 2, kind="knn")
+        reg.inc("queries", 4)
+        assert reg.counter_total("queries") == 7
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("x", a="1", b="2")
+        reg.inc("x", b="2", a="1")
+        assert reg.counter_value("x", a="1", b="2") == 2
+
+    def test_name_and_value_are_positional_only(self):
+        """Labels named 'name' or 'value' must not collide with params."""
+        reg = MetricsRegistry()
+        reg.inc("c", 1, name="x", value="y")
+        assert reg.counter_value("c", name="x", value="y") == 1
+        reg.observe("h", 0.5, name="x")
+        assert reg.histogram("h", name="x").count == 1
+
+
+class TestGauges:
+    def test_set_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 5)
+        assert reg.gauge_value("depth") == 5
+
+    def test_gauge_labels(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("size", 10, tree="mtree")
+        reg.set_gauge("size", 20, tree="vptree")
+        assert reg.gauge_value("size", tree="mtree") == 10
+        assert reg.gauge_value("size", tree="vptree") == 20
+
+
+class TestHistograms:
+    def test_observe_accumulates(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        hist = reg.histogram("lat")
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min_value == 1.0
+        assert hist.max_value == 3.0
+
+    def test_overflow_bucket_is_implicit(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.0015)  # lands in some small bucket
+        reg.observe("lat", 1e9)  # beyond every bucket bound -> overflow
+        hist = reg.histogram("lat")
+        assert sum(hist.bucket_counts) == 1
+        assert hist.count - sum(hist.bucket_counts) == 1  # the overflow
+
+    def test_histogram_round_trip(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.02, 5.0):
+            reg.observe("lat", v)
+        hist = reg.histogram("lat")
+        clone = HistogramData.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.total == pytest.approx(hist.total)
+        assert clone.bucket_counts == hist.bucket_counts
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("mtree.nodes_accessed", 7, kind="range")
+        reg.inc("pager.writes", 3)
+        reg.set_gauge("tree.height", 4, tree="mtree")
+        reg.observe("query.seconds", 0.004, kind="range")
+        return reg
+
+    def test_json_round_trip_is_lossless(self):
+        snap = self._populated().snapshot()
+        clone = MetricsSnapshot.from_json(snap.to_json())
+        assert clone.get("mtree.nodes_accessed", kind="range") == 7
+        assert clone.get("pager.writes") == 3
+        assert clone.get("tree.height", tree="mtree") == 4
+        hist = HistogramData.from_dict(
+            clone.get("query.seconds", kind="range")
+        )
+        assert hist.count == 1
+        assert hist.total == pytest.approx(0.004)
+
+    def test_json_carries_format_tag(self):
+        payload = json.loads(self._populated().snapshot().to_json())
+        assert payload["format"] == "metricost-metrics-v1"
+
+    def test_get_default(self):
+        snap = self._populated().snapshot()
+        assert snap.get("no.such.counter") == 0.0
+        assert snap.get("no.such.counter", 42.0) == 42.0
+
+    def test_total_sums_labelled_series(self):
+        reg = self._populated()
+        reg.inc("mtree.nodes_accessed", 5, kind="knn")
+        snap = reg.snapshot()
+        assert snap.total("mtree.nodes_accessed") == 12
+
+    def test_render_mentions_every_metric_name(self):
+        snap = self._populated().snapshot()
+        text = snap.render()
+        for name in (
+            "mtree.nodes_accessed",
+            "pager.writes",
+            "tree.height",
+            "query.seconds",
+        ):
+            assert name in text
+
+    def test_render_empty_registry(self):
+        assert "no metrics" in MetricsRegistry().snapshot().render()
+
+    def test_load_merges_counters_and_histograms(self):
+        reg = self._populated()
+        snap = reg.snapshot()
+        other = MetricsRegistry()
+        other.load(snap)
+        other.load(snap)
+        assert other.counter_value("pager.writes") == 6  # counters add
+        assert other.gauge_value("tree.height", tree="mtree") == 4
+        assert other.histogram("query.seconds", kind="range").count == 2
+
+    def test_reset_clears_everything(self):
+        reg = self._populated()
+        reg.reset()
+        assert reg.snapshot().series == []
+        assert len(reg) == 0
+
+
+class TestInstallLifecycle:
+    def test_default_state_is_disabled(self):
+        from repro.observability import state
+
+        assert state.registry is None
+        assert state.tracer is None
+        assert not observability.installed()
+
+    def test_install_uninstall(self):
+        reg = observability.install()
+        assert observability.installed()
+        assert observability.active_registry() is reg
+        observability.uninstall()
+        assert not observability.installed()
+        assert observability.active_registry() is None
+
+    def test_get_registry_installs_on_demand(self):
+        reg = observability.get_registry()
+        assert isinstance(reg, MetricsRegistry)
+        assert observability.installed()
+        assert observability.get_registry() is reg  # idempotent
+
+    def test_snapshot_without_install_is_empty(self):
+        assert observability.snapshot().series == []
+
+    def test_install_with_tracing_level(self):
+        observability.install(tracing="node")
+        tracer = observability.active_tracer()
+        assert tracer is not None
+        assert tracer.trace_nodes
+        assert not tracer.trace_distances
+        observability.uninstall()

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import observability
 from repro.__main__ import EXPERIMENTS, build_parser, main
+from repro.observability import MetricsSnapshot
 
 
 class TestParser:
@@ -35,6 +39,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_metrics_subcommand(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.experiment == "metrics"
+        assert not args.json
+        assert args.input is None
+        assert not args.reset
+
+    def test_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["metrics", "--json", "--input", "snap.json", "--reset"]
+        )
+        assert args.json and args.reset
+        assert args.input == "snap.json"
+
+    def test_experiments_accept_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["figure4", "--metrics", "--metrics-out", "out.json"]
+        )
+        assert args.metrics
+        assert args.metrics_out == "out.json"
+
 
 class TestMain:
     def test_quick_figure4(self, capsys):
@@ -54,3 +79,63 @@ class TestMain:
         code = main(["vptree", "--quick"])
         assert code == 0
         assert "vp-tree" in capsys.readouterr().out
+
+
+class TestMetricsCli:
+    @pytest.fixture(autouse=True)
+    def clean_observability(self):
+        observability.uninstall()
+        yield
+        observability.uninstall()
+
+    def test_metrics_on_empty_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        assert "no metrics recorded" in capsys.readouterr().out
+
+    def test_experiment_with_metrics_prints_counters(self, capsys):
+        code = main(["figure4", "--quick", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== metrics" in out
+        assert "mtree.nodes_accessed" in out
+        assert "mtree.dists_computed" in out
+
+    def test_metrics_out_round_trips_through_json(self, capsys, tmp_path):
+        out_file = tmp_path / "snap.json"
+        assert main(
+            ["figure4", "--quick", "--metrics-out", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+
+        snap = MetricsSnapshot.from_json(out_file.read_text())
+        assert snap.total("mtree.nodes_accessed") > 0
+
+        # `metrics --input` renders the persisted snapshot...
+        assert main(["metrics", "--input", str(out_file)]) == 0
+        table = capsys.readouterr().out
+        assert "mtree.nodes_accessed" in table
+
+        # ...and `--json` re-emits parseable JSON with the format tag.
+        assert main(["metrics", "--input", str(out_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "metricost-metrics-v1"
+        clone = MetricsSnapshot.from_dict(payload)
+        assert clone.total("mtree.nodes_accessed") == snap.total(
+            "mtree.nodes_accessed"
+        )
+
+    def test_metrics_reset_clears_live_registry(self, capsys):
+        registry = observability.install()
+        registry.inc("stale.counter", 5)
+        assert main(["metrics", "--reset"]) == 0
+        assert "stale.counter" in capsys.readouterr().out
+        assert registry.counter_value("stale.counter") == 0
+
+    def test_metrics_run_leaves_observability_installed(self, capsys):
+        """--metrics installs the layer; the live registry stays queryable
+        afterwards via `metrics` in the same process."""
+        assert main(["figure4", "--quick", "--metrics"]) == 0
+        capsys.readouterr()
+        assert observability.installed()
+        assert main(["metrics"]) == 0
+        assert "mtree.nodes_accessed" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Extension: concurrent serving — throughput scaling and load shedding.
+
+The paper costs a single query in isolation; a served index answers many
+at once.  This bench measures two things about :class:`repro.service.
+QueryService` wrapped around one shared M-tree:
+
+1. **Throughput vs workers** — batch QPS as the worker-thread count
+   grows.  Pure-Python traversal is GIL-bound, so we assert throughput
+   does not *collapse* with more workers rather than demanding linear
+   speedup.
+2. **Tail latency under 2x overload, with and without shedding** — 16
+   workers hammer a 2-slot service.  Unbounded queueing lets every
+   request pile up behind the slots (accepted p99 balloons); a bounded
+   queue sheds the excess in microseconds and keeps the accepted p99
+   within the acceptance bar of 3x the unloaded p99.
+"""
+
+from __future__ import annotations
+
+from repro import observability
+from repro.datasets import clustered_dataset
+from repro.experiments import format_table, paper_range_radius
+from repro.mtree import bulk_load, vector_layout
+from repro.service import (
+    AdmissionController,
+    MTreeBackend,
+    QueryRequest,
+    QueryService,
+)
+from repro.workloads import sample_workload
+
+WORKER_COUNTS = (1, 2, 4, 8)
+OVERLOAD_SLOTS = 2
+
+
+def _build_service_inputs(size: int, n_queries: int):
+    data = clustered_dataset(size, 8, seed=71)
+    tree = bulk_load(data.points, data.metric, vector_layout(8), seed=72)
+    radius = paper_range_radius(8)
+    queries = sample_workload(data, n_queries, seed=73)
+    requests = [
+        QueryRequest("range", query, radius=radius, request_id=i)
+        for i, query in enumerate(queries)
+    ]
+    return tree, requests
+
+
+def run_throughput_sweep(size: int, n_queries: int):
+    tree, requests = _build_service_inputs(size, n_queries)
+    rows = []
+    for workers in WORKER_COUNTS:
+        service = QueryService(MTreeBackend(tree))
+        report = service.run(requests, workers=workers)
+        rows.append(
+            {
+                "workers": workers,
+                "ok": report.count("ok"),
+                "throughput qps": round(report.throughput_qps, 1),
+                "p50 ms": round(
+                    1e3 * report.latency_percentile(50, status="ok"), 3
+                ),
+                "p99 ms": round(
+                    1e3 * report.latency_percentile(99, status="ok"), 3
+                ),
+            }
+        )
+    return rows
+
+
+def run_overload_comparison(size: int, n_queries: int):
+    tree, requests = _build_service_inputs(size, n_queries)
+    workers = 8 * OVERLOAD_SLOTS  # 2x overload per the acceptance recipe
+
+    # Unloaded baseline: as many slots as workers, nobody waits.
+    baseline = QueryService(
+        MTreeBackend(tree),
+        admission=AdmissionController(
+            max_concurrent=workers, max_queue=len(requests)
+        ),
+    ).run(requests, workers=workers)
+    unloaded_p99 = baseline.latency_percentile(99, status="ok")
+
+    registry = observability.install()
+    try:
+        rows = []
+        for policy, max_queue in (
+            ("queue unbounded", len(requests)),
+            ("shed (queue=1)", 1),
+        ):
+            service = QueryService(
+                MTreeBackend(tree),
+                admission=AdmissionController(
+                    max_concurrent=OVERLOAD_SLOTS, max_queue=max_queue
+                ),
+            )
+            report = service.run(requests, workers=workers)
+            rejected = report.count("rejected")
+            rows.append(
+                {
+                    "policy": policy,
+                    "ok": report.count("ok"),
+                    "rejected": rejected,
+                    "accepted p99 ms": round(
+                        1e3 * report.latency_percentile(99, status="ok"), 2
+                    ),
+                    "reject p99 ms": (
+                        round(
+                            1e3
+                            * report.latency_percentile(
+                                99, status="rejected"
+                            ),
+                            4,
+                        )
+                        if rejected
+                        else float("nan")
+                    ),
+                }
+            )
+        snapshot = registry.snapshot()
+    finally:
+        observability.uninstall()
+    return {
+        "unloaded_p99_ms": round(1e3 * unloaded_p99, 2),
+        "rows": rows,
+        "rejected_metric": snapshot.total("service.rejected"),
+    }
+
+
+def test_ext_service_throughput(benchmark, scale, show):
+    n_queries = max(200, 2 * scale.n_queries)
+    rows = benchmark.pedantic(
+        run_throughput_sweep,
+        args=(scale.vector_size, n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title=(
+                "Extension - service throughput vs worker threads "
+                f"({n_queries} range queries, shared M-tree)"
+            ),
+        )
+    )
+    for row in rows:
+        assert row["ok"] == n_queries
+    # More workers must not collapse throughput (GIL bounds the upside;
+    # a deadlock or a serialisation bug would tank it).
+    base_qps = rows[0]["throughput qps"]
+    for row in rows[1:]:
+        assert row["throughput qps"] > 0.25 * base_qps
+
+
+def test_ext_service_overload_shedding(benchmark, scale, show):
+    n_queries = max(200, 2 * scale.n_queries)
+    result = benchmark.pedantic(
+        run_overload_comparison,
+        args=(scale.vector_size, n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            result["rows"],
+            title=(
+                "Extension - 2x overload, accepted/rejected tails "
+                f"(unloaded p99 = {result['unloaded_p99_ms']} ms)"
+            ),
+        )
+    )
+    unbounded, shed = result["rows"]
+    assert unbounded["policy"] == "queue unbounded"
+    # Shedding actually happened, and the registry saw every rejection.
+    assert shed["rejected"] > 0
+    assert result["rejected_metric"] >= shed["rejected"]
+    assert unbounded["ok"] == n_queries
+    assert shed["ok"] + shed["rejected"] == n_queries
+    # Acceptance bars: accepted p99 within 3x unloaded; rejections < 5 ms.
+    assert shed["accepted p99 ms"] <= 3 * result["unloaded_p99_ms"]
+    assert shed["reject p99 ms"] < 5.0
+    # Shedding beats unbounded queueing on the accepted tail.
+    assert shed["accepted p99 ms"] <= unbounded["accepted p99 ms"]

@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from . import (
+    context,
     core,
     datasets,
     gist,
@@ -34,12 +35,16 @@ from . import (
     observability,
     optimizer,
     reliability,
+    service,
     storage,
     vptree,
 )
+from .context import Context, Deadline
 from .exceptions import (
     CapacityError,
+    CircuitOpenError,
     CorruptedDataError,
+    DeadlineExceededError,
     EmptyDatasetError,
     EmptyTreeError,
     FormatVersionError,
@@ -47,12 +52,15 @@ from .exceptions import (
     InvalidParameterError,
     IOFaultError,
     MetricostError,
+    OperationCancelledError,
+    OverloadError,
     RetryExhaustedError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "context",
     "core",
     "datasets",
     "gist",
@@ -61,8 +69,11 @@ __all__ = [
     "observability",
     "optimizer",
     "reliability",
+    "service",
     "storage",
     "vptree",
+    "Deadline",
+    "Context",
     "MetricostError",
     "InvalidParameterError",
     "EmptyDatasetError",
@@ -73,5 +84,9 @@ __all__ = [
     "RetryExhaustedError",
     "CorruptedDataError",
     "FormatVersionError",
+    "DeadlineExceededError",
+    "OperationCancelledError",
+    "OverloadError",
+    "CircuitOpenError",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Usage::
     python -m repro vptree
     python -m repro all --quick
     python -m repro doctor --artifacts ./artifacts
+    python -m repro serve-bench --quick --metrics
     python -m repro figure1 --quick --metrics --metrics-out metrics.json
     python -m repro metrics --input metrics.json
     python -m repro metrics --input metrics.json --json
@@ -161,6 +162,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the fault-injection self-test (default 0)",
     )
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="measure the concurrent query service: throughput vs "
+        "workers, plus shedding under overload",
+    )
+    serve.add_argument(
+        "--size",
+        type=int,
+        default=4000,
+        help="number of indexed vector objects (default 4000)",
+    )
+    serve.add_argument(
+        "--queries",
+        type=int,
+        default=400,
+        help="queries per measurement (default 400)",
+    )
+    serve.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated worker counts to sweep (default 1,2,4,8)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="per-query deadline in milliseconds (default 1000)",
+    )
+    serve.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink all sizes for a fast smoke run",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect observability counters and print them after the run",
+    )
     for name in [*EXPERIMENTS, "all"]:
         sub = subparsers.add_parser(
             name,
@@ -218,6 +257,88 @@ def _run_doctor(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .datasets import clustered_dataset
+    from .mtree import bulk_load, vector_layout
+    from .service import (
+        AdmissionController,
+        MTreeBackend,
+        QueryRequest,
+        QueryService,
+    )
+
+    size = 800 if args.quick else args.size
+    n_queries = 100 if args.quick else args.queries
+    workers = [int(w) for w in str(args.workers).split(",") if w]
+    if args.metrics:
+        from . import observability
+
+        observability.install()
+    data = clustered_dataset(size=size, dim=8, seed=7)
+    tree = bulk_load(data.points, data.metric, vector_layout(8), seed=7)
+    rng = np.random.default_rng(7)
+    requests = [
+        QueryRequest(
+            "range",
+            rng.random(8),
+            radius=0.15 * data.d_plus,
+            request_id=i,
+        )
+        for i in range(n_queries)
+    ]
+    print(
+        f"serve-bench: {size} objects, {n_queries} range queries, "
+        f"deadline {args.deadline_ms:g} ms"
+    )
+    print("\n-- throughput vs workers (no shedding pressure)")
+    for n in workers:
+        service = QueryService(
+            MTreeBackend(tree),
+            admission=AdmissionController(
+                max_concurrent=max(n, 1), max_queue=n_queries
+            ),
+        )
+        report = service.run(
+            requests, workers=n, deadline_ms=args.deadline_ms
+        )
+        print(f"workers={n:>2}  {report.render().splitlines()[-1]}")
+    print("\n-- 2x overload: without vs with shedding")
+    doubled = requests + [
+        QueryRequest(
+            "range",
+            rng.random(8),
+            radius=0.15 * data.d_plus,
+            request_id=n_queries + i,
+        )
+        for i in range(n_queries)
+    ]
+    slots = 2  # deliberately scarce so the overload is real
+    for label, max_queue in (
+        ("unbounded queue", len(doubled)),
+        ("bounded queue (sheds)", 1),
+    ):
+        service = QueryService(
+            MTreeBackend(tree),
+            admission=AdmissionController(
+                max_concurrent=slots, max_queue=max_queue
+            ),
+        )
+        report = service.run(
+            doubled, workers=8 * slots, deadline_ms=args.deadline_ms
+        )
+        print(f"{label}:")
+        for line in report.render().splitlines():
+            print(f"  {line}")
+    if args.metrics:
+        from . import observability
+
+        print("\n== metrics " + "=" * 59)
+        print(observability.snapshot().render())
+    return 0
+
+
 def _run_metrics(args: argparse.Namespace) -> int:
     from . import observability
     from .observability import MetricsSnapshot
@@ -239,6 +360,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_doctor(args)
     if args.experiment == "metrics":
         return _run_metrics(args)
+    if args.experiment == "serve-bench":
+        return _run_serve_bench(args)
     if args.quick:
         for key, value in QUICK_OVERRIDES.items():
             setattr(args, key, value)

@@ -69,3 +69,51 @@ class CorruptedDataError(MetricostError):
 class FormatVersionError(MetricostError, ValueError):
     """A persisted artifact declares a format version this library cannot
     read; the message names the expected and found versions."""
+
+
+class DeadlineExceededError(MetricostError, TimeoutError):
+    """An operation ran past its :class:`~repro.context.Deadline`.
+
+    Raised at traversal checkpoints (node pops, retry attempts, plan
+    executions) so a query with an exhausted time budget fails promptly
+    instead of hanging.  ``deadline_s`` records the total budget the
+    operation was given (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, deadline_s=None):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class OperationCancelledError(MetricostError):
+    """A cooperative cancellation was requested via
+    :meth:`~repro.context.Context.cancel` and honoured at the next
+    checkpoint."""
+
+
+class OverloadError(MetricostError):
+    """The service shed this request instead of queueing it.
+
+    Raised by :class:`~repro.service.AdmissionController` when the bounded
+    queue is full (or a queue wait times out) and by the token-bucket rate
+    limiter — fast rejection is the point: the caller learns in
+    microseconds that the system is saturated, rather than the system
+    collapsing under unbounded queueing.  ``reason`` is one of
+    ``"queue_full"``, ``"timeout"`` or ``"rate_limited"``.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpenError(MetricostError):
+    """A :class:`~repro.service.CircuitBreaker` is open: the protected
+    dependency has been failing and calls are rejected without touching it
+    until the recovery timeout elapses.  ``retry_after_s`` estimates when
+    the breaker will next admit a probe.
+    """
+
+    def __init__(self, message: str, retry_after_s=None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

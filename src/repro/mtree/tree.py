@@ -335,6 +335,7 @@ class MTree:
         radius: float,
         use_parent_pruning: bool = False,
         access_log: Optional[List[int]] = None,
+        deadline: Optional[Any] = None,
     ) -> RangeResult:
         """``range(Q, r_Q)``: all objects within ``radius`` of ``query``.
 
@@ -346,6 +347,12 @@ class MTree:
         ``access_log``, if given, receives ``id(node)`` for every accessed
         node in access order — the page-reference string a buffer-pool
         simulation replays (see :mod:`repro.storage.pager`).
+
+        ``deadline`` is an optional :class:`~repro.context.Deadline` or
+        :class:`~repro.context.Context`; it is polled once per accessed
+        node, so an over-budget query raises
+        :class:`~repro.exceptions.DeadlineExceededError` within one node's
+        worth of work instead of running to completion.
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
@@ -353,7 +360,7 @@ class MTree:
         if tracer is not None:
             with tracer.span("mtree.range_query", radius=float(radius)) as sp:
                 result = self._range_query_impl(
-                    query, radius, use_parent_pruning, access_log
+                    query, radius, use_parent_pruning, access_log, deadline
                 )
                 sp.set(
                     nodes=result.stats.nodes_accessed,
@@ -362,7 +369,7 @@ class MTree:
                 )
                 return result
         return self._range_query_impl(
-            query, radius, use_parent_pruning, access_log
+            query, radius, use_parent_pruning, access_log, deadline
         )
 
     def _range_query_impl(
@@ -371,6 +378,7 @@ class MTree:
         radius: float,
         use_parent_pruning: bool,
         access_log: Optional[List[int]],
+        deadline: Optional[Any] = None,
     ) -> RangeResult:
         reg = _obs.registry
         tracer = _obs.tracer
@@ -385,6 +393,8 @@ class MTree:
             (self._root, None, 1)
         ]
         while stack:
+            if deadline is not None:
+                deadline.check("mtree range query")
             node, dist_to_routing, level = stack.pop()
             stats.nodes_accessed += 1
             if reg is not None:
@@ -445,6 +455,7 @@ class MTree:
         k: int,
         use_parent_pruning: bool = False,
         access_log: Optional[List[int]] = None,
+        deadline: Optional[Any] = None,
     ) -> KNNResult:
         """Optimal ``NN(Q, k)``: best-first search with a node priority queue.
 
@@ -452,6 +463,9 @@ class MTree:
         (the optimality criterion of Berchtold et al. adopted in Section
         1.1), implemented by expanding regions in order of ``d_min`` and
         stopping when ``d_min`` exceeds the current k-th NN distance.
+
+        ``deadline`` (a :class:`~repro.context.Deadline` or
+        :class:`~repro.context.Context`) is polled once per node pop.
         """
         if self._root is None:
             raise EmptyTreeError("cannot run a k-NN query on an empty tree")
@@ -463,14 +477,16 @@ class MTree:
         if tracer is not None:
             with tracer.span("mtree.knn_query", k=k) as sp:
                 result = self._knn_query_impl(
-                    query, k, use_parent_pruning, access_log
+                    query, k, use_parent_pruning, access_log, deadline
                 )
                 sp.set(
                     nodes=result.stats.nodes_accessed,
                     dists=result.stats.dists_computed,
                 )
                 return result
-        return self._knn_query_impl(query, k, use_parent_pruning, access_log)
+        return self._knn_query_impl(
+            query, k, use_parent_pruning, access_log, deadline
+        )
 
     def _knn_query_impl(
         self,
@@ -478,6 +494,7 @@ class MTree:
         k: int,
         use_parent_pruning: bool,
         access_log: Optional[List[int]],
+        deadline: Optional[Any] = None,
     ) -> KNNResult:
         reg = _obs.registry
         tracer = _obs.tracer
@@ -494,6 +511,8 @@ class MTree:
             (0.0, next(counter), self._root, None, 1)
         ]
         while pending and pending[0][0] <= kth_distance():
+            if deadline is not None:
+                deadline.check("mtree k-NN query")
             _d_min, _tie, node, dist_to_routing, level = heapq.heappop(
                 pending
             )
@@ -559,7 +578,9 @@ class MTree:
             reg.inc("mtree.results", len(neighbors), kind="knn")
         return KNNResult(neighbors, stats)
 
-    def range_count(self, query: Any, radius: float) -> Tuple[int, QueryStats]:
+    def range_count(
+        self, query: Any, radius: float, deadline: Optional[Any] = None
+    ) -> Tuple[int, QueryStats]:
         """Count objects within ``radius`` without materialising them.
 
         Aggregate pushdown: when a node's region is *fully contained* in
@@ -580,6 +601,8 @@ class MTree:
         total = 0
         stack: List[Tuple[Node, int]] = [(self._root, 1)]
         while stack:
+            if deadline is not None:
+                deadline.check("mtree range-count query")
             node, level = stack.pop()
             stats.nodes_accessed += 1
             if reg is not None:

@@ -79,21 +79,29 @@ def install(
     explicit ``tracer`` instance overrides ``tracing``.  Calling
     ``install`` again replaces the active objects (the previous ones keep
     their collected data for whoever holds a reference).
+
+    Safe to call while queries are in flight: in-flight operations keep
+    updating whichever registry/tracer they snapshotted at their start
+    (see the memory-model note in :mod:`repro.observability.state`).
     """
-    state.registry = registry if registry is not None else MetricsRegistry()
+    new_registry = registry if registry is not None else MetricsRegistry()
     if tracer is not None:
-        state.tracer = tracer
+        new_tracer: Optional[Tracer] = tracer
     elif tracing is not None:
-        state.tracer = Tracer(detail=tracing)
+        new_tracer = Tracer(detail=tracing)
     else:
-        state.tracer = None
-    return state.registry
+        new_tracer = None
+    with state._lock:
+        state.registry = new_registry
+        state.tracer = new_tracer
+    return new_registry
 
 
 def uninstall() -> None:
     """Turn observability off: hot paths go back to zero-cost."""
-    state.registry = None
-    state.tracer = None
+    with state._lock:
+        state.registry = None
+        state.tracer = None
 
 
 def installed() -> bool:
@@ -123,14 +131,18 @@ def get_tracer() -> Optional[Tracer]:
 
 def snapshot() -> MetricsSnapshot:
     """Snapshot the active registry (empty snapshot when disabled)."""
-    if state.registry is None:
+    with state._lock:
+        active = state.registry
+    if active is None:
         return MetricsRegistry().snapshot()
-    return state.registry.snapshot()
+    return active.snapshot()
 
 
 def reset() -> None:
     """Clear the active registry and tracer without uninstalling them."""
-    if state.registry is not None:
-        state.registry.reset()
-    if state.tracer is not None:
-        state.tracer.reset()
+    with state._lock:
+        active_reg, active_tr = state.registry, state.tracer
+    if active_reg is not None:
+        active_reg.reset()
+    if active_tr is not None:
+        active_tr.reset()

@@ -27,6 +27,7 @@ Labels are passed as keyword arguments and stored as a sorted tuple of
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -236,87 +237,114 @@ class MetricsSnapshot:
 class MetricsRegistry:
     """Mutable metric store; all hot-path updates land here.
 
-    Not thread-safe by design: the reproduction is single-process and the
-    paper's counted quantities are per-query deterministic.  Every update
-    is a dict lookup plus an integer add.
+    Thread-safe: every update and every read holds one internal
+    re-entrant lock, so N hammer threads incrementing the same counter
+    lose no updates (``x = x + 1`` on a shared dict slot is not atomic in
+    CPython) and :meth:`snapshot` observes a consistent cut.  The lock is
+    uncontended in the single-threaded reproduction paths — one
+    ``RLock.acquire`` per update — and the zero-cost-when-disabled
+    property is untouched: with no registry installed, hot paths never
+    reach this class.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[Tuple[str, LabelPairs], float] = {}
         self._gauges: Dict[Tuple[str, LabelPairs], float] = {}
         self._histograms: Dict[Tuple[str, LabelPairs], HistogramData] = {}
+        self._lock = threading.RLock()
 
     # -- updates -----------------------------------------------------------
 
     def inc(self, name: str, value: float = 1, /, **labels: Any) -> None:
         """Add ``value`` (default 1) to a counter series."""
         key = (name, _label_key(labels))
-        self._counters[key] = self._counters.get(key, 0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
 
     def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
         """Set a gauge series to ``value``."""
-        self._gauges[(name, _label_key(labels))] = value
+        with self._lock:
+            self._gauges[(name, _label_key(labels))] = value
 
     def observe(self, name: str, value: float, /, **labels: Any) -> None:
         """Record one observation into a histogram series."""
         key = (name, _label_key(labels))
-        hist = self._histograms.get(key)
-        if hist is None:
-            hist = self._histograms[key] = HistogramData()
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = HistogramData()
+            hist.observe(value)
 
     # -- reads -------------------------------------------------------------
 
     def counter_value(self, name: str, /, **labels: Any) -> float:
-        return self._counters.get((name, _label_key(labels)), 0)
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0)
 
     def counter_total(self, name: str) -> float:
         """Sum of a counter across all label combinations."""
-        return sum(
-            v for (n, _labels), v in self._counters.items() if n == name
-        )
+        with self._lock:
+            return sum(
+                v for (n, _labels), v in self._counters.items() if n == name
+            )
 
     def gauge_value(self, name: str, /, **labels: Any) -> Optional[float]:
-        return self._gauges.get((name, _label_key(labels)))
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)))
 
     def histogram(self, name: str, /, **labels: Any) -> Optional[HistogramData]:
-        return self._histograms.get((name, _label_key(labels)))
+        with self._lock:
+            return self._histograms.get((name, _label_key(labels)))
 
     def names(self) -> List[str]:
-        seen = {name for name, _labels in self._counters}
-        seen.update(name for name, _labels in self._gauges)
-        seen.update(name for name, _labels in self._histograms)
+        with self._lock:
+            seen = {name for name, _labels in self._counters}
+            seen.update(name for name, _labels in self._gauges)
+            seen.update(name for name, _labels in self._histograms)
         return sorted(seen)
 
     def __len__(self) -> int:
-        return (
-            len(self._counters) + len(self._gauges) + len(self._histograms)
-        )
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
     def reset(self) -> None:
         """Drop every series (names included)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> MetricsSnapshot:
-        """Freeze the current state into a serialisable snapshot."""
+        """Freeze the current state into a serialisable snapshot.
+
+        Taken under the registry lock, so concurrent writers never tear a
+        snapshot: every series reflects the same instant.
+        """
         series: List[MetricSeries] = []
-        for (name, labels), value in sorted(self._counters.items()):
-            series.append(MetricSeries(name, "counter", labels, value))
-        for (name, labels), value in sorted(self._gauges.items()):
-            series.append(MetricSeries(name, "gauge", labels, value))
-        for (name, labels), hist in sorted(self._histograms.items()):
-            series.append(
-                MetricSeries(name, "histogram", labels, hist.to_dict())
-            )
+        with self._lock:
+            for (name, labels), value in sorted(self._counters.items()):
+                series.append(MetricSeries(name, "counter", labels, value))
+            for (name, labels), value in sorted(self._gauges.items()):
+                series.append(MetricSeries(name, "gauge", labels, value))
+            for (name, labels), hist in sorted(self._histograms.items()):
+                series.append(
+                    MetricSeries(name, "histogram", labels, hist.to_dict())
+                )
         return MetricsSnapshot(series=series, taken_at=time.time())
 
     def load(self, snapshot: MetricsSnapshot) -> None:
         """Merge a snapshot back into this registry (used by the CLI to
         re-render persisted snapshots; counters add, gauges overwrite)."""
+        with self._lock:
+            self._load_locked(snapshot)
+
+    def _load_locked(self, snapshot: MetricsSnapshot) -> None:
         for s in snapshot.series:
             if s.kind == "counter":
                 key = (s.name, s.labels)

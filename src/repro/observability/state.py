@@ -5,14 +5,34 @@ A tiny module so that hot paths can read two module globals —
 import cycles.  Both are ``None`` unless :func:`repro.observability.install`
 has been called; every instrumentation site guards on that, which is what
 makes the default configuration zero-cost.
+
+Memory model (why flag flips are safe mid-flight)
+-------------------------------------------------
+Each global holds either ``None`` or a whole object, and the only writes
+are single reference assignments — atomic under CPython's byte-code
+semantics.  Hot paths follow a *snapshot discipline*: they read
+``state.registry`` (or ``state.tracer``) **once** into a local at the top
+of an operation and use only that local afterwards.  So a concurrent
+:func:`~repro.observability.install` / ``uninstall`` mid-query can never
+expose a half-built object or a ``None`` after the guard; in-flight work
+simply keeps updating the object it snapshotted, while new operations see
+the new state.  The swap itself is serialised by ``_lock`` (held by
+``install``/``uninstall``/``snapshot``/``reset``) so two concurrent
+installs cannot interleave the registry and tracer assignments and leave
+a mixed pair.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from .registry import MetricsRegistry
 from .tracer import Tracer
+
+# Serialises install/uninstall/reset/snapshot; hot-path *reads* stay
+# lock-free (see the memory-model note above).
+_lock = threading.Lock()
 
 registry: Optional[MetricsRegistry] = None
 tracer: Optional[Tracer] = None

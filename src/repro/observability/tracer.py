@@ -19,6 +19,7 @@ tracer once per query and skip all span work when it is ``None``.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -67,7 +68,16 @@ class Span:
 
 
 class Tracer:
-    """Collects spans into a bounded buffer, preserving nesting."""
+    """Collects spans into a bounded buffer, preserving nesting.
+
+    Thread safety: the finished-span buffer, drop counter and id counter
+    are guarded by a lock, and the *open*-span stack is thread-local — so
+    concurrent service workers each build their own correctly-nested
+    span tree while sharing one buffer.  Parent/child links therefore
+    never cross threads.  :meth:`reset` clears the shared buffer and the
+    calling thread's stack; other threads' open spans (if any) simply
+    finish into the fresh buffer.
+    """
 
     def __init__(self, detail: str = "query", max_spans: int = 100_000):
         if detail not in _DETAIL_LEVELS:
@@ -83,7 +93,16 @@ class Tracer:
         self.spans: List[Span] = []
         self.dropped = 0
         self._next_id = 0
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's stack of currently-open spans."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # Hot paths test these once per query, not the string each time.
     @property
@@ -97,31 +116,36 @@ class Tracer:
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         """Open a child span of the current span; closes on exit."""
+        stack = self._stack
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         opened = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            depth=len(self._stack),
+            span_id=span_id,
+            parent_id=stack[-1].span_id if stack else None,
+            depth=len(stack),
             start_wall=time.time(),
             start_mono=time.perf_counter(),
             attributes=dict(attributes),
         )
-        self._next_id += 1
-        self._stack.append(opened)
+        stack.append(opened)
         try:
             yield opened
         finally:
             opened.end_mono = time.perf_counter()
-            self._stack.pop()
-            if len(self.spans) < self.max_spans:
-                self.spans.append(opened)
-            else:
-                self.dropped += 1
+            stack.pop()
+            with self._lock:
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(opened)
+                else:
+                    self.dropped += 1
 
     def reset(self) -> None:
-        self.spans.clear()
-        self.dropped = 0
-        self._next_id = 0
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+            self._next_id = 0
         self._stack.clear()
 
     def roots(self) -> List[Span]:

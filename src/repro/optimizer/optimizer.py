@@ -176,7 +176,7 @@ class SimilarityQueryOptimizer:
     # ------------------------------------------------------------------
 
     def _execute_ladder(
-        self, choice: PlanChoice, execute_one
+        self, choice: PlanChoice, execute_one, deadline: Optional[Any] = None
     ) -> ExecutionOutcome:
         """Execute ranked plans in order until one succeeds.
 
@@ -184,10 +184,22 @@ class SimilarityQueryOptimizer:
         store, a corrupted node) is demoted into ``choice.degraded`` and
         the next-cheapest plan takes over; only when every ranked plan
         fails does the last error propagate.
+
+        With a ``deadline``, the ladder checks the remaining budget before
+        each rung: a query whose budget is already spent raises
+        :class:`~repro.exceptions.DeadlineExceededError` immediately
+        instead of descending through plans that cannot finish either.
         """
         reg = _obs.registry
         last_error: Optional[BaseException] = None
         for estimate in choice.ranked:
+            if deadline is not None:
+                if last_error is None:
+                    deadline.check("optimizer execution")
+                else:
+                    # Mid-ladder: an expired budget ends the descent with
+                    # the deadline error, not the previous rung's fault.
+                    deadline.check("optimizer degradation ladder")
             plan = self._plan_by_name(estimate.plan_name)
             try:
                 return execute_one(plan)
@@ -212,19 +224,45 @@ class SimilarityQueryOptimizer:
             f"(last: {type(last_error).__name__}: {last_error})"
         ) from last_error
 
-    def run_range(self, query: Any, radius: float) -> ExecutionOutcome:
-        """Choose and execute the cheapest working range plan."""
-        choice = self.choose_range_plan(radius)
-        return self._execute_ladder(
-            choice, lambda plan: plan.execute_range(query, radius, self.disk)
-        )
+    def run_range(
+        self, query: Any, radius: float, deadline: Optional[Any] = None
+    ) -> ExecutionOutcome:
+        """Choose and execute the cheapest working range plan.
 
-    def run_knn(self, query: Any, k: int) -> ExecutionOutcome:
-        """Choose and execute the cheapest working k-NN plan."""
+        ``deadline`` (a :class:`~repro.context.Deadline` or
+        :class:`~repro.context.Context`) is threaded into plan execution;
+        plans that ignore the optional keyword still work when no deadline
+        is given.
+        """
+        choice = self.choose_range_plan(radius)
+        if deadline is None:
+            execute = lambda plan: plan.execute_range(  # noqa: E731
+                query, radius, self.disk
+            )
+        else:
+            execute = lambda plan: plan.execute_range(  # noqa: E731
+                query, radius, self.disk, deadline=deadline
+            )
+        return self._execute_ladder(choice, execute, deadline)
+
+    def run_knn(
+        self, query: Any, k: int, deadline: Optional[Any] = None
+    ) -> ExecutionOutcome:
+        """Choose and execute the cheapest working k-NN plan.
+
+        ``deadline`` is threaded into plan execution as in
+        :meth:`run_range`.
+        """
         choice = self.choose_knn_plan(k)
-        return self._execute_ladder(
-            choice, lambda plan: plan.execute_knn(query, k, self.disk)
-        )
+        if deadline is None:
+            execute = lambda plan: plan.execute_knn(  # noqa: E731
+                query, k, self.disk
+            )
+        else:
+            execute = lambda plan: plan.execute_knn(  # noqa: E731
+                query, k, self.disk, deadline=deadline
+            )
+        return self._execute_ladder(choice, execute, deadline)
 
     def explain_range(self, radius: float) -> str:
         """EXPLAIN-style text: the ranked plans for ``range(Q, radius)``.

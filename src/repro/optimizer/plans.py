@@ -90,13 +90,27 @@ class AccessPlan(ABC):
 
     @abstractmethod
     def execute_range(
-        self, query: Any, radius: float, disk: DiskModel
+        self,
+        query: Any,
+        radius: float,
+        disk: DiskModel,
+        deadline: Optional[Any] = None,
     ) -> ExecutionOutcome:
-        """Run the range query, with cost accounting."""
+        """Run the range query, with cost accounting.
+
+        ``deadline`` is an optional :class:`~repro.context.Deadline` /
+        :class:`~repro.context.Context`; the optimizer only passes it
+        when one is set, so plans without the keyword keep working for
+        un-deadlined queries.
+        """
 
     @abstractmethod
     def execute_knn(
-        self, query: Any, k: int, disk: DiskModel
+        self,
+        query: Any,
+        k: int,
+        disk: DiskModel,
+        deadline: Optional[Any] = None,
     ) -> ExecutionOutcome:
         """Run the k-NN query, with cost accounting."""
 
@@ -127,8 +141,8 @@ class MTreeRangePlan(AccessPlan):
             self.name, estimate.nodes, estimate.dists, cost.io_ms, cost.cpu_ms
         )
 
-    def execute_range(self, query, radius, disk):
-        result = self.tree.range_query(query, radius)
+    def execute_range(self, query, radius, disk, deadline=None):
+        result = self.tree.range_query(query, radius, deadline=deadline)
         cost = disk.query_cost_ms(
             result.stats.nodes_accessed,
             result.stats.dists_computed,
@@ -142,8 +156,8 @@ class MTreeRangePlan(AccessPlan):
             cost.total_ms,
         )
 
-    def execute_knn(self, query, k, disk):
-        result = self.tree.knn_query(query, k)
+    def execute_knn(self, query, k, disk, deadline=None):
+        result = self.tree.knn_query(query, k, deadline=deadline)
         cost = disk.query_cost_ms(
             result.stats.nodes_accessed,
             result.stats.dists_computed,
@@ -191,8 +205,8 @@ class VPTreeRangePlan(AccessPlan):
             self.name, 0.0, dists, 0.0, dists * disk.distance_ms
         )
 
-    def execute_range(self, query, radius, disk):
-        result = self.tree.range_query(query, radius)
+    def execute_range(self, query, radius, disk, deadline=None):
+        result = self.tree.range_query(query, radius, deadline=deadline)
         return ExecutionOutcome(
             self.name,
             result.items,
@@ -201,8 +215,8 @@ class VPTreeRangePlan(AccessPlan):
             result.stats.dists_computed * disk.distance_ms,
         )
 
-    def execute_knn(self, query, k, disk):
-        result = self.tree.knn_query(query, k)
+    def execute_knn(self, query, k, disk, deadline=None):
+        result = self.tree.knn_query(query, k, deadline=deadline)
         return ExecutionOutcome(
             self.name,
             list(result.neighbors),
@@ -253,14 +267,20 @@ class LinearScanPlan(AccessPlan):
     def estimate_knn(self, k, disk):
         return self.estimate_range(0.0, disk)
 
-    def execute_range(self, query, radius, disk):
+    def execute_range(self, query, radius, disk, deadline=None):
+        # The scan is one straight-line numpy pass; check the budget once
+        # up front so an expired deadline fails fast instead of scanning.
+        if deadline is not None:
+            deadline.check("linear scan")
         matches, _pages, dists = self.baseline.range_query(query, radius)
         io_ms, cpu_ms = self._cost_ms(disk)
         return ExecutionOutcome(
             self.name, matches, self.baseline.pages, dists, io_ms + cpu_ms
         )
 
-    def execute_knn(self, query, k, disk):
+    def execute_knn(self, query, k, disk, deadline=None):
+        if deadline is not None:
+            deadline.check("linear scan")
         neighbors, _pages, dists = self.baseline.knn_query(query, k)
         io_ms, cpu_ms = self._cost_ms(disk)
         return ExecutionOutcome(

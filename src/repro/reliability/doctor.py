@@ -10,8 +10,9 @@ deployment:
    self-test exercises the whole ladder end to end: checksummed
    round-trips, detection of a deliberately bit-flipped histogram,
    version gating, truncation, fault injection, retry recovery,
-   optimizer degradation, and per-query error isolation under a 5%
-   read-fault rate.
+   optimizer degradation, crash-consistent recovery (the save protocol
+   killed at every journal step), and per-query error isolation under a
+   5% read-fault rate.
 
 Every check is seeded and self-contained (temp files only), so a failing
 check is reproducible and a passing run leaves nothing behind.
@@ -219,6 +220,44 @@ def _self_test(seed: int) -> List[DoctorCheck]:
             f"linear-scan fallback answered with {len(outcome.items)} items"
         )
 
+    def crash_recovery() -> str:
+        # Kill the generation-store save protocol after *every* step and
+        # prove recovery always yields all-old or all-new — never a mixed
+        # generation (an old histogram with a new tree would silently
+        # skew every cost estimate).
+        from ..service.recovery import GenerationStore, SimulatedCrashError
+
+        old = {"tree": "tree-old", "hist": "hist-old", "stats": "stats-old"}
+        new = {"tree": "tree-new", "hist": "hist-new", "stats": "stats-new"}
+        with tempfile.TemporaryDirectory() as tmp:
+            store = GenerationStore(tmp)
+            store.save(old)
+            total = store.total_save_steps(len(new))
+            survived = 0
+            for step in range(total):
+                try:
+                    store.save(new, crash_after_step=step)
+                except SimulatedCrashError:
+                    pass
+                store.recover()
+                loaded = store.load()
+                values = set(loaded.values())
+                if values == set(old.values()):
+                    pass  # rolled back
+                elif values == set(new.values()):
+                    pass  # rolled forward
+                else:
+                    raise AssertionError(
+                        f"mixed generation after crash at step {step}: "
+                        f"{sorted(values)}"
+                    )
+                survived += 1
+                store.save(old)  # reset the baseline for the next kill
+        return (
+            f"save killed at each of {survived} journal steps; "
+            f"recovery always yielded a whole generation, never a mix"
+        )
+
     def workload_isolation() -> str:
         points = rng.random((400, 3))
         tree = bulk_load(points, L2(), vector_layout(3), seed=seed)
@@ -245,6 +284,7 @@ def _self_test(seed: int) -> List[DoctorCheck]:
     _check("fault injection", fault_injection, checks)
     _check("retry recovery", retry_recovery, checks)
     _check("degradation ladder", degradation_ladder, checks)
+    _check("crash recovery", crash_recovery, checks)
     _check("workload isolation", workload_isolation, checks)
     return checks
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple, Type
 
 from ..exceptions import (
+    DeadlineExceededError,
     InvalidParameterError,
     IOFaultError,
     RetryExhaustedError,
@@ -112,14 +113,31 @@ class RetryPolicy:
             return raw
         return raw * (1.0 - self.jitter * self._rng.random())
 
-    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        """Invoke ``fn`` under this policy; return its first success."""
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        deadline: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``fn`` under this policy; return its first success.
+
+        ``deadline`` (a :class:`~repro.context.Deadline` or
+        :class:`~repro.context.Context`) bounds the whole call: every
+        backoff sleep is capped at the remaining budget, and an exhausted
+        budget raises
+        :class:`~repro.exceptions.DeadlineExceededError` (chained to the
+        last underlying fault) instead of sleeping past it — a 50 ms
+        deadline never sleeps a 500 ms schedule.
+        """
         reg = _obs.registry
         attempts = []
         self.stats.calls += 1
         if reg is not None:
             reg.inc("retry.calls")
         for number in range(1, self.max_attempts + 1):
+            if deadline is not None:
+                deadline.check("retrying call")
             self.stats.attempts += 1
             if reg is not None:
                 reg.inc("retry.attempts")
@@ -139,6 +157,17 @@ class RetryPolicy:
                         attempts=attempts,
                     ) from exc
                 delay = self.backoff_delay(number)
+                if deadline is not None:
+                    remaining = deadline.remaining_s()
+                    if remaining <= 0.0:
+                        attempts.append(RetryAttempt(number, error, 0.0))
+                        if reg is not None:
+                            reg.inc("retry.deadline_exceeded")
+                        raise DeadlineExceededError(
+                            f"retry budget cut short by deadline after "
+                            f"{number} attempt(s) (last error: {error})"
+                        ) from exc
+                    delay = min(delay, remaining)
                 attempts.append(RetryAttempt(number, error, delay))
                 self.stats.retries += 1
                 self.stats.total_sleep_s += delay
@@ -163,11 +192,23 @@ class RetryingPageStore:
     Writes are deliberately *not* retried: re-issuing a write after an
     ambiguous failure can double-apply a torn page, so write faults
     propagate to the caller, which owns the recovery decision.
+
+    ``deadline`` (per-read, or a store-wide default) bounds the retry
+    schedule: backoff sleeps are capped at the remaining budget and an
+    exhausted budget raises
+    :class:`~repro.exceptions.DeadlineExceededError` instead of sleeping
+    on (see :meth:`RetryPolicy.call`).
     """
 
-    def __init__(self, inner: Any, policy: RetryPolicy):
+    def __init__(
+        self,
+        inner: Any,
+        policy: RetryPolicy,
+        deadline: Optional[Any] = None,
+    ):
         self.inner = inner
         self.policy = policy
+        self.deadline = deadline
 
     @property
     def page_size_bytes(self) -> int:
@@ -193,5 +234,6 @@ class RetryingPageStore:
     def write(self, page_id: int, payload: Any) -> None:
         self.inner.write(page_id, payload)
 
-    def read(self, page_id: int) -> Any:
-        return self.policy.call(self.inner.read, page_id)
+    def read(self, page_id: int, deadline: Optional[Any] = None) -> Any:
+        budget = deadline if deadline is not None else self.deadline
+        return self.policy.call(self.inner.read, page_id, deadline=budget)

@@ -1,0 +1,235 @@
+"""Admission control and load shedding for the concurrent query service.
+
+A saturated metric-query server has two failure modes: unbounded queueing
+(latency grows without bound, every caller times out) or collapse (the
+working set thrashes, throughput drops below what fewer queries would
+achieve).  The classic fix is to *bound* concurrency and queueing and to
+reject the excess immediately:
+
+* :class:`AdmissionController` — a semaphore of ``max_concurrent``
+  execution slots fronted by a bounded wait queue of ``max_queue`` slots.
+  A request that finds the queue full is rejected with
+  :class:`~repro.exceptions.OverloadError` in microseconds — the caller
+  can retry elsewhere — instead of waiting behind work that cannot finish
+  in time;
+* :class:`TokenBucket` — a rate limiter for callers that want to cap the
+  *arrival* rate rather than the concurrency.
+
+Both are thread-safe and both mirror their decisions into the metrics
+registry (``service.admitted`` / ``service.rejected`` /
+``service.queue_depth``) when observability is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..exceptions import InvalidParameterError, OverloadError
+from ..observability import state as _obs
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class AdmissionController:
+    """Bounded concurrency plus a bounded wait queue; excess is shed.
+
+    ``max_concurrent`` requests run at once; up to ``max_queue`` more may
+    wait (at most ``queue_timeout_s`` each, when set).  Anything beyond
+    that is rejected *fast* with :class:`OverloadError` — the controller
+    takes one lock, sees the queue is full, and raises; no sleeping, no
+    syscalls.
+
+    Use as a context manager::
+
+        with controller.admit():
+            ...run the query...
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout_s: Optional[float] = None,
+    ):
+        if max_concurrent < 1:
+            raise InvalidParameterError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise InvalidParameterError(
+                f"max_queue must be >= 0, got {max_queue}"
+            )
+        if queue_timeout_s is not None and queue_timeout_s < 0:
+            raise InvalidParameterError(
+                f"queue_timeout_s must be >= 0, got {queue_timeout_s}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self._semaphore = threading.Semaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._running = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def _mirror_depths(self) -> None:
+        reg = _obs.registry
+        if reg is not None:
+            reg.set_gauge("service.queue_depth", self._waiting)
+            reg.set_gauge("service.running", self._running)
+
+    def try_acquire(self) -> bool:
+        """One execution slot without waiting; False when none is free."""
+        if not self._semaphore.acquire(blocking=False):
+            return False
+        with self._lock:
+            self._running += 1
+            self.admitted += 1
+            self._mirror_depths()
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("service.admitted")
+        return True
+
+    def acquire(self, timeout_s: Optional[float] = None) -> None:
+        """One execution slot, queueing within bounds; sheds the excess.
+
+        Raises :class:`OverloadError` with ``reason="queue_full"`` when
+        the wait queue is already at capacity, or ``reason="timeout"``
+        when the queue wait exceeded ``timeout_s`` (default: the
+        controller's ``queue_timeout_s``).
+        """
+        if self.try_acquire():
+            return
+        with self._lock:
+            if self._waiting >= self.max_queue:
+                self.rejected += 1
+                reg = _obs.registry
+                if reg is not None:
+                    reg.inc("service.rejected", reason="queue_full")
+                raise OverloadError(
+                    f"admission queue full "
+                    f"({self._waiting} waiting, cap {self.max_queue})",
+                    reason="queue_full",
+                )
+            self._waiting += 1
+            self._mirror_depths()
+        timeout = timeout_s if timeout_s is not None else self.queue_timeout_s
+        try:
+            got = self._semaphore.acquire(
+                timeout=timeout if timeout is not None else None
+            )
+        finally:
+            with self._lock:
+                self._waiting -= 1
+                self._mirror_depths()
+        if not got:
+            with self._lock:
+                self.rejected += 1
+            reg = _obs.registry
+            if reg is not None:
+                reg.inc("service.rejected", reason="timeout")
+            raise OverloadError(
+                f"gave up after waiting {timeout:g} s for a slot",
+                reason="timeout",
+            )
+        with self._lock:
+            self._running += 1
+            self.admitted += 1
+            self._mirror_depths()
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("service.admitted")
+
+    def release(self) -> None:
+        with self._lock:
+            self._running -= 1
+            self._mirror_depths()
+        self._semaphore.release()
+
+    @contextmanager
+    def admit(self, timeout_s: Optional[float] = None) -> Iterator[None]:
+        """``acquire``/``release`` as a context manager."""
+        self.acquire(timeout_s=timeout_s)
+        try:
+            yield
+        finally:
+            self.release()
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+
+class TokenBucket:
+    """A token-bucket rate limiter: ``rate`` tokens/s, burst ``capacity``.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    ``try_take`` is non-blocking — a caller without a token is rejected
+    (the shedding discipline), not delayed.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise InvalidParameterError(f"rate must be > 0, got {rate}")
+        if capacity <= 0:
+            raise InvalidParameterError(
+                f"capacity must be > 0, got {capacity}"
+            )
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock
+        self._tokens = capacity
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.rate
+            )
+            self._last = now
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (no wait) otherwise."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def take_or_raise(self, tokens: float = 1.0) -> None:
+        """``try_take`` that sheds: raises ``OverloadError(rate_limited)``."""
+        if not self.try_take(tokens):
+            reg = _obs.registry
+            if reg is not None:
+                reg.inc("service.rejected", reason="rate_limited")
+            raise OverloadError(
+                f"rate limit exceeded ({self.rate:g}/s, "
+                f"burst {self.capacity:g})",
+                reason="rate_limited",
+            )
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens

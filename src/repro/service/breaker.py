@@ -1,0 +1,261 @@
+"""Circuit breakers for the page store and index backends.
+
+A page store that is *persistently* faulting (a dying disk, a chaos
+policy with a high fault rate) should not be hammered with retries by
+every query: each retried read burns a worker's deadline budget for
+nothing.  A :class:`CircuitBreaker` watches consecutive failures and,
+past a threshold, **opens**: calls are rejected immediately with
+:class:`~repro.exceptions.CircuitOpenError` (microseconds, no I/O) until
+a recovery timeout elapses.  Then the breaker goes **half-open**,
+admitting a limited number of probe calls; enough successes close it,
+one failure re-opens it.
+
+State machine::
+
+    closed --[failure_threshold consecutive failures]--> open
+    open   --[recovery_timeout_s elapsed]-------------> half_open
+    half_open --[half_open_successes successes]-------> closed
+    half_open --[any failure]-------------------------> open
+
+Every transition is mirrored into the metrics registry as the counter
+``service.breaker.state`` labelled ``name``/``from``/``to``, plus the
+gauge ``service.breaker.state_code`` (closed=0, open=1, half_open=2), so
+a metrics snapshot shows the breaker history.
+
+:class:`BreakerPageStore` wraps any page store (raw, faulty, retrying)
+with a breaker on reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple, Type
+
+from ..exceptions import (
+    CircuitOpenError,
+    CorruptedDataError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    IOFaultError,
+    OperationCancelledError,
+    RetryExhaustedError,
+)
+from ..observability import state as _obs
+
+__all__ = ["CircuitBreaker", "BreakerPageStore", "DEFAULT_TRIP_ON"]
+
+# The PR 1 fault classes: what a breaker counts as dependency failure.
+# Deadline/cancellation errors deliberately do NOT trip a breaker — they
+# say the *caller* ran out of budget, not that the dependency is sick.
+DEFAULT_TRIP_ON: Tuple[Type[BaseException], ...] = (
+    IOFaultError,
+    RetryExhaustedError,
+    CorruptedDataError,
+    OSError,
+)
+
+_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker around one dependency.
+
+    Thread-safe: state transitions happen under a lock; the protected
+    call itself runs outside it (so slow calls do not serialise).  The
+    clock is injectable so tests can step through the state machine
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        name: str = "dependency",
+        failure_threshold: int = 5,
+        recovery_timeout_s: float = 1.0,
+        half_open_successes: int = 2,
+        trip_on: Tuple[Type[BaseException], ...] = DEFAULT_TRIP_ON,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise InvalidParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_timeout_s < 0:
+            raise InvalidParameterError(
+                f"recovery_timeout_s must be >= 0, got {recovery_timeout_s}"
+            )
+        if half_open_successes < 1:
+            raise InvalidParameterError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self.half_open_successes = half_open_successes
+        self.trip_on = tuple(trip_on)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._half_open_successes = 0
+        self._opened_at: Optional[float] = None
+        self.transitions = 0
+        self.rejections = 0
+
+    # -- state machine (all called with self._lock held) -------------------
+
+    def _transition_locked(self, to: str) -> None:
+        if to == self._state:
+            return
+        old = self._state
+        self._state = to
+        self.transitions += 1
+        if to == "open":
+            self._opened_at = self._clock()
+        elif to == "closed":
+            self._consecutive_failures = 0
+            self._opened_at = None
+        if to in ("closed", "half_open"):
+            self._half_open_successes = 0
+        reg = _obs.registry
+        if reg is not None:
+            # "from" is a keyword; route the labels through a dict.
+            reg.inc(
+                "service.breaker.state",
+                **{"name": self.name, "from": old, "to": to},
+            )
+            reg.set_gauge(
+                "service.breaker.state_code",
+                _STATE_CODES[to],
+                name=self.name,
+            )
+
+    def _check_admission_locked(self) -> None:
+        """Open→half_open on timeout; raise when still open."""
+        if self._state == "open":
+            assert self._opened_at is not None
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self.recovery_timeout_s:
+                self._transition_locked("half_open")
+            else:
+                self.rejections += 1
+                reg = _obs.registry
+                if reg is not None:
+                    reg.inc("service.breaker.rejected", name=self.name)
+                raise CircuitOpenError(
+                    f"circuit {self.name!r} is open "
+                    f"({self._consecutive_failures} consecutive failures)",
+                    retry_after_s=self.recovery_timeout_s - elapsed,
+                )
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, refreshing open→half_open on timeout."""
+        with self._lock:
+            if self._state == "open":
+                assert self._opened_at is not None
+                if (
+                    self._clock() - self._opened_at
+                    >= self.recovery_timeout_s
+                ):
+                    self._transition_locked("half_open")
+            return self._state
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.half_open_successes:
+                    self._transition_locked("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == "half_open":
+                self._transition_locked("open")
+            elif (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition_locked("open")
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`CircuitOpenError` without calling ``fn`` while
+        open.  Exceptions in ``trip_on`` count as dependency failures;
+        anything else (including deadline errors) propagates without
+        moving the state machine.
+        """
+        with self._lock:
+            self._check_admission_locked()
+        try:
+            result = fn(*args, **kwargs)
+        except (DeadlineExceededError, OperationCancelledError):
+            # Caller-budget errors are never dependency failures — even
+            # though DeadlineExceededError is a TimeoutError (and hence
+            # an OSError, which DEFAULT_TRIP_ON matches).
+            raise
+        except self.trip_on:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force the breaker closed (administrative override)."""
+        with self._lock:
+            self._transition_locked("closed")
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"failures={self._consecutive_failures})"
+        )
+
+
+class BreakerPageStore:
+    """A page store whose reads run through a :class:`CircuitBreaker`.
+
+    Stacks under/over the other fronts — typical serving order is
+    ``BreakerPageStore(RetryingPageStore(FaultyPageStore(PageStore)))``:
+    transient faults are retried, persistent ones trip the breaker, and
+    an open breaker rejects in microseconds instead of re-running a
+    doomed retry schedule.
+    """
+
+    def __init__(self, inner: Any, breaker: Optional[CircuitBreaker] = None):
+        self.inner = inner
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker("pager")
+        )
+
+    @property
+    def page_size_bytes(self) -> int:
+        return self.inner.page_size_bytes
+
+    @property
+    def buffer_pages(self) -> int:
+        return self.inner.buffer_pages
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def reset_stats(self) -> None:
+        self.inner.reset_stats()
+
+    def allocate(self, payload: Any) -> int:
+        return self.inner.allocate(payload)
+
+    def write(self, page_id: int, payload: Any) -> None:
+        self.inner.write(page_id, payload)
+
+    def read(self, page_id: int, **kwargs: Any) -> Any:
+        return self.breaker.call(self.inner.read, page_id, **kwargs)

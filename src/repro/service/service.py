@@ -1,0 +1,446 @@
+"""A thread-safe concurrent query service over the metric indexes.
+
+:class:`QueryService` composes the survivability pieces into one front
+door: every submitted query passes (in order) the token-bucket rate
+limiter, the admission controller, and the backend's circuit breaker,
+then executes with a :class:`~repro.context.Deadline` threaded all the
+way down to the tree traversal and the page store's retry loop.  Every
+terminal condition — success, shed, open circuit, blown deadline,
+degraded execution, hard failure — is a :class:`QueryOutcome` with a
+``status``, never a hang and never an unhandled worker exception.
+
+:meth:`QueryService.run` drives a batch through ``workers`` threads and
+summarises into a :class:`ServiceReport` (throughput, p50/p99 of the
+accepted, shed counts), which is what ``python -m repro serve-bench``
+prints.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..context import Context, Deadline
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    MetricostError,
+    OperationCancelledError,
+    OverloadError,
+)
+from ..observability import state as _obs
+from .admission import AdmissionController, TokenBucket
+from .breaker import CircuitBreaker
+
+__all__ = [
+    "QueryRequest",
+    "QueryOutcome",
+    "ServiceReport",
+    "MTreeBackend",
+    "VPTreeBackend",
+    "OptimizerBackend",
+    "QueryService",
+    "percentile",
+]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One similarity query: a range probe or a k-NN probe."""
+
+    kind: str  # "range" | "knn"
+    query: Any
+    radius: Optional[float] = None  # for kind == "range"
+    k: Optional[int] = None  # for kind == "knn"
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("range", "knn"):
+            raise InvalidParameterError(
+                f"kind must be 'range' or 'knn', got {self.kind!r}"
+            )
+        if self.kind == "range" and (
+            self.radius is None or self.radius < 0
+        ):
+            raise InvalidParameterError(
+                f"range query needs radius >= 0, got {self.radius}"
+            )
+        if self.kind == "knn" and (self.k is None or self.k < 1):
+            raise InvalidParameterError(
+                f"k-NN query needs k >= 1, got {self.k}"
+            )
+
+
+@dataclass
+class QueryOutcome:
+    """How one request ended.
+
+    ``status`` is one of ``"ok"``, ``"rejected"`` (shed by admission or
+    rate limiting), ``"circuit_open"``, ``"deadline"``, ``"cancelled"``
+    or ``"error"``.  ``latency_s`` covers the request's whole stay in the
+    service, including any queue wait.
+    """
+
+    request: QueryRequest
+    status: str
+    latency_s: float
+    items: Optional[List[Any]] = None
+    error: Optional[str] = None
+    nodes: int = 0
+    dists: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    if not values:
+        raise InvalidParameterError("percentile of an empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise InvalidParameterError(f"q must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class ServiceReport:
+    """A batch run summarised: counts, latency percentiles, throughput."""
+
+    outcomes: List[QueryOutcome]
+    wall_s: float
+    workers: int
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def accepted(self) -> List[QueryOutcome]:
+        return [o for o in self.outcomes if o.status == "ok"]
+
+    @property
+    def throughput_qps(self) -> float:
+        return len(self.accepted) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentile(self, q: float, status: str = "ok") -> float:
+        values = [
+            o.latency_s for o in self.outcomes if o.status == status
+        ]
+        return percentile(values, q)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.total} requests over {self.wall_s * 1e3:.1f} ms "
+            f"with {self.workers} worker(s): "
+            f"{len(self.accepted)} ok, "
+            f"{self.count('rejected')} rejected, "
+            f"{self.count('circuit_open')} circuit-open, "
+            f"{self.count('deadline')} deadline, "
+            f"{self.count('cancelled')} cancelled, "
+            f"{self.count('error')} error",
+        ]
+        if self.accepted:
+            lines.append(
+                f"accepted latency: "
+                f"p50 {self.latency_percentile(50) * 1e3:.3f} ms, "
+                f"p99 {self.latency_percentile(99) * 1e3:.3f} ms; "
+                f"throughput {self.throughput_qps:,.0f} q/s"
+            )
+        rejected = [
+            o.latency_s for o in self.outcomes if o.status == "rejected"
+        ]
+        if rejected:
+            lines.append(
+                f"rejection latency: "
+                f"p99 {percentile(rejected, 99) * 1e3:.3f} ms "
+                f"(shed fast, not queued)"
+            )
+        return "\n".join(lines)
+
+
+class MTreeBackend:
+    """Executes requests against one M-tree (optionally page-backed).
+
+    When ``pager`` is given, every logical node access replays one page
+    read through it — so retry fronts, fault policies and circuit
+    breakers stacked on the pager see real traffic and their failures
+    surface as query failures.
+    """
+
+    name = "mtree"
+
+    def __init__(self, tree: Any, pager: Optional[Any] = None):
+        self.tree = tree
+        self.pager = pager
+
+    def execute(
+        self, request: QueryRequest, deadline: Optional[Any] = None
+    ) -> QueryOutcome:
+        start = time.perf_counter()
+        if request.kind == "range":
+            result = self.tree.range_query(
+                request.query, request.radius, deadline=deadline
+            )
+            items = result.items
+        else:
+            result = self.tree.knn_query(
+                request.query, request.k, deadline=deadline
+            )
+            items = [(n.oid, n.obj, n.distance) for n in result.neighbors]
+        if self.pager is not None:
+            for page_id in range(
+                min(result.stats.nodes_accessed, len(self.pager))
+            ):
+                if deadline is not None:
+                    self.pager.read(page_id, deadline=deadline)
+                else:
+                    self.pager.read(page_id)
+        return QueryOutcome(
+            request=request,
+            status="ok",
+            latency_s=time.perf_counter() - start,
+            items=items,
+            nodes=result.stats.nodes_accessed,
+            dists=result.stats.dists_computed,
+        )
+
+
+class VPTreeBackend:
+    """Executes requests against one vp-tree (main-memory)."""
+
+    name = "vptree"
+
+    def __init__(self, tree: Any):
+        self.tree = tree
+
+    def execute(
+        self, request: QueryRequest, deadline: Optional[Any] = None
+    ) -> QueryOutcome:
+        start = time.perf_counter()
+        if request.kind == "range":
+            result = self.tree.range_query(
+                request.query, request.radius, deadline=deadline
+            )
+            items = result.items
+        else:
+            result = self.tree.knn_query(
+                request.query, request.k, deadline=deadline
+            )
+            items = list(result.neighbors)
+        return QueryOutcome(
+            request=request,
+            status="ok",
+            latency_s=time.perf_counter() - start,
+            items=items,
+            nodes=0,
+            dists=result.stats.dists_computed,
+        )
+
+
+class OptimizerBackend:
+    """Executes requests through the cost-based optimizer's ladder."""
+
+    name = "optimizer"
+
+    def __init__(self, optimizer: Any):
+        self.optimizer = optimizer
+
+    def execute(
+        self, request: QueryRequest, deadline: Optional[Any] = None
+    ) -> QueryOutcome:
+        start = time.perf_counter()
+        if request.kind == "range":
+            outcome = self.optimizer.run_range(
+                request.query, request.radius, deadline=deadline
+            )
+        else:
+            outcome = self.optimizer.run_knn(
+                request.query, request.k, deadline=deadline
+            )
+        return QueryOutcome(
+            request=request,
+            status="ok",
+            latency_s=time.perf_counter() - start,
+            items=list(outcome.items),
+            nodes=outcome.nodes,
+            dists=outcome.dists,
+        )
+
+
+class QueryService:
+    """The concurrent front door: shed, admit, breaker-guard, execute.
+
+    ``submit`` never raises for per-request conditions — every path
+    returns a :class:`QueryOutcome` whose ``status`` says what happened —
+    so a pool of workers can hammer it without any exception plumbing.
+    Unexpected (non-library) exceptions still propagate: those are bugs,
+    not load.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        admission: Optional[AdmissionController] = None,
+        rate_limiter: Optional[TokenBucket] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        default_deadline_s: Optional[float] = None,
+    ):
+        self.backend = backend
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.rate_limiter = rate_limiter
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(getattr(backend, "name", "backend"))
+        )
+        self.default_deadline_s = default_deadline_s
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {}
+
+    def _count(self, status: str) -> None:
+        with self._lock:
+            self.stats[status] = self.stats.get(status, 0) + 1
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("service.requests", status=status)
+
+    def submit(
+        self,
+        request: QueryRequest,
+        deadline: Optional[Any] = None,
+        context: Optional[Context] = None,
+    ) -> QueryOutcome:
+        """Run one request through the full pipeline; returns its outcome.
+
+        ``deadline`` overrides the service default; ``context`` adds
+        cooperative cancellation on top (and its own deadline, if set).
+        """
+        start = time.perf_counter()
+        if deadline is None and self.default_deadline_s is not None:
+            deadline = Deadline.after(self.default_deadline_s)
+        budget: Optional[Any] = context if context is not None else deadline
+        if context is not None and context.deadline is None and deadline is not None:
+            context.deadline = deadline
+
+        def finish(
+            status: str, error: Optional[str] = None
+        ) -> QueryOutcome:
+            latency = time.perf_counter() - start
+            self._count(status)
+            reg = _obs.registry
+            if reg is not None:
+                reg.observe("service.latency_seconds", latency, status=status)
+            return QueryOutcome(
+                request=request,
+                status=status,
+                latency_s=latency,
+                error=error,
+            )
+
+        try:
+            if self.rate_limiter is not None:
+                self.rate_limiter.take_or_raise()
+            with self.admission.admit():
+                if budget is not None:
+                    budget.check("admitted query")
+                outcome = self.breaker.call(
+                    self.backend.execute, request, deadline=budget
+                )
+        except OverloadError as exc:
+            return finish("rejected", error=str(exc))
+        except CircuitOpenError as exc:
+            return finish("circuit_open", error=str(exc))
+        except DeadlineExceededError as exc:
+            return finish("deadline", error=str(exc))
+        except OperationCancelledError as exc:
+            return finish("cancelled", error=str(exc))
+        except MetricostError as exc:
+            return finish(
+                "error", error=f"{type(exc).__name__}: {exc}"
+            )
+        outcome.latency_s = time.perf_counter() - start
+        self._count("ok")
+        reg = _obs.registry
+        if reg is not None:
+            reg.observe(
+                "service.latency_seconds", outcome.latency_s, status="ok"
+            )
+        return outcome
+
+    def run(
+        self,
+        requests: Sequence[QueryRequest],
+        workers: int = 4,
+        deadline_ms: Optional[float] = None,
+    ) -> ServiceReport:
+        """Drive a batch through ``workers`` threads; summarise.
+
+        Each request gets its *own* deadline of ``deadline_ms`` (when
+        set), measured from the moment a worker picks it up.  Outcomes
+        come back in request order.
+        """
+        if workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {workers}"
+            )
+        pending: "queue.Queue[Optional[int]]" = queue.Queue()
+        for index in range(len(requests)):
+            pending.put(index)
+        for _ in range(workers):
+            pending.put(None)  # one poison pill per worker
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(requests)
+        worker_errors: List[BaseException] = []
+
+        def work() -> None:
+            while True:
+                index = pending.get()
+                if index is None:
+                    return
+                deadline = (
+                    Deadline.after_ms(deadline_ms)
+                    if deadline_ms is not None
+                    else None
+                )
+                try:
+                    outcomes[index] = self.submit(
+                        requests[index], deadline=deadline
+                    )
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    worker_errors.append(exc)
+                    return
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=work, name=f"query-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+        if worker_errors:
+            raise worker_errors[0]
+        done = [o for o in outcomes if o is not None]
+        if len(done) != len(requests):
+            raise MetricostError(
+                f"worker pool lost {len(requests) - len(done)} request(s)"
+            )
+        return ServiceReport(outcomes=done, wall_s=wall_s, workers=workers)

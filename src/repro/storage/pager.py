@@ -8,6 +8,7 @@ caching, an extension beyond the paper's buffer-less I/O counting.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
@@ -68,6 +69,13 @@ class PageStore:
 
     ``buffer_pages = 0`` disables caching: every logical read is physical,
     which is the paper's implicit model (node accesses == page reads).
+
+    Thread safety: all operations hold an internal lock, so a store (and
+    its LRU recency list) can be shared by the concurrent query service
+    (:mod:`repro.service`) without torn ``OrderedDict`` state or lost
+    ``stats`` updates.  The lock covers the in-memory bookkeeping only —
+    payloads themselves are returned by reference and must not be mutated
+    by readers.
     """
 
     def __init__(self, page_size_bytes: int, buffer_pages: int = 0):
@@ -84,53 +92,62 @@ class PageStore:
         self._pages: Dict[int, Any] = {}
         self._buffer: "OrderedDict[int, Any]" = OrderedDict()
         self._next_id = 0
+        self._lock = threading.Lock()
         self.stats = PagerStats()
 
     def allocate(self, payload: Any) -> int:
         """Store a payload in a new page; returns the page id."""
-        page_id = self._next_id
-        self._next_id += 1
-        self._pages[page_id] = payload
-        self.stats.writes += 1
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            self._pages[page_id] = payload
+            self.stats.writes += 1
         if _obs.registry is not None:
             _obs.registry.inc("pager.writes")
         return page_id
 
     def write(self, page_id: int, payload: Any) -> None:
         """Overwrite an existing page."""
-        if page_id not in self._pages:
-            raise InvalidParameterError(f"unknown page id {page_id}")
-        self._pages[page_id] = payload
-        self._buffer.pop(page_id, None)
-        self.stats.writes += 1
+        with self._lock:
+            if page_id not in self._pages:
+                raise InvalidParameterError(f"unknown page id {page_id}")
+            self._pages[page_id] = payload
+            self._buffer.pop(page_id, None)
+            self.stats.writes += 1
         if _obs.registry is not None:
             _obs.registry.inc("pager.writes")
 
     def read(self, page_id: int) -> Any:
         """Read a page, through the buffer if one is configured."""
-        if page_id not in self._pages:
-            raise InvalidParameterError(f"unknown page id {page_id}")
         reg = _obs.registry
-        self.stats.logical_reads += 1
+        with self._lock:
+            if page_id not in self._pages:
+                raise InvalidParameterError(f"unknown page id {page_id}")
+            self.stats.logical_reads += 1
+            if self.buffer_pages > 0 and page_id in self._buffer:
+                self._buffer.move_to_end(page_id)
+                payload = self._buffer[page_id]
+                hit = True
+            else:
+                self.stats.physical_reads += 1
+                payload = self._pages[page_id]
+                hit = False
+                if self.buffer_pages > 0:
+                    self._buffer[page_id] = payload
+                    if len(self._buffer) > self.buffer_pages:
+                        self._buffer.popitem(last=False)
         if reg is not None:
             reg.inc("pager.logical_reads")
-        if self.buffer_pages > 0 and page_id in self._buffer:
-            self._buffer.move_to_end(page_id)
-            if reg is not None:
+            if hit:
                 reg.inc("pager.buffer_hits")
-            return self._buffer[page_id]
-        self.stats.physical_reads += 1
-        if reg is not None:
-            reg.inc("pager.physical_reads")
-        payload = self._pages[page_id]
-        if self.buffer_pages > 0:
-            self._buffer[page_id] = payload
-            if len(self._buffer) > self.buffer_pages:
-                self._buffer.popitem(last=False)
+            else:
+                reg.inc("pager.physical_reads")
         return payload
 
     def __len__(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def reset_stats(self) -> None:
-        self.stats = PagerStats()
+        with self._lock:
+            self.stats = PagerStats()

@@ -249,8 +249,16 @@ class VPTree:
     # Queries
     # ------------------------------------------------------------------
 
-    def range_query(self, query: Any, radius: float) -> VPRangeResult:
-        """All objects within ``radius``; one distance per accessed node."""
+    def range_query(
+        self, query: Any, radius: float, deadline: Optional[Any] = None
+    ) -> VPRangeResult:
+        """All objects within ``radius``; one distance per accessed node.
+
+        ``deadline`` (a :class:`~repro.context.Deadline` or
+        :class:`~repro.context.Context`) is polled once per node pop, so
+        an over-budget query raises
+        :class:`~repro.exceptions.DeadlineExceededError` promptly.
+        """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
         reg = _obs.registry
@@ -267,6 +275,8 @@ class VPTree:
                 return VPRangeResult(items, stats)
             stack = [self._root]
             while stack:
+                if deadline is not None:
+                    deadline.check("vptree range query")
                 node = stack.pop()
                 stats.nodes_accessed += 1
                 dist = self.metric.distance(query, node.obj)
@@ -295,8 +305,13 @@ class VPTree:
                 )
             return VPRangeResult(items, stats)
 
-    def knn_query(self, query: Any, k: int) -> VPKNNResult:
-        """Best-first k-NN using per-subtree distance lower bounds."""
+    def knn_query(
+        self, query: Any, k: int, deadline: Optional[Any] = None
+    ) -> VPKNNResult:
+        """Best-first k-NN using per-subtree distance lower bounds.
+
+        ``deadline`` is polled once per node pop (see :meth:`range_query`).
+        """
         if self._root is None:
             raise EmptyTreeError("cannot run a k-NN query on an empty tree")
         if not (1 <= k <= self._n_objects):
@@ -322,6 +337,8 @@ class VPTree:
                 (0.0, next(counter), self._root)
             ]
             while pending and pending[0][0] <= kth():
+                if deadline is not None:
+                    deadline.check("vptree k-NN query")
                 _bound, _tie, node = heapq.heappop(pending)
                 stats.nodes_accessed += 1
                 dist = self.metric.distance(query, node.obj)

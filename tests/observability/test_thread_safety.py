@@ -1,0 +1,216 @@
+"""Registry/tracer thread safety and mid-flight install/uninstall flips.
+
+CPython's ``dict[k] = dict.get(k, 0) + v`` is a read-modify-write; under
+free-running threads an unlocked registry loses increments.  These tests
+hammer the locked implementation and assert exact totals, and exercise
+the memory-model contract documented in ``repro.observability.state``:
+flipping the flag mid-flight never corrupts, because hot paths snapshot
+the registry reference once per operation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import observability
+from repro.observability import MetricsRegistry, Tracer
+
+
+def run_threads(n, target):
+    barrier = threading.Barrier(n)
+
+    def wrapped(index):
+        barrier.wait()  # maximise interleaving
+        target(index)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestRegistryHammer:
+    def test_no_lost_increments(self):
+        registry = MetricsRegistry()
+        per_thread, n_threads = 5_000, 8
+
+        def worker(_index):
+            for _ in range(per_thread):
+                registry.inc("hammer.counter")
+
+        run_threads(n_threads, worker)
+        assert registry.counter_value("hammer.counter") == (
+            per_thread * n_threads
+        )
+
+    @given(
+        increments=st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=100),
+                min_size=1,
+                max_size=50,
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_total_equals_sum_of_per_thread_increments(self, increments):
+        """Property: whatever each thread adds, the counter is the sum."""
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for value in increments[index]:
+                registry.inc("property.counter", value)
+
+        run_threads(len(increments), worker)
+        expected = sum(sum(chunk) for chunk in increments)
+        assert registry.counter_value("property.counter") == expected
+
+    def test_labelled_series_do_not_cross_contaminate(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for _ in range(2_000):
+                registry.inc("labelled", worker=index % 2)
+
+        run_threads(8, worker)
+        total = registry.counter_value(
+            "labelled", worker=0
+        ) + registry.counter_value("labelled", worker=1)
+        assert total == 16_000
+        assert registry.counter_total("labelled") == 16_000
+
+    def test_histograms_under_contention(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for i in range(2_000):
+                registry.observe("h", float(i % 10))
+
+        run_threads(8, worker)
+        hist = registry.histogram("h")
+        assert hist.count == 16_000
+        assert sum(hist.bucket_counts) == 16_000
+
+    def test_snapshot_is_consistent_under_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.inc("pair.a")
+                registry.inc("pair.b")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                a = snap.get("pair.a")
+                b = snap.get("pair.b")
+                # a is always incremented first; a consistent cut can
+                # differ by at most the one in-flight pair.
+                assert 0 <= a - b <= 1
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestTracerThreads:
+    def test_spans_nest_per_thread(self):
+        tracer = Tracer(detail="distance")
+
+        def worker(index):
+            for _ in range(200):
+                with tracer.span(f"outer-{index}"):
+                    with tracer.span(f"inner-{index}"):
+                        pass
+
+        run_threads(8, worker)
+        assert len(tracer.spans) == 8 * 200 * 2
+        assert tracer.dropped == 0
+        # Parent links never cross threads: every inner span's parent is
+        # an outer span of the same thread (same index suffix).
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.spans:
+            if span.name.startswith("inner"):
+                parent = by_id[span.parent_id]
+                assert parent.name == span.name.replace("inner", "outer")
+                assert span.depth == 1
+        assert tracer._stack == []
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def worker(_index):
+            for _ in range(500):
+                with tracer.span("s"):
+                    pass
+
+        run_threads(8, worker)
+        ids = [span.span_id for span in tracer.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_bounded_buffer_exact_drop_accounting(self):
+        tracer = Tracer(max_spans=100)
+
+        def worker(_index):
+            for _ in range(100):
+                with tracer.span("s"):
+                    pass
+
+        run_threads(8, worker)
+        assert len(tracer.spans) == 100
+        assert tracer.dropped == 700
+
+
+class TestMidFlightFlips:
+    def test_install_uninstall_while_querying(self, small_tree):
+        """Flipping observability under live queries neither crashes nor
+        corrupts; in-flight queries keep their snapshotted registry."""
+        import numpy as np
+
+        query = np.zeros(small_tree.layout.object_bytes // 4)
+        stop = threading.Event()
+        errors = []
+
+        def querier():
+            try:
+                while not stop.is_set():
+                    small_tree.range_query(query, 0.3)
+            except Exception as exc:  # noqa: BLE001 — the test's assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=querier) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                observability.install()
+                observability.snapshot()
+                observability.reset()
+                observability.uninstall()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert observability.active_registry() is None
+
+    def test_flipped_out_registry_keeps_its_data(self):
+        first = observability.install()
+        try:
+            first.inc("kept")
+            second = observability.install()  # replaces `first`
+            second.inc("fresh")
+            assert first.counter_value("kept") == 1
+            assert first.counter_value("fresh") == 0
+            assert observability.active_registry() is second
+        finally:
+            observability.uninstall()

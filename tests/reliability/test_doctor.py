@@ -20,6 +20,7 @@ EXPECTED_CHECKS = {
     "fault injection",
     "retry recovery",
     "degradation ladder",
+    "crash recovery",
     "workload isolation",
 }
 

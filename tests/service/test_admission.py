@@ -1,0 +1,157 @@
+"""Admission control and token-bucket shedding."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, OverloadError
+from repro.service import AdmissionController, TokenBucket
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_concurrent(self):
+        controller = AdmissionController(max_concurrent=3, max_queue=0)
+        for _ in range(3):
+            controller.acquire()
+        assert controller.running == 3
+        with pytest.raises(OverloadError) as excinfo:
+            controller.acquire()
+        assert excinfo.value.reason == "queue_full"
+        for _ in range(3):
+            controller.release()
+        assert controller.running == 0
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        controller.acquire()
+        controller.release()
+        controller.acquire()  # no raise
+        controller.release()
+
+    def test_queue_admits_when_slot_frees(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=1)
+        controller.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            controller.acquire()
+            admitted.set()
+            controller.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # The waiter parks in the queue; releasing our slot admits it.
+        deadline = time.monotonic() + 2.0
+        while controller.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert controller.waiting == 1
+        controller.release()
+        assert admitted.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+
+    def test_queue_timeout_sheds(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=1, queue_timeout_s=0.01
+        )
+        controller.acquire()
+        started = time.monotonic()
+        with pytest.raises(OverloadError) as excinfo:
+            controller.acquire()
+        assert excinfo.value.reason == "timeout"
+        assert time.monotonic() - started < 1.0
+        controller.release()
+
+    def test_rejection_is_fast(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        controller.acquire()
+        started = time.perf_counter()
+        for _ in range(100):
+            with pytest.raises(OverloadError):
+                controller.acquire()
+        per_rejection = (time.perf_counter() - started) / 100
+        # Acceptance: rejections are fast-fail (< 5 ms each; typically µs).
+        assert per_rejection < 0.005
+        controller.release()
+
+    def test_context_manager_releases_on_error(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                assert controller.running == 1
+                raise RuntimeError("boom")
+        assert controller.running == 0
+        with controller.admit():
+            pass
+
+    def test_counters(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        with controller.admit():
+            with pytest.raises(OverloadError):
+                controller.acquire()
+        assert controller.admitted == 1
+        assert controller.rejected == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(queue_timeout_s=-0.5)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock_now = [0.0]
+        bucket = TokenBucket(rate=10.0, capacity=3.0, clock=lambda: clock_now[0])
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()  # burst spent
+        clock_now[0] += 0.1  # 1 token refilled
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_capacity(self):
+        clock_now = [0.0]
+        bucket = TokenBucket(rate=100.0, capacity=2.0, clock=lambda: clock_now[0])
+        clock_now[0] += 100.0
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_take_or_raise(self):
+        clock_now = [0.0]
+        bucket = TokenBucket(rate=1.0, capacity=1.0, clock=lambda: clock_now[0])
+        bucket.take_or_raise()
+        with pytest.raises(OverloadError) as excinfo:
+            bucket.take_or_raise()
+        assert excinfo.value.reason == "rate_limited"
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+    def test_thread_safe_no_overdraw(self):
+        bucket = TokenBucket(rate=1e-9, capacity=50.0)
+        taken = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            count = 0
+            for _ in range(50):
+                if bucket.try_take():
+                    count += 1
+            taken.append(count)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Effectively no refill: exactly the initial burst is granted.
+        assert sum(taken) == 50

@@ -1,0 +1,215 @@
+"""Circuit-breaker state machine and the breaker-fronted page store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    IOFaultError,
+)
+from repro.reliability import FaultPolicy, FaultyPageStore
+from repro.service import BreakerPageStore, CircuitBreaker
+from repro.storage import PageStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _failing(exc=IOFaultError("injected")):
+    def fn():
+        raise exc
+
+    return fn
+
+
+class TestStateMachine:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "test",
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            recovery_timeout_s=kwargs.pop("recovery_timeout_s", 10.0),
+            half_open_successes=kwargs.pop("half_open_successes", 2),
+            clock=clock,
+            **kwargs,
+        )
+        return breaker, clock
+
+    def trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            with pytest.raises(IOFaultError):
+                breaker.call(_failing())
+
+    def test_starts_closed_and_passes_through(self):
+        breaker, _clock = self.make()
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: 42) == 42
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock = self.make()
+        self.trip(breaker)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.call(lambda: 42)
+        assert excinfo.value.retry_after_s <= 10.0
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock = self.make(failure_threshold=2)
+        with pytest.raises(IOFaultError):
+            breaker.call(_failing())
+        breaker.call(lambda: "ok")  # resets the streak
+        with pytest.raises(IOFaultError):
+            breaker.call(_failing())
+        assert breaker.state == "closed"
+
+    def test_half_open_after_recovery_timeout(self):
+        breaker, clock = self.make()
+        self.trip(breaker)
+        clock.now += 10.0
+        assert breaker.state == "half_open"
+
+    def test_half_open_closes_after_enough_successes(self):
+        breaker, clock = self.make()
+        self.trip(breaker)
+        clock.now += 10.0
+        assert breaker.call(lambda: 1) == 1
+        assert breaker.state == "half_open"  # one success is not enough
+        assert breaker.call(lambda: 2) == 2
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self.make()
+        self.trip(breaker)
+        clock.now += 10.0
+        assert breaker.state == "half_open"
+        with pytest.raises(IOFaultError):
+            breaker.call(_failing())
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: 42)
+
+    def test_deadline_errors_do_not_trip(self):
+        breaker, _clock = self.make(failure_threshold=1)
+        with pytest.raises(DeadlineExceededError):
+            breaker.call(_failing(DeadlineExceededError("too slow")))
+        assert breaker.state == "closed"
+
+    def test_reset_forces_closed(self):
+        breaker, _clock = self.make()
+        self.trip(breaker)
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: 1) == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(recovery_timeout_s=-1.0)
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(half_open_successes=0)
+
+    def test_transitions_mirrored_to_metrics(self):
+        registry = observability.install()
+        try:
+            breaker, clock = self.make()
+            self.trip(breaker)
+            clock.now += 10.0
+            breaker.call(lambda: 1)
+            breaker.call(lambda: 2)  # half_open -> closed
+            snap = registry.snapshot()
+            assert (
+                snap.get(
+                    "service.breaker.state",
+                    **{"name": "test", "from": "closed", "to": "open"},
+                )
+                == 1
+            )
+            assert (
+                snap.get(
+                    "service.breaker.state",
+                    **{"name": "test", "from": "open", "to": "half_open"},
+                )
+                == 1
+            )
+            assert (
+                snap.get(
+                    "service.breaker.state",
+                    **{"name": "test", "from": "half_open", "to": "closed"},
+                )
+                == 1
+            )
+            assert snap.get(
+                "service.breaker.state_code", -1, name="test"
+            ) == 0  # closed
+        finally:
+            observability.uninstall()
+
+
+class TestBreakerPageStore:
+    def test_persistent_faults_trip_and_shed(self):
+        clock = FakeClock()
+        inner = PageStore(4096)
+        for payload in range(8):
+            inner.allocate(payload)
+        faulty = FaultyPageStore(
+            inner, FaultPolicy(read_fail_rate=1.0, seed=1)
+        )
+        breaker = CircuitBreaker(
+            "pager", failure_threshold=3, recovery_timeout_s=5.0, clock=clock
+        )
+        store = BreakerPageStore(faulty, breaker)
+        for _ in range(3):
+            with pytest.raises(IOFaultError):
+                store.read(0)
+        # Open: the next read is rejected WITHOUT touching the store.
+        reads_before = inner.stats.logical_reads
+        with pytest.raises(CircuitOpenError):
+            store.read(0)
+        assert inner.stats.logical_reads == reads_before
+
+    def test_recovers_when_faults_stop(self):
+        clock = FakeClock()
+        inner = PageStore(4096)
+        page = inner.allocate("payload")
+        flaky = FaultyPageStore(
+            inner, FaultPolicy(read_fail_rate=1.0, seed=1)
+        )
+        breaker = CircuitBreaker(
+            "pager",
+            failure_threshold=2,
+            recovery_timeout_s=1.0,
+            half_open_successes=1,
+            clock=clock,
+        )
+        store = BreakerPageStore(flaky, breaker)
+        for _ in range(2):
+            with pytest.raises(IOFaultError):
+                store.read(page)
+        flaky.policy.read_fail_rate = 0.0  # the disk got better
+        clock.now += 1.0
+        assert store.read(page) == "payload"
+        assert store.breaker.state == "closed"
+
+    def test_passthrough_surface(self):
+        inner = PageStore(4096, buffer_pages=2)
+        store = BreakerPageStore(inner)
+        page = store.allocate("x")
+        store.write(page, "y")
+        assert store.read(page) == "y"
+        assert len(store) == 1
+        assert store.page_size_bytes == 4096
+        assert store.buffer_pages == 2
+        assert store.stats.writes == 2
+        store.reset_stats()
+        assert store.stats.writes == 0

@@ -1,0 +1,161 @@
+"""Deadline / Context semantics, with injectable clocks (no sleeping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import Context, Deadline
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    OperationCancelledError,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert deadline.remaining_s() == pytest.approx(0.6)
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining_s() == 0.0
+
+    def test_check_raises_only_after_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.5, clock=clock)
+        deadline.check("op")  # no raise
+        clock.advance(0.5)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("my op")
+        assert "my op" in str(excinfo.value)
+        assert excinfo.value.deadline_s == pytest.approx(0.5)
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(0.25)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Deadline.after(-1.0)
+
+    def test_is_a_timeout_error(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.0, clock=clock)
+        with pytest.raises(TimeoutError):
+            deadline.check()
+
+    def test_expired_flag(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.expired
+
+
+class TestContext:
+    def test_cancel_observed_at_check(self):
+        context = Context()
+        context.check("op")
+        context.cancel()
+        assert context.cancelled
+        with pytest.raises(OperationCancelledError):
+            context.check("op")
+
+    def test_cancel_is_idempotent(self):
+        context = Context()
+        context.cancel()
+        context.cancel()
+        assert context.cancelled
+
+    def test_no_deadline_means_infinite_budget(self):
+        context = Context()
+        assert context.remaining_s() == float("inf")
+        assert not context.expired
+
+    def test_deadline_flows_through(self):
+        clock = FakeClock()
+        context = Context.with_timeout(0.2, clock=clock)
+        assert context.remaining_s() == pytest.approx(0.2)
+        clock.advance(0.3)
+        assert context.expired
+        with pytest.raises(DeadlineExceededError):
+            context.check()
+
+    def test_cancellation_wins_over_deadline(self):
+        clock = FakeClock()
+        context = Context.with_timeout(0.0, clock=clock)
+        context.cancel()
+        clock.advance(1.0)
+        with pytest.raises(OperationCancelledError):
+            context.check()
+
+
+class TestTraversalDeadlines:
+    """The trees honour the deadline at their checkpoints."""
+
+    def test_mtree_range_raises_on_expired_deadline(self, small_tree):
+        clock = FakeClock()
+        deadline = Deadline.after(0.05, clock=clock)
+        clock.advance(0.1)
+        query = np.zeros(small_tree.layout.object_bytes // 4)
+        with pytest.raises(DeadlineExceededError):
+            small_tree.range_query(query, 0.5, deadline=deadline)
+
+    def test_mtree_knn_raises_on_expired_deadline(self, small_tree):
+        clock = FakeClock()
+        deadline = Deadline.after(0.05, clock=clock)
+        clock.advance(0.1)
+        query = np.zeros(small_tree.layout.object_bytes // 4)
+        with pytest.raises(DeadlineExceededError):
+            small_tree.knn_query(query, 3, deadline=deadline)
+
+    def test_mtree_unexpired_deadline_is_transparent(self, small_tree):
+        clock = FakeClock()
+        query = np.zeros(small_tree.layout.object_bytes // 4)
+        plain = small_tree.range_query(query, 0.4)
+        deadlined = small_tree.range_query(
+            query, 0.4, deadline=Deadline.after(60.0, clock=clock)
+        )
+        assert sorted(o for o, _v, _d in plain.items) == sorted(
+            o for o, _v, _d in deadlined.items
+        )
+
+    def test_mtree_cancellation_mid_traversal(self, small_tree):
+        context = Context()
+        context.cancel()
+        query = np.zeros(small_tree.layout.object_bytes // 4)
+        with pytest.raises(OperationCancelledError):
+            small_tree.range_query(query, 0.5, deadline=context)
+
+    def test_vptree_honours_deadline(self, small_uniform):
+        from repro.vptree import VPTree
+
+        tree = VPTree.build(
+            list(small_uniform.points), small_uniform.metric, seed=5
+        )
+        clock = FakeClock()
+        deadline = Deadline.after(0.05, clock=clock)
+        clock.advance(0.1)
+        with pytest.raises(DeadlineExceededError):
+            tree.range_query(small_uniform.points[0], 0.5, deadline=deadline)
+        with pytest.raises(DeadlineExceededError):
+            tree.knn_query(small_uniform.points[0], 3, deadline=deadline)

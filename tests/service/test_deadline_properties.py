@@ -1,0 +1,177 @@
+"""Property tests for deadline budgets, plus the backoff-cap regression.
+
+Two invariants, checked under hypothesis-generated schedules:
+
+1. the remaining budget observed across a retrying call's attempts is
+   monotonically non-increasing (time only moves forward, and the policy
+   never hands back budget);
+2. ditto across entering/exiting nested tracer spans.
+
+Plus the satellite-1 regression: a RetryingPageStore under a 50 ms
+deadline must never sleep a 500 ms backoff — every sleep is capped at
+the remaining budget and the call fails with DeadlineExceededError
+instead of oversleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.context import Deadline
+from repro.exceptions import (
+    DeadlineExceededError,
+    IOFaultError,
+    RetryExhaustedError,
+)
+from repro.observability import Tracer
+from repro.reliability import RetryPolicy, RetryingPageStore
+from repro.storage import PageStore
+
+
+class SteppingClock:
+    """A fake monotonic clock advanced explicitly — and by fake sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@given(
+    budget=st.floats(min_value=0.01, max_value=10.0),
+    ticks=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20
+    ),
+)
+def test_remaining_budget_monotone_across_retry_attempts(budget, ticks):
+    clock = SteppingClock()
+    deadline = Deadline.after(budget, clock=clock)
+    policy = RetryPolicy(
+        max_attempts=len(ticks) + 1,
+        base_delay_s=0.05,
+        jitter=0.0,
+        seed=0,
+        sleep=clock.sleep,
+    )
+    observed = []
+    tick_iter = iter(ticks)
+
+    def flaky():
+        observed.append(deadline.remaining_s())
+        clock.now += next(tick_iter, 0.0)  # work consumes wall time
+        raise IOFaultError("transient")
+
+    with pytest.raises(
+        (RetryExhaustedError, DeadlineExceededError)
+    ):
+        policy.call(flaky, deadline=deadline)
+    assert observed, "fn was never attempted"
+    assert all(
+        later <= earlier + 1e-12
+        for earlier, later in zip(observed, observed[1:])
+    ), f"budget increased across attempts: {observed}"
+    assert all(value >= 0.0 for value in observed)
+
+
+@given(
+    budget=st.floats(min_value=0.05, max_value=5.0),
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=0.2), min_size=1, max_size=8
+    ),
+)
+def test_remaining_budget_monotone_across_nested_spans(budget, durations):
+    clock = SteppingClock()
+    deadline = Deadline.after(budget, clock=clock)
+    tracer = Tracer(detail="distance")
+    observed = []
+
+    def descend(remaining):
+        observed.append(deadline.remaining_s())
+        if not remaining:
+            return
+        with tracer.span(f"level-{len(remaining)}"):
+            clock.now += remaining[0]  # the span's own work
+            descend(remaining[1:])
+            observed.append(deadline.remaining_s())
+
+    descend(durations)
+    assert all(
+        later <= earlier + 1e-12
+        for earlier, later in zip(observed, observed[1:])
+    ), f"budget increased across spans: {observed}"
+    # Nesting bookkeeping survived: every opened span was closed.
+    assert tracer._stack == []
+    assert len(tracer.spans) == len(durations)
+
+
+class TestBackoffCappedByDeadline:
+    def test_50ms_deadline_never_sleeps_500ms(self):
+        """The satellite-1 regression, end to end through the page store."""
+        clock = SteppingClock()
+        inner = PageStore(4096)
+        page = inner.allocate("payload")
+
+        def always_faulting_read(page_id):
+            clock.now += 0.001  # the failed read itself takes 1 ms
+            raise IOFaultError("injected")
+
+        inner.read = always_faulting_read
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay_s=0.5,  # an uncapped schedule would sleep 500 ms
+            jitter=0.0,
+            seed=0,
+            sleep=clock.sleep,
+        )
+        store = RetryingPageStore(inner, policy)
+        deadline = Deadline.after(0.05, clock=clock)
+        with pytest.raises(DeadlineExceededError):
+            store.read(page, deadline=deadline)
+        assert clock.sleeps, "expected at least one capped backoff sleep"
+        assert all(sleep <= 0.05 for sleep in clock.sleeps), clock.sleeps
+        # And the whole call stayed inside (roughly) one budget.
+        assert clock.now <= 0.06
+
+    def test_store_default_deadline_also_caps(self):
+        clock = SteppingClock()
+        inner = PageStore(4096)
+        inner.allocate("payload")
+
+        def always_faulting_read(page_id):
+            raise IOFaultError("injected")
+
+        inner.read = always_faulting_read
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.5, jitter=0.0, sleep=clock.sleep
+        )
+        store = RetryingPageStore(
+            inner, policy, deadline=Deadline.after(0.05, clock=clock)
+        )
+        with pytest.raises(DeadlineExceededError):
+            store.read(0)
+        assert all(sleep <= 0.05 for sleep in clock.sleeps)
+
+    def test_without_deadline_full_schedule_applies(self):
+        clock = SteppingClock()
+        inner = PageStore(4096)
+        inner.allocate("payload")
+
+        def always_faulting_read(page_id):
+            raise IOFaultError("injected")
+
+        inner.read = always_faulting_read
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.5, jitter=0.0, sleep=clock.sleep
+        )
+        store = RetryingPageStore(inner, policy)
+        with pytest.raises(RetryExhaustedError):
+            store.read(0)
+        assert clock.sleeps == [0.5, 1.0]  # uncapped exponential schedule

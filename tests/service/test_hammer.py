@@ -1,0 +1,138 @@
+"""The hammer: many threads, one tree, one pager, zero tolerance.
+
+Acceptance criteria for the concurrent service: 8+ threads driving
+10k+ mixed range/k-NN queries against one shared M-tree and one shared
+LRU page store must (a) lose no metric increments, (b) never deadlock
+(pytest-timeout aborts a wedged run in CI), and (c) return exactly the
+results a single-threaded run returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import observability
+from repro.service import (
+    AdmissionController,
+    MTreeBackend,
+    QueryRequest,
+    QueryService,
+)
+from repro.storage import PageStore
+
+N_THREADS = 8
+N_QUERIES = 10_000
+N_UNIQUE = 400
+
+
+@pytest.fixture(scope="module")
+def hammer_setup():
+    from repro.datasets import clustered_dataset
+    from repro.mtree import bulk_load, vector_layout
+
+    data = clustered_dataset(size=300, dim=3, seed=21)
+    tree = bulk_load(data.points, data.metric, vector_layout(3), seed=21)
+    rng = np.random.default_rng(21)
+    requests = []
+    for i in range(N_UNIQUE):
+        query = rng.random(3)
+        if i % 2 == 0:
+            requests.append(
+                QueryRequest(
+                    "range", query, radius=0.12 * data.d_plus, request_id=i
+                )
+            )
+        else:
+            requests.append(QueryRequest("knn", query, k=3, request_id=i))
+    return tree, requests
+
+
+def result_key(outcome):
+    """Order-insensitive identity of a query's result set."""
+    return sorted(round(float(d), 9) for _o, _v, d in outcome.items)
+
+
+@pytest.mark.timeout(120)
+def test_hammer_shared_tree_and_pager(hammer_setup):
+    tree, unique_requests = hammer_setup
+
+    # Single-threaded reference, no observability in the way.
+    reference_service = QueryService(MTreeBackend(tree))
+    reference = {
+        request.request_id: result_key(reference_service.submit(request))
+        for request in unique_requests
+    }
+
+    pager = PageStore(4096, buffer_pages=8)  # shared LRU under contention
+    for node in tree.iter_nodes():
+        pager.allocate(node)
+
+    registry = observability.install()
+    try:
+        service = QueryService(
+            MTreeBackend(tree, pager=pager),
+            admission=AdmissionController(
+                max_concurrent=N_THREADS, max_queue=N_QUERIES
+            ),
+        )
+        requests = [
+            unique_requests[i % N_UNIQUE] for i in range(N_QUERIES)
+        ]
+        report = service.run(requests, workers=N_THREADS)
+
+        # (c) identical results, request for request.
+        assert report.total == N_QUERIES
+        assert report.count("ok") == N_QUERIES
+        mismatches = sum(
+            1
+            for outcome in report.outcomes
+            if result_key(outcome) != reference[outcome.request.request_id]
+        )
+        assert mismatches == 0
+
+        # (a) zero lost increments: counters equal per-outcome sums.
+        snap = registry.snapshot()
+        assert snap.get("service.requests", status="ok") == N_QUERIES
+        assert snap.get("service.admitted") == N_QUERIES
+        assert snap.total("mtree.queries") == N_QUERIES
+        expected_nodes = sum(o.nodes for o in report.outcomes)
+        assert snap.total("mtree.nodes_accessed") == expected_nodes
+        expected_dists = sum(o.dists for o in report.outcomes)
+        assert snap.total("mtree.dists_computed") == expected_dists
+
+        # The shared pager's own stats agree with the registry mirror.
+        assert pager.stats.logical_reads == snap.get("pager.logical_reads")
+        assert (
+            pager.stats.logical_reads
+            == pager.stats.physical_reads + pager.stats.buffer_hits
+        )
+        assert snap.get("pager.logical_reads") == snap.get(
+            "pager.physical_reads"
+        ) + snap.get("pager.buffer_hits")
+    finally:
+        observability.uninstall()
+
+
+@pytest.mark.timeout(120)
+def test_hammer_with_shedding_still_consistent(hammer_setup):
+    """Under deliberate overload, accepted results stay exact."""
+    tree, unique_requests = hammer_setup
+    reference_service = QueryService(MTreeBackend(tree))
+    reference = {
+        request.request_id: result_key(reference_service.submit(request))
+        for request in unique_requests
+    }
+    service = QueryService(
+        MTreeBackend(tree),
+        admission=AdmissionController(max_concurrent=2, max_queue=2),
+    )
+    requests = [unique_requests[i % N_UNIQUE] for i in range(2_000)]
+    report = service.run(requests, workers=16)
+    assert report.total == 2_000
+    assert report.count("ok") + report.count("rejected") == 2_000
+    for outcome in report.outcomes:
+        if outcome.ok:
+            assert result_key(outcome) == reference[
+                outcome.request.request_id
+            ]

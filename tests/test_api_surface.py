@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.persistence",
     "repro.gist",
     "repro.reliability",
+    "repro.context",
+    "repro.service",
 ]
 
 
@@ -57,7 +59,9 @@ def test_version():
 def test_exceptions_hierarchy():
     from repro.exceptions import (
         CapacityError,
+        CircuitOpenError,
         CorruptedDataError,
+        DeadlineExceededError,
         EmptyDatasetError,
         EmptyTreeError,
         FormatVersionError,
@@ -65,6 +69,8 @@ def test_exceptions_hierarchy():
         InvalidParameterError,
         IOFaultError,
         MetricostError,
+        OperationCancelledError,
+        OverloadError,
         RetryExhaustedError,
     )
 
@@ -78,10 +84,15 @@ def test_exceptions_hierarchy():
         RetryExhaustedError,
         CorruptedDataError,
         FormatVersionError,
+        DeadlineExceededError,
+        OperationCancelledError,
+        OverloadError,
+        CircuitOpenError,
     ):
         assert issubclass(error_type, MetricostError)
-    # ValueError / IOError compatibility where promised.
+    # ValueError / IOError / TimeoutError compatibility where promised.
     assert issubclass(InvalidParameterError, ValueError)
     assert issubclass(CapacityError, ValueError)
     assert issubclass(FormatVersionError, ValueError)
     assert issubclass(IOFaultError, IOError)
+    assert issubclass(DeadlineExceededError, TimeoutError)

@@ -1,0 +1,143 @@
+"""Extension: query latency and fidelity while the online scrubber runs.
+
+The structural scrubber (:class:`~repro.reliability.Scrubber`) verifies
+index invariants *while queries are being served*, so the operational
+question is interference: how much query latency does an active scrub
+cost, and does throttling it with a :class:`~repro.service.TokenBucket`
+recover the headroom?  This bench times a range-query workload three
+ways — no scrub, an unthrottled background scrub, and a rate-limited
+background scrub — asserting along the way that answers are identical to
+the quiet baseline (scrubbing a healthy tree must be invisible except in
+latency).  A final row injects a shrunken covering radius, lets the
+scrubber quarantine the damage, and reports what quarantine-aware
+queries then see: mean completeness and objects routed around, the
+honest-degradation contract of ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets import clustered_dataset
+from repro.experiments import format_table, paper_range_radius
+from repro.mtree import bulk_load, vector_layout
+from repro.reliability import QuarantineSet, Scrubber, StructuralFaultInjector
+from repro.service import TokenBucket
+
+DIM = 8
+
+
+def _percentile(sorted_ms, fraction):
+    if not sorted_ms:
+        return float("nan")
+    index = min(len(sorted_ms) - 1, int(fraction * len(sorted_ms)))
+    return sorted_ms[index]
+
+
+def _timed_workload(tree, queries, radius, quarantine=None):
+    latencies, counts, completeness = [], [], []
+    for query in queries:
+        started = time.perf_counter()
+        result = tree.range_query(query, radius, quarantine=quarantine)
+        latencies.append(1e3 * (time.perf_counter() - started))
+        counts.append(len(result))
+        completeness.append(result.completeness)
+    latencies.sort()
+    return latencies, counts, completeness
+
+
+def run_scrub_interference(size: int, n_queries: int):
+    data = clustered_dataset(size, DIM, seed=71)
+    tree = bulk_load(data.points, data.metric, vector_layout(DIM), seed=72)
+    radius = paper_range_radius(DIM)
+    rng = np.random.default_rng(73)
+    queries = [rng.random(DIM) for _ in range(n_queries)]
+
+    rows = []
+    baseline_counts = None
+    # rate is in scrub-units (nodes) per second; None means no scrubber.
+    for label, scrub_rate in (
+        ("no scrub", None),
+        ("scrub, unthrottled", float("inf")),
+        ("scrub, 500 nodes/s", 500.0),
+    ):
+        stop = threading.Event()
+        thread = None
+        scrubber = None
+        if scrub_rate is not None:
+            rate_limit = (
+                None
+                if scrub_rate == float("inf")
+                else TokenBucket(rate=scrub_rate, capacity=scrub_rate)
+            )
+            scrubber = Scrubber(tree, rate_limit=rate_limit)
+
+            def keep_scrubbing(scrubber=scrubber):
+                while not stop.is_set():
+                    scrubber.run(passes=1)
+
+            thread = threading.Thread(target=keep_scrubbing, daemon=True)
+            thread.start()
+        latencies, counts, _ = _timed_workload(tree, queries, radius)
+        if thread is not None:
+            stop.set()
+            thread.join()
+        if baseline_counts is None:
+            baseline_counts = counts
+        assert counts == baseline_counts, (
+            "scrubbing a healthy tree changed query answers"
+        )
+        assert scrubber is None or scrubber.report().ok
+        rows.append(
+            {
+                "regime": label,
+                "mean ms": round(float(np.mean(latencies)), 3),
+                "p50 ms": round(_percentile(latencies, 0.50), 3),
+                "p99 ms": round(_percentile(latencies, 0.99), 3),
+                "mean matches": round(float(np.mean(counts)), 1),
+                "mean completeness": 1.0,
+            }
+        )
+
+    # Damage the tree, let the scrubber quarantine it, and measure what
+    # degraded queries report.
+    StructuralFaultInjector(seed=74).shrink_radius(tree)
+    quarantine = QuarantineSet()
+    Scrubber(tree, quarantine=quarantine).run(passes=1)
+    latencies, counts, completeness = _timed_workload(
+        tree, queries, radius, quarantine=quarantine
+    )
+    rows.append(
+        {
+            "regime": f"quarantined ({len(quarantine)} nodes)",
+            "mean ms": round(float(np.mean(latencies)), 3),
+            "p50 ms": round(_percentile(latencies, 0.50), 3),
+            "p99 ms": round(_percentile(latencies, 0.99), 3),
+            "mean matches": round(float(np.mean(counts)), 1),
+            "mean completeness": round(float(np.mean(completeness)), 3),
+        }
+    )
+    return rows
+
+
+def test_ext_scrub_interference(benchmark, scale, show):
+    size = max(1500, scale.vector_size // 2)
+    n_queries = max(100, scale.n_queries)
+    rows = benchmark.pedantic(
+        run_scrub_interference,
+        args=(size, n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title=(
+                "Extension - range-query latency under online scrubbing "
+                f"({size} objects, {n_queries} queries)"
+            ),
+        )
+    )

@@ -7,7 +7,10 @@ Usage::
     python -m repro figure5 --size 100000
     python -m repro vptree
     python -m repro all --quick
-    python -m repro doctor --artifacts ./artifacts
+    python -m repro doctor --artifacts ./artifacts --json --strict
+    python -m repro fsck
+    python -m repro fsck --mtree tree.json --metric l2 --json
+    python -m repro scrub --size 2000 --inject shrink_radius --json
     python -m repro serve-bench --quick --metrics
     python -m repro figure1 --quick --metrics --metrics-out metrics.json
     python -m repro metrics --input metrics.json
@@ -18,6 +21,13 @@ paper-shaped table; ``all`` runs every experiment in sequence.  ``doctor``
 runs the reliability self-test (fault injection, retry, checksum and
 degradation checks) and, with ``--artifacts``, integrity-checks every
 persisted artifact in a directory; it exits non-zero on any problem.
+``fsck`` structurally verifies an index: by default it runs a seeded
+self-test that injects every structural fault kind and asserts detection
+and repair; with ``--mtree FILE`` / ``--vptree FILE`` it checks a
+persisted tree.  ``scrub`` builds a seeded tree (optionally injecting
+faults) and runs the online scrubber with quarantine, reporting what a
+degraded query would see.  ``doctor``, ``fsck`` and ``scrub`` all accept
+``--json`` for machine-readable output and exit non-zero when unhealthy.
 
 ``--metrics`` installs the observability layer for the run and prints the
 counter table afterwards; ``--metrics-out FILE`` additionally persists the
@@ -162,6 +172,97 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the fault-injection self-test (default 0)",
     )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report instead of the table",
+    )
+    doctor.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail legacy unchecksummed artifacts instead of passing "
+        "them through",
+    )
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="structurally verify an index (geometric invariants, page "
+        "graph); default is an injection self-test",
+    )
+    fsck.add_argument(
+        "--mtree",
+        default=None,
+        metavar="FILE",
+        help="persisted M-tree artifact to check instead of the self-test",
+    )
+    fsck.add_argument(
+        "--vptree",
+        default=None,
+        metavar="FILE",
+        help="persisted vp-tree artifact to check instead of the self-test",
+    )
+    fsck.add_argument(
+        "--metric",
+        choices=("l2", "l1", "linf"),
+        default="l2",
+        help="metric for a persisted tree (default l2)",
+    )
+    fsck.add_argument(
+        "--size",
+        type=int,
+        default=300,
+        help="objects per seeded self-test tree (default 300)",
+    )
+    fsck.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the self-test corpus (default 0)",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report instead of the table",
+    )
+    fsck.add_argument(
+        "--strict",
+        action="store_true",
+        help="reject legacy unchecksummed tree artifacts when loading",
+    )
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="run the online scrubber over a seeded tree, optionally "
+        "after injecting structural faults",
+    )
+    scrub.add_argument(
+        "--size",
+        type=int,
+        default=1000,
+        help="number of indexed vector objects (default 1000)",
+    )
+    scrub.add_argument(
+        "--inject",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated structural faults to inject first: "
+        "shrink_radius, skew_parent_distance, drop_entry",
+    )
+    scrub.add_argument(
+        "--passes",
+        type=int,
+        default=1,
+        help="full scrub passes to run (default 1)",
+    )
+    scrub.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the tree and the injector (default 0)",
+    )
+    scrub.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report instead of the table",
+    )
     serve = subparsers.add_parser(
         "serve-bench",
         help="measure the concurrent query service: throughput vs "
@@ -249,12 +350,268 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_doctor(args: argparse.Namespace) -> int:
-    from .reliability import render_doctor, run_doctor
+    import json
 
-    checks, reports = run_doctor(artifacts_dir=args.artifacts, seed=args.seed)
-    print(render_doctor(checks, reports))
-    healthy = all(c.ok for c in checks) and all(r.ok for r in reports)
-    return 0 if healthy else 1
+    from .reliability import doctor_to_dict, render_doctor, run_doctor
+
+    checks, reports = run_doctor(
+        artifacts_dir=args.artifacts, seed=args.seed, strict=args.strict
+    )
+    payload = doctor_to_dict(checks, reports)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_doctor(checks, reports))
+    return 0 if payload["healthy"] else 1
+
+
+def _fsck_selftest(size: int, seed: int) -> dict:
+    """Inject every structural fault kind into seeded trees; record whether
+    fsck detected it (and, for M-trees, whether repair produced a clean
+    tree)."""
+    from .datasets import clustered_dataset
+    from .mtree import bulk_load, vector_layout
+    from .reliability import (
+        StructuralFaultInjector,
+        fsck_mtree,
+        fsck_page_graph,
+        fsck_vptree,
+        materialize_page_graph,
+        repair_mtree,
+    )
+    from .storage import PageStore
+    from .vptree import VPTree
+
+    cases = []
+
+    def build_mtree():
+        data = clustered_dataset(size=size, dim=3, seed=seed)
+        return bulk_load(
+            data.points, data.metric, vector_layout(3), seed=seed
+        )
+
+    for method, expected in (
+        ("shrink_radius", "radius_violation"),
+        ("skew_parent_distance", "parent_distance_skew"),
+        ("drop_entry", "object_count_mismatch"),
+    ):
+        tree = build_mtree()
+        clean_before = fsck_mtree(tree).ok
+        getattr(StructuralFaultInjector(seed=seed), method)(tree)
+        report = fsck_mtree(tree)
+        detected = expected in report.kinds()
+        repaired = repair_mtree(tree, seed=seed).ok
+        cases.append(
+            {
+                "name": f"mtree.{method}",
+                "expected": expected,
+                "clean_before": clean_before,
+                "detected": detected,
+                "detected_kinds": report.kinds(),
+                "repaired": repaired,
+                "ok": clean_before and detected and repaired,
+            }
+        )
+
+    data = clustered_dataset(size=size, dim=3, seed=seed)
+    vtree = VPTree.build(
+        list(data.points), data.metric, arity=3, seed=seed
+    )
+    clean_before = fsck_vptree(vtree).ok
+    StructuralFaultInjector(seed=seed).shrink_cutoff(vtree)
+    report = fsck_vptree(vtree)
+    detected = "cutoff_violation" in report.kinds()
+    cases.append(
+        {
+            "name": "vptree.shrink_cutoff",
+            "expected": "cutoff_violation",
+            "clean_before": clean_before,
+            "detected": detected,
+            "detected_kinds": report.kinds(),
+            "repaired": None,
+            "ok": clean_before and detected,
+        }
+    )
+
+    for method, expected in (
+        ("inject_orphan_page", "orphan_page"),
+        ("inject_dangling_ref", "dangling_page_ref"),
+        ("inject_page_alias", "doubly_referenced_page"),
+    ):
+        tree = build_mtree()
+        store = PageStore(page_size_bytes=4096)
+        root = materialize_page_graph(tree, store)
+        clean_before = fsck_page_graph(store, root).ok
+        getattr(StructuralFaultInjector(seed=seed), method)(store)
+        report = fsck_page_graph(store, root)
+        detected = expected in report.kinds()
+        cases.append(
+            {
+                "name": f"pages.{method}",
+                "expected": expected,
+                "clean_before": clean_before,
+                "detected": detected,
+                "detected_kinds": report.kinds(),
+                "repaired": None,
+                "ok": clean_before and detected,
+            }
+        )
+
+    return {
+        "mode": "selftest",
+        "seed": seed,
+        "size": size,
+        "healthy": all(c["ok"] for c in cases),
+        "cases": cases,
+    }
+
+
+def _run_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from .reliability import fsck_mtree, fsck_vptree
+
+    if args.mtree is not None and args.vptree is not None:
+        print("choose one of --mtree / --vptree, not both", file=sys.stderr)
+        return 2
+    if args.mtree is not None or args.vptree is not None:
+        from .metrics import L1, L2, LInf
+        from .persistence import load_mtree, load_vptree
+
+        from .exceptions import MetricostError
+
+        metric = {"l2": L2, "l1": L1, "linf": LInf}[args.metric]()
+        try:
+            if args.mtree is not None:
+                tree = load_mtree(args.mtree, metric, strict=args.strict)
+                report = fsck_mtree(tree)
+            else:
+                tree = load_vptree(args.vptree, metric, strict=args.strict)
+                report = fsck_vptree(tree)
+        except (MetricostError, OSError) as exc:
+            # A tree that cannot even be loaded is as failed as fsck
+            # gets: report it the same way, machine-readably on request.
+            path = args.mtree if args.mtree is not None else args.vptree
+            if args.json:
+                print(
+                    json.dumps(
+                        {"ok": False, "path": path, "error": str(exc)},
+                        indent=2,
+                    )
+                )
+            else:
+                print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+    payload = _fsck_selftest(size=args.size, seed=args.seed)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        lines = [
+            f"metricost fsck — structural self-test "
+            f"({payload['size']} objects/tree, seed {payload['seed']})"
+        ]
+        for case in payload["cases"]:
+            status = "ok  " if case["ok"] else "FAIL"
+            found = ", ".join(case["detected_kinds"]) or "nothing"
+            tail = ""
+            if case["repaired"] is not None:
+                tail = (
+                    "; repaired clean"
+                    if case["repaired"]
+                    else "; REPAIR FAILED"
+                )
+            lines.append(
+                f"{status} {case['name']:<28} expected "
+                f"{case['expected']}, detected {found}{tail}"
+            )
+        verdict = "healthy" if payload["healthy"] else "UNHEALTHY"
+        lines.append(
+            f"{len(payload['cases'])} injections, verdict: {verdict}"
+        )
+        print("\n".join(lines))
+    return 0 if payload["healthy"] else 1
+
+
+def _run_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from .datasets import clustered_dataset
+    from .mtree import bulk_load, vector_layout
+    from .reliability import (
+        QuarantineSet,
+        Scrubber,
+        StructuralFaultInjector,
+    )
+
+    known = ("shrink_radius", "skew_parent_distance", "drop_entry")
+    requested = [
+        name.strip()
+        for name in str(args.inject or "").split(",")
+        if name.strip()
+    ]
+    for name in requested:
+        if name not in known:
+            print(
+                f"unknown fault {name!r}; choose from {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    data = clustered_dataset(size=args.size, dim=3, seed=args.seed)
+    tree = bulk_load(data.points, data.metric, vector_layout(3), seed=args.seed)
+    injector = StructuralFaultInjector(seed=args.seed)
+    injected = [getattr(injector, name)(tree) for name in requested]
+    quarantine = QuarantineSet()
+    scrubber = Scrubber(tree, quarantine=quarantine)
+    progress = scrubber.run(passes=args.passes)
+    report = scrubber.report()
+    rng = np.random.default_rng(args.seed)
+    probe = tree.range_query(
+        rng.random(3), 0.25 * data.d_plus, quarantine=quarantine
+    )
+    payload = {
+        "progress": progress.to_dict(),
+        "fault_kinds": report.kinds(),
+        "faults": [fault.to_dict() for fault in report.faults],
+        "quarantined_nodes": len(quarantine),
+        "injected": injected,
+        "probe_query": {
+            "matches": len(probe),
+            "completeness": probe.completeness,
+            "skipped_subtrees": probe.skipped_subtrees,
+            "skipped_objects": probe.skipped_objects,
+        },
+        "clean": report.ok,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"metricost scrub — {args.size} objects, "
+            f"{progress.passes} pass(es), "
+            f"{progress.nodes_scrubbed}/{progress.nodes_total} nodes"
+        )
+        if injected:
+            for record in injected:
+                print(f"injected: {record}")
+        if report.ok:
+            print("no structural faults found")
+        else:
+            for fault in report.faults:
+                print(f"FAULT {fault}")
+        print(
+            f"quarantined {len(quarantine)} node(s); probe range query: "
+            f"{len(probe)} matches, completeness "
+            f"{probe.completeness:.3f}, "
+            f"{probe.skipped_objects} objects routed around"
+        )
+    return 0 if report.ok else 1
 
 
 def _run_serve_bench(args: argparse.Namespace) -> int:
@@ -358,6 +715,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "doctor":
         return _run_doctor(args)
+    if args.experiment == "fsck":
+        return _run_fsck(args)
+    if args.experiment == "scrub":
+        return _run_scrub(args)
     if args.experiment == "metrics":
         return _run_metrics(args)
     if args.experiment == "serve-bench":

@@ -71,6 +71,24 @@ class FormatVersionError(MetricostError, ValueError):
     read; the message names the expected and found versions."""
 
 
+class StructuralCorruptionError(MetricostError):
+    """An index failed a structural (geometric) integrity check.
+
+    Raised by :meth:`~repro.reliability.FsckReport.raise_if_bad` when a
+    fsck walk found invariant violations — covering radii that no longer
+    contain their subtree, skewed stored parent distances, dropped
+    entries, orphan or doubly-referenced pages.  Unlike
+    :class:`CorruptedDataError` (bytes failed a checksum) this means the
+    bytes are fine but the *semantics* are not: queries against the index
+    may silently drop results.  ``faults`` holds the typed
+    :class:`~repro.reliability.StructuralFault` list.
+    """
+
+    def __init__(self, message: str, faults=None):
+        super().__init__(message)
+        self.faults = list(faults) if faults is not None else []
+
+
 class DeadlineExceededError(MetricostError, TimeoutError):
     """An operation ran past its :class:`~repro.context.Deadline`.
 

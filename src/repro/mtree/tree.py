@@ -78,10 +78,20 @@ class QueryStats:
 
 @dataclass
 class RangeResult:
-    """Objects within the query radius, with the costs paid to find them."""
+    """Objects within the query radius, with the costs paid to find them.
+
+    When the query ran against a tree with quarantined nodes (see
+    :class:`~repro.reliability.QuarantineSet`), ``skipped_subtrees`` /
+    ``skipped_objects`` account for the damage routed around and
+    ``completeness`` estimates the fraction of the dataset actually
+    consulted — ``1.0`` means every live object was reachable.
+    """
 
     items: List[Tuple[int, Any, float]]  # (oid, object, distance)
     stats: QueryStats
+    skipped_subtrees: int = 0
+    skipped_objects: int = 0
+    completeness: float = 1.0
 
     def oids(self) -> List[int]:
         return [oid for oid, _obj, _d in self.items]
@@ -101,10 +111,18 @@ class Neighbor:
 
 @dataclass
 class KNNResult:
-    """The k nearest neighbors (ascending distance) and the costs paid."""
+    """The k nearest neighbors (ascending distance) and the costs paid.
+
+    ``skipped_subtrees`` / ``skipped_objects`` / ``completeness`` mirror
+    :class:`RangeResult`: non-default values mean quarantined subtrees
+    were routed around and the answer may be incomplete.
+    """
 
     neighbors: List[Neighbor]
     stats: QueryStats
+    skipped_subtrees: int = 0
+    skipped_objects: int = 0
+    completeness: float = 1.0
 
     def distances(self) -> List[float]:
         return [n.distance for n in self.neighbors]
@@ -336,6 +354,7 @@ class MTree:
         use_parent_pruning: bool = False,
         access_log: Optional[List[int]] = None,
         deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> RangeResult:
         """``range(Q, r_Q)``: all objects within ``radius`` of ``query``.
 
@@ -353,6 +372,12 @@ class MTree:
         node, so an over-budget query raises
         :class:`~repro.exceptions.DeadlineExceededError` within one node's
         worth of work instead of running to completion.
+
+        ``quarantine`` is an optional
+        :class:`~repro.reliability.QuarantineSet`; subtrees rooted at
+        quarantined nodes are skipped (never read) and the result's
+        ``completeness`` / ``skipped_objects`` report how much of the
+        dataset was thereby unreachable.
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
@@ -360,7 +385,12 @@ class MTree:
         if tracer is not None:
             with tracer.span("mtree.range_query", radius=float(radius)) as sp:
                 result = self._range_query_impl(
-                    query, radius, use_parent_pruning, access_log, deadline
+                    query,
+                    radius,
+                    use_parent_pruning,
+                    access_log,
+                    deadline,
+                    quarantine,
                 )
                 sp.set(
                     nodes=result.stats.nodes_accessed,
@@ -369,8 +399,17 @@ class MTree:
                 )
                 return result
         return self._range_query_impl(
-            query, radius, use_parent_pruning, access_log, deadline
+            query, radius, use_parent_pruning, access_log, deadline, quarantine
         )
+
+    def _quarantine_skip(
+        self, node: Node, counts: dict, reg, kind: str
+    ) -> int:
+        """Account for one quarantined subtree routed around."""
+        skipped = counts.get(id(node), 0)
+        if reg is not None:
+            reg.inc("mtree.quarantine_skips", kind=kind)
+        return skipped
 
     def _range_query_impl(
         self,
@@ -379,6 +418,7 @@ class MTree:
         use_parent_pruning: bool,
         access_log: Optional[List[int]],
         deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> RangeResult:
         reg = _obs.registry
         tracer = _obs.tracer
@@ -387,6 +427,18 @@ class MTree:
         items: List[Tuple[int, Any, float]] = []
         if self._root is None:
             return RangeResult(items, stats)
+        counts = self._subtree_counts() if quarantine is not None else {}
+        skipped_subtrees = 0
+        skipped_objects = 0
+        if quarantine is not None and quarantine.contains(self._root):
+            skipped = self._quarantine_skip(self._root, counts, reg, "range")
+            return RangeResult(
+                items,
+                stats,
+                skipped_subtrees=1,
+                skipped_objects=skipped,
+                completeness=0.0,
+            )
         # Stack holds (node, distance from Q to the node's routing object
         # — None for the root which has no routing object —, level).
         stack: List[Tuple[Node, Optional[float], int]] = [
@@ -403,6 +455,20 @@ class MTree:
             if access_log is not None:
                 access_log.append(id(node))
             entries = node.entries
+            if quarantine is not None and not node.is_leaf:
+                # Route around quarantined children *before* any pruning
+                # test: a corrupt radius or parent distance must never be
+                # trusted to decide whether damage is worth reporting.
+                live = []
+                for entry in entries:
+                    if quarantine.contains(entry.child):
+                        skipped_subtrees += 1
+                        skipped_objects += self._quarantine_skip(
+                            entry.child, counts, reg, "range"
+                        )
+                    else:
+                        live.append(entry)
+                entries = live
             if use_parent_pruning and dist_to_routing is not None:
                 # |d(Q, O_p) - d(O_i, O_p)| > r_Q (+ r(N_i)) implies the
                 # entry cannot qualify: skip without computing d(Q, O_i).
@@ -438,7 +504,18 @@ class MTree:
         if reg is not None:
             reg.inc("mtree.queries", kind="range")
             reg.inc("mtree.results", len(items), kind="range")
-        return RangeResult(items, stats)
+        completeness = (
+            (self._n_objects - skipped_objects) / self._n_objects
+            if self._n_objects
+            else 1.0
+        )
+        return RangeResult(
+            items,
+            stats,
+            skipped_subtrees=skipped_subtrees,
+            skipped_objects=skipped_objects,
+            completeness=completeness,
+        )
 
     def _traced_distances(self, query: Any, objs: List[Any], level: int):
         """Batched distance evaluation under node-visit/distance spans."""
@@ -456,6 +533,7 @@ class MTree:
         use_parent_pruning: bool = False,
         access_log: Optional[List[int]] = None,
         deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> KNNResult:
         """Optimal ``NN(Q, k)``: best-first search with a node priority queue.
 
@@ -466,6 +544,10 @@ class MTree:
 
         ``deadline`` (a :class:`~repro.context.Deadline` or
         :class:`~repro.context.Context`) is polled once per node pop.
+
+        ``quarantine`` (a :class:`~repro.reliability.QuarantineSet`)
+        causes quarantined subtrees to be routed around; the result's
+        ``completeness`` reports the fraction of objects reachable.
         """
         if self._root is None:
             raise EmptyTreeError("cannot run a k-NN query on an empty tree")
@@ -477,7 +559,8 @@ class MTree:
         if tracer is not None:
             with tracer.span("mtree.knn_query", k=k) as sp:
                 result = self._knn_query_impl(
-                    query, k, use_parent_pruning, access_log, deadline
+                    query, k, use_parent_pruning, access_log, deadline,
+                    quarantine,
                 )
                 sp.set(
                     nodes=result.stats.nodes_accessed,
@@ -485,7 +568,7 @@ class MTree:
                 )
                 return result
         return self._knn_query_impl(
-            query, k, use_parent_pruning, access_log, deadline
+            query, k, use_parent_pruning, access_log, deadline, quarantine
         )
 
     def _knn_query_impl(
@@ -495,11 +578,24 @@ class MTree:
         use_parent_pruning: bool,
         access_log: Optional[List[int]],
         deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> KNNResult:
         reg = _obs.registry
         tracer = _obs.tracer
         trace_nodes = tracer is not None and tracer.trace_nodes
         stats = QueryStats()
+        counts = self._subtree_counts() if quarantine is not None else {}
+        skipped_subtrees = 0
+        skipped_objects = 0
+        if quarantine is not None and quarantine.contains(self._root):
+            skipped = self._quarantine_skip(self._root, counts, reg, "knn")
+            return KNNResult(
+                [],
+                stats,
+                skipped_subtrees=1,
+                skipped_objects=skipped,
+                completeness=0.0,
+            )
         # Max-heap (as negated distances) of the best k candidates found.
         best: List[Tuple[float, int, Any]] = []  # (-distance, oid, obj)
 
@@ -523,6 +619,19 @@ class MTree:
             if access_log is not None:
                 access_log.append(id(node))
             entries = node.entries
+            if quarantine is not None and not node.is_leaf:
+                # As in the range query: quarantined children are routed
+                # around before any (possibly corrupt) bound is consulted.
+                live = []
+                for entry in entries:
+                    if quarantine.contains(entry.child):
+                        skipped_subtrees += 1
+                        skipped_objects += self._quarantine_skip(
+                            entry.child, counts, reg, "knn"
+                        )
+                    else:
+                        live.append(entry)
+                entries = live
             if use_parent_pruning and dist_to_routing is not None:
                 threshold = kth_distance()
                 if threshold != float("inf"):
@@ -576,7 +685,18 @@ class MTree:
         if reg is not None:
             reg.inc("mtree.queries", kind="knn")
             reg.inc("mtree.results", len(neighbors), kind="knn")
-        return KNNResult(neighbors, stats)
+        completeness = (
+            (self._n_objects - skipped_objects) / self._n_objects
+            if self._n_objects
+            else 1.0
+        )
+        return KNNResult(
+            neighbors,
+            stats,
+            skipped_subtrees=skipped_subtrees,
+            skipped_objects=skipped_objects,
+            completeness=completeness,
+        )
 
     def range_count(
         self, query: Any, radius: float, deadline: Optional[Any] = None

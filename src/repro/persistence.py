@@ -99,13 +99,15 @@ def _save_artifact(payload: Dict[str, Any], path: PathLike) -> None:
 
 
 def _load_artifact(
-    path: PathLike, retry: Optional[RetryPolicy] = None
+    path: PathLike,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
 ) -> Dict[str, Any]:
     path = Path(path)
     read = path.read_text if retry is None else (
         lambda: retry.call(path.read_text)
     )
-    return loads_artifact(read(), source=str(path))
+    return loads_artifact(read(), source=str(path), strict=strict)
 
 
 def _require_version(
@@ -174,10 +176,16 @@ def save_histogram(hist: DistanceHistogram, path: PathLike) -> None:
 
 
 def load_histogram(
-    path: PathLike, retry: Optional[RetryPolicy] = None
+    path: PathLike,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
 ) -> DistanceHistogram:
-    """Read a histogram artifact, verifying its checksums."""
-    return histogram_from_dict(_load_artifact(path, retry))
+    """Read a histogram artifact, verifying its checksums.
+
+    ``strict=True`` rejects legacy unchecksummed files (see
+    :func:`~repro.reliability.loads_artifact`).
+    """
+    return histogram_from_dict(_load_artifact(path, retry, strict))
 
 
 # ---------------------------------------------------------------------------
@@ -244,13 +252,18 @@ def save_stats(
     _save_artifact(stats_to_dict(node_stats, level_stats, n_objects), path)
 
 
-def load_stats(path: PathLike, retry: Optional[RetryPolicy] = None):
+def load_stats(
+    path: PathLike,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
+):
     """Read a statistics artifact, verifying its checksums.
 
     Returns ``(node_stats or None, level_stats or None, n_objects or
-    None)`` exactly like :func:`stats_from_dict`.
+    None)`` exactly like :func:`stats_from_dict`.  ``strict=True``
+    rejects legacy unchecksummed files.
     """
-    return stats_from_dict(_load_artifact(path, retry))
+    return stats_from_dict(_load_artifact(path, retry, strict))
 
 
 # ---------------------------------------------------------------------------
@@ -360,9 +373,11 @@ def load_mtree(
     metric: Metric,
     decode: Decoder = _default_decode,
     retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
 ) -> MTree:
-    """Read an M-tree artifact, verifying its checksums."""
-    return mtree_from_dict(_load_artifact(path, retry), metric, decode)
+    """Read an M-tree artifact, verifying its checksums (``strict=True``
+    rejects legacy unchecksummed files)."""
+    return mtree_from_dict(_load_artifact(path, retry, strict), metric, decode)
 
 
 # ---------------------------------------------------------------------------
@@ -442,6 +457,10 @@ def load_vptree(
     metric: Metric,
     decode: Decoder = _default_decode,
     retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
 ) -> VPTree:
-    """Read a vp-tree artifact, verifying its checksums."""
-    return vptree_from_dict(_load_artifact(path, retry), metric, decode)
+    """Read a vp-tree artifact, verifying its checksums (``strict=True``
+    rejects legacy unchecksummed files)."""
+    return vptree_from_dict(
+        _load_artifact(path, retry, strict), metric, decode
+    )

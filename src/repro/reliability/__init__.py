@@ -11,17 +11,40 @@ machinery (see ``docs/robustness.md``):
   exponential backoff + jitter and per-call accounting;
 * :mod:`~repro.reliability.integrity` — CRC32-checksummed artifact
   envelopes with block-level corruption localisation;
+* :mod:`~repro.reliability.fsck` — structural (geometric) verification of
+  M-trees, vp-trees and page graphs, plus bulkload-based repair;
+* :mod:`~repro.reliability.scrub` — the online background
+  :class:`Scrubber` verifying nodes incrementally while queries run;
+* :mod:`~repro.reliability.quarantine` — the :class:`QuarantineSet`
+  traversals route around, with completeness accounting;
 * :mod:`~repro.reliability.doctor` — the ``python -m repro doctor``
   self-test and artifact scanner.
 """
 
-from .doctor import DoctorCheck, render_doctor, run_doctor
+from .doctor import DoctorCheck, doctor_to_dict, render_doctor, run_doctor
 from .faults import (
     CorruptedPayload,
     FaultPolicy,
     FaultStats,
     FaultyPageStore,
+    StructuralFaultInjector,
     TornPage,
+)
+from .fsck import (
+    FAULT_KINDS,
+    FsckReport,
+    RepairOutcome,
+    ScrubUnit,
+    StructuralFault,
+    check_mtree_unit,
+    check_vptree_unit,
+    fsck_mtree,
+    fsck_page_graph,
+    fsck_vptree,
+    materialize_page_graph,
+    mtree_scrub_units,
+    repair_mtree,
+    vptree_scrub_units,
 )
 from .integrity import (
     ArtifactReport,
@@ -32,7 +55,9 @@ from .integrity import (
     verify_file,
     wrap_artifact,
 )
+from .quarantine import QuarantineSet
 from .retry import RetryAttempt, RetryingPageStore, RetryPolicy, RetryStats
+from .scrub import Scrubber, ScrubProgress
 
 __all__ = [
     "FaultPolicy",
@@ -40,6 +65,7 @@ __all__ = [
     "FaultyPageStore",
     "TornPage",
     "CorruptedPayload",
+    "StructuralFaultInjector",
     "RetryPolicy",
     "RetryAttempt",
     "RetryStats",
@@ -51,7 +77,25 @@ __all__ = [
     "dumps_artifact",
     "loads_artifact",
     "verify_file",
+    "FAULT_KINDS",
+    "StructuralFault",
+    "FsckReport",
+    "ScrubUnit",
+    "mtree_scrub_units",
+    "check_mtree_unit",
+    "fsck_mtree",
+    "vptree_scrub_units",
+    "check_vptree_unit",
+    "fsck_vptree",
+    "materialize_page_graph",
+    "fsck_page_graph",
+    "RepairOutcome",
+    "repair_mtree",
+    "QuarantineSet",
+    "Scrubber",
+    "ScrubProgress",
     "DoctorCheck",
     "run_doctor",
     "render_doctor",
+    "doctor_to_dict",
 ]

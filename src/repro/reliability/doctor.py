@@ -38,7 +38,13 @@ from .faults import FaultPolicy, FaultyPageStore
 from .integrity import ArtifactReport, verify_file
 from .retry import RetryPolicy
 
-__all__ = ["DoctorCheck", "run_doctor", "render_doctor", "flip_body_bit"]
+__all__ = [
+    "DoctorCheck",
+    "run_doctor",
+    "render_doctor",
+    "doctor_to_dict",
+    "flip_body_bit",
+]
 
 
 @dataclass
@@ -277,6 +283,70 @@ def _self_test(seed: int) -> List[DoctorCheck]:
             f"{measurement.failed_queries} isolated failures"
         )
 
+    def structural_fsck() -> str:
+        # Inject each structural fault kind into its own seeded tree and
+        # require the fsck to find it; then repair and require clean.
+        from .faults import StructuralFaultInjector
+        from .fsck import fsck_mtree, repair_mtree
+
+        points = rng.random((250, 3))
+        metric = L2()
+        detected = []
+        for method in (
+            "shrink_radius",
+            "skew_parent_distance",
+            "drop_entry",
+        ):
+            tree = bulk_load(points, metric, vector_layout(3), seed=seed)
+            if not fsck_mtree(tree).ok:
+                raise AssertionError("fresh bulkloaded tree failed fsck")
+            injected = getattr(StructuralFaultInjector(seed), method)(tree)
+            report = fsck_mtree(tree)
+            if injected["kind"] not in report.kinds():
+                raise AssertionError(
+                    f"{method} injected {injected['kind']} but fsck found "
+                    f"only {report.kinds()}"
+                )
+            outcome = repair_mtree(tree, seed=seed)
+            if not outcome.ok:
+                raise AssertionError(f"repair after {method} not clean")
+            detected.append(injected["kind"])
+        return (
+            f"injected {len(detected)} structural fault kinds "
+            f"({', '.join(sorted(set(detected)))}); fsck caught each and "
+            "repair came back clean"
+        )
+
+    def scrub_quarantine() -> str:
+        # A scrub over a damaged tree must quarantine the broken subtree,
+        # and queries must flag the resulting incompleteness — never
+        # silently return a short answer.
+        from .faults import StructuralFaultInjector
+        from .quarantine import QuarantineSet
+        from .scrub import Scrubber
+
+        points = rng.random((250, 3))
+        metric = L2()
+        tree = bulk_load(points, metric, vector_layout(3), seed=seed)
+        StructuralFaultInjector(seed).shrink_radius(tree)
+        quarantine = QuarantineSet()
+        scrubber = Scrubber(tree, quarantine=quarantine)
+        scrubber.run()
+        if not quarantine:
+            raise AssertionError("scrub did not quarantine the damage")
+        result = tree.range_query(
+            rng.random(3), 2.0, quarantine=quarantine
+        )
+        if result.completeness >= 1.0 or result.skipped_objects == 0:
+            raise AssertionError(
+                "query around quarantine did not report incompleteness"
+            )
+        return (
+            f"scrub quarantined {len(quarantine)} node(s); query flagged "
+            f"completeness {result.completeness:.2f} "
+            f"({result.skipped_objects} objects unreachable)"
+        )
+
     _check("checksum round-trip", checksum_roundtrip, checks)
     _check("bit-flip detection", bit_flip_detection, checks)
     _check("version gate", version_gate, checks)
@@ -286,13 +356,20 @@ def _self_test(seed: int) -> List[DoctorCheck]:
     _check("degradation ladder", degradation_ladder, checks)
     _check("crash recovery", crash_recovery, checks)
     _check("workload isolation", workload_isolation, checks)
+    _check("structural fsck", structural_fsck, checks)
+    _check("scrub quarantine", scrub_quarantine, checks)
     return checks
 
 
 def run_doctor(
-    artifacts_dir: Optional[str] = None, seed: int = 0
+    artifacts_dir: Optional[str] = None, seed: int = 0, strict: bool = False
 ) -> Tuple[List[DoctorCheck], List[ArtifactReport]]:
-    """Run the self-test and (optionally) scan an artifact directory."""
+    """Run the self-test and (optionally) scan an artifact directory.
+
+    ``strict=True`` makes the artifact scan fail legacy unchecksummed
+    files instead of passing them through (see
+    :func:`~repro.reliability.integrity.loads_artifact`).
+    """
     checks = _self_test(seed)
     reports: List[ArtifactReport] = []
     if artifacts_dir is not None:
@@ -308,8 +385,36 @@ def run_doctor(
             )
         else:
             for path in sorted(root.glob("*.json")):
-                reports.append(verify_file(path))
+                reports.append(verify_file(path, strict=strict))
     return checks, reports
+
+
+def doctor_to_dict(
+    checks: List[DoctorCheck], reports: List[ArtifactReport]
+) -> dict:
+    """Machine-readable doctor outcome (``python -m repro doctor --json``).
+
+    ``healthy`` is the single bit CI gates on; everything else is the
+    evidence behind it.
+    """
+    return {
+        "healthy": all(c.ok for c in checks) and all(r.ok for r in reports),
+        "checks": [
+            {"name": c.name, "ok": c.ok, "detail": c.detail} for c in checks
+        ],
+        "artifacts": [
+            {
+                "path": r.path,
+                "ok": r.ok,
+                "kind": r.kind,
+                "version": r.version,
+                "checksummed": r.checksummed,
+                "error": r.error,
+                "offset": r.offset,
+            }
+            for r in reports
+        ],
+    }
 
 
 def render_doctor(

@@ -29,6 +29,7 @@ __all__ = [
     "FaultyPageStore",
     "TornPage",
     "CorruptedPayload",
+    "StructuralFaultInjector",
 ]
 
 
@@ -229,6 +230,9 @@ class FaultyPageStore:
     def __len__(self) -> int:
         return len(self.inner)
 
+    def page_ids(self) -> list:
+        return self.inner.page_ids()
+
     def reset_stats(self) -> None:
         self.inner.reset_stats()
         self.fault_stats = FaultStats()
@@ -278,3 +282,230 @@ class FaultyPageStore:
             self._count_fault("corruption")
             return self.policy.corrupt(payload)
         return payload
+
+
+class StructuralFaultInjector:
+    """Deterministically damage the *geometry* of an in-memory index.
+
+    :class:`FaultPolicy` perturbs bytes; this injector perturbs
+    *semantics* — the structural invariants that
+    :mod:`repro.reliability.fsck` exists to verify.  Every method mutates
+    the tree in place and returns a record (``kind`` + location detail)
+    describing exactly what was damaged, so chaos tests can assert the
+    fsck finds precisely the injected faults.
+
+    Injections are calibrated to be *detectable by construction*: a
+    shrunk radius is set strictly below the subtree's true maximum
+    descendant distance, a skewed parent distance is moved by far more
+    than the fsck tolerance, a dropped entry leaves the stored object
+    count stale.  The acceptance bar — fsck detects 100% of injected
+    corruption — is only meaningful if the injector cannot inject an
+    undetectable fault.
+    """
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- M-tree ------------------------------------------------------------
+
+    def _routing_entries(self, tree: Any):
+        """All ``(node, entry)`` routing pairs of an M-tree."""
+        pairs = []
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                pairs.extend((node, entry) for entry in node.entries)
+        return pairs
+
+    @staticmethod
+    def _max_descendant_distance(tree: Any, entry: Any) -> float:
+        """True covering requirement: max distance from the routing object
+        to any leaf object below it."""
+        best = 0.0
+        stack = [entry.child]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for leaf in node.entries:
+                    best = max(
+                        best, tree.metric.distance(leaf.obj, entry.obj)
+                    )
+            else:
+                stack.extend(e.child for e in node.entries)
+        return best
+
+    def shrink_radius(self, tree: Any) -> dict:
+        """Shrink one covering radius below its subtree's true extent.
+
+        The new radius is half the maximum descendant distance, so at
+        least one object provably escapes the ball — fsck must flag a
+        ``radius_violation``.
+        """
+        candidates = [
+            (node, entry, self._max_descendant_distance(tree, entry))
+            for node, entry in self._routing_entries(tree)
+        ]
+        candidates = [c for c in candidates if c[2] > 0.0]
+        if not candidates:
+            raise InvalidParameterError(
+                "no routing entry with a positive subtree extent to shrink"
+            )
+        node, entry, max_dist = self._rng.choice(candidates)
+        old_radius = entry.radius
+        entry.radius = max_dist * 0.5
+        return {
+            "kind": "radius_violation",
+            "node_id": id(node),
+            "old_radius": old_radius,
+            "new_radius": entry.radius,
+            "max_descendant_distance": max_dist,
+        }
+
+    def skew_parent_distance(self, tree: Any) -> dict:
+        """Corrupt one stored ``d(O, P(O))`` far beyond the fsck tolerance
+        (guaranteeing a ``parent_distance_skew`` finding)."""
+        victims = []
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                victims.extend(
+                    (entry.child, child_entry)
+                    for child_entry in entry.child.entries
+                )
+        if not victims:
+            raise InvalidParameterError(
+                "tree has no non-root node whose parent distance can skew"
+            )
+        node, entry = self._rng.choice(victims)
+        old = entry.dist_to_parent
+        entry.dist_to_parent = old + 0.5 * (1.0 + old)
+        return {
+            "kind": "parent_distance_skew",
+            "node_id": id(node),
+            "old_dist": old,
+            "new_dist": entry.dist_to_parent,
+        }
+
+    def drop_entry(self, tree: Any) -> dict:
+        """Silently remove one leaf entry without fixing the accounting.
+
+        The stored object count goes stale — exactly the
+        ``object_count_mismatch`` a lost entry produces in the wild.
+        """
+        leaves = [
+            node
+            for node in tree.iter_nodes()
+            if node.is_leaf and len(node.entries) >= 2
+        ]
+        if not leaves:
+            raise InvalidParameterError(
+                "no leaf with >= 2 entries to drop from"
+            )
+        node = self._rng.choice(leaves)
+        entry = self._rng.choice(node.entries)
+        node.entries.remove(entry)
+        tree._invalidate_caches()
+        return {
+            "kind": "object_count_mismatch",
+            "node_id": id(node),
+            "dropped_oid": entry.oid,
+        }
+
+    # -- vp-tree -----------------------------------------------------------
+
+    def shrink_cutoff(self, tree: Any) -> dict:
+        """Shrink one vp-tree cutoff below its shell's true extent,
+        guaranteeing a ``cutoff_violation`` (or ``cutoffs_unsorted``)."""
+        candidates = []
+        stack = [tree.root] if tree.root is not None else []
+        while stack:
+            node = stack.pop()
+            previous_cut = 0.0
+            for pos, (cut, child) in enumerate(
+                zip(node.cutoffs, node.children)
+            ):
+                if child is not None:
+                    max_dist = 0.0
+                    sub = [child]
+                    while sub:
+                        current = sub.pop()
+                        max_dist = max(
+                            max_dist,
+                            tree.metric.distance(node.obj, current.obj),
+                        )
+                        sub.extend(
+                            c for c in current.children if c is not None
+                        )
+                    if max_dist > previous_cut:
+                        candidates.append((node, pos, previous_cut, max_dist))
+                    stack.append(child)
+                previous_cut = cut
+        if not candidates:
+            raise InvalidParameterError(
+                "no vp-tree cutoff with a positive shell extent to shrink"
+            )
+        node, pos, previous_cut, max_dist = self._rng.choice(candidates)
+        old = node.cutoffs[pos]
+        node.cutoffs[pos] = previous_cut + 0.5 * (max_dist - previous_cut)
+        return {
+            "kind": "cutoff_violation",
+            "node_id": id(node),
+            "position": pos,
+            "old_cutoff": old,
+            "new_cutoff": node.cutoffs[pos],
+        }
+
+    # -- page graph --------------------------------------------------------
+
+    def inject_orphan_page(self, store: Any) -> dict:
+        """Allocate a page no parent references (an ``orphan_page``)."""
+        page_id = store.allocate(
+            {"is_leaf": True, "n_entries": 0, "children": []}
+        )
+        return {"kind": "orphan_page", "page_id": page_id}
+
+    def _internal_pages(self, store: Any):
+        pages = []
+        for page_id in store.page_ids():
+            try:
+                payload = store.read(page_id)
+            except Exception:  # noqa: BLE001 — damaged pages are skipped
+                continue
+            if isinstance(payload, dict) and payload.get("children"):
+                pages.append((page_id, payload))
+        return pages
+
+    def inject_dangling_ref(self, store: Any) -> dict:
+        """Point one internal page at a child id that does not exist
+        (a ``dangling_page_ref``)."""
+        pages = self._internal_pages(store)
+        if not pages:
+            raise InvalidParameterError("no internal page to damage")
+        page_id, payload = self._rng.choice(pages)
+        bogus = max(store.page_ids()) + 1 + self._rng.randrange(1000)
+        payload = dict(payload)
+        payload["children"] = list(payload["children"]) + [bogus]
+        store.write(page_id, payload)
+        return {
+            "kind": "dangling_page_ref",
+            "page_id": page_id,
+            "bogus_child": bogus,
+        }
+
+    def inject_page_alias(self, store: Any) -> dict:
+        """Reference one child from two slots (a
+        ``doubly_referenced_page``)."""
+        pages = self._internal_pages(store)
+        if not pages:
+            raise InvalidParameterError("no internal page to damage")
+        page_id, payload = self._rng.choice(pages)
+        victim = self._rng.choice(payload["children"])
+        payload = dict(payload)
+        payload["children"] = list(payload["children"]) + [victim]
+        store.write(page_id, payload)
+        return {
+            "kind": "doubly_referenced_page",
+            "page_id": page_id,
+            "aliased_child": victim,
+        }

@@ -14,8 +14,12 @@ The envelope is itself JSON::
      "length": 982, "block_size": 1024, "block_crcs": [...],
      "crc32": 4023233417, "body": "{...the artifact...}"}
 
-Loading is backward compatible: a file whose top level is not an envelope
-is treated as a legacy unchecksummed artifact and passed through.
+Loading is backward compatible by default: a file whose top level is not
+an envelope is treated as a legacy unchecksummed artifact and passed
+through — but each such load increments the
+``reliability.legacy_artifact_loads`` metrics counter, and ``strict=True``
+rejects legacy payloads outright (the posture for deployments whose whole
+corpus has been rewritten with envelopes).
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from ..exceptions import (
     FormatVersionError,
     InvalidParameterError,
 )
+from ..observability import state as _obs
 
 __all__ = [
     "ENVELOPE_KIND",
@@ -163,11 +168,19 @@ def dumps_artifact(payload: Dict[str, Any]) -> str:
     return json.dumps(wrap_artifact(payload))
 
 
-def loads_artifact(text: str, source: Optional[str] = None) -> Dict[str, Any]:
+def loads_artifact(
+    text: str, source: Optional[str] = None, strict: bool = False
+) -> Dict[str, Any]:
     """Parse artifact text: verify an envelope, pass legacy payloads through.
 
     Unparseable text (empty file, truncated JSON) raises
     :class:`CorruptedDataError` with the parser's byte position.
+
+    A legacy (unchecksummed) payload passes through with the
+    ``reliability.legacy_artifact_loads`` counter incremented — unless
+    ``strict=True``, in which case it is rejected with
+    :class:`CorruptedDataError`: a fleet that has rewritten its whole
+    corpus with envelopes treats any unchecksummed file as tampering.
     """
     where = f" in {source}" if source else ""
     try:
@@ -178,11 +191,18 @@ def loads_artifact(text: str, source: Optional[str] = None) -> Dict[str, Any]:
         ) from exc
     if is_wrapped(doc):
         return unwrap_artifact(doc, source=source)
+    if strict:
+        raise CorruptedDataError(
+            f"legacy unchecksummed artifact rejected{where} (strict mode: "
+            "only checksummed envelopes are accepted)"
+        )
     if not isinstance(doc, dict):
         raise CorruptedDataError(
             f"artifact root must be an object{where}, "
             f"got {type(doc).__name__}"
         )
+    if _obs.registry is not None:
+        _obs.registry.inc("reliability.legacy_artifact_loads")
     return doc  # legacy, unchecksummed
 
 
@@ -199,8 +219,12 @@ class ArtifactReport:
     offset: Optional[int] = None
 
 
-def verify_file(path: PathLike) -> ArtifactReport:
-    """Integrity-check one artifact file without materialising the object."""
+def verify_file(path: PathLike, strict: bool = False) -> ArtifactReport:
+    """Integrity-check one artifact file without materialising the object.
+
+    With ``strict=True`` a legacy unchecksummed file fails verification
+    instead of passing through (see :func:`loads_artifact`).
+    """
     path = Path(path)
     try:
         text = path.read_text()
@@ -213,7 +237,7 @@ def verify_file(path: PathLike) -> ArtifactReport:
     except json.JSONDecodeError:
         checksummed = False  # loads_artifact below reports the parse error
     try:
-        payload = loads_artifact(text, source=str(path))
+        payload = loads_artifact(text, source=str(path), strict=strict)
     except CorruptedDataError as exc:
         return ArtifactReport(
             path=str(path),

@@ -1,0 +1,95 @@
+"""Quarantine: route queries around structurally damaged index pages.
+
+When the fsck walk (:mod:`repro.reliability.fsck`) or the online scrubber
+(:mod:`repro.reliability.scrub`) finds a node whose geometric invariants
+are violated, deleting it would lose data and trusting it would silently
+drop results.  The middle road is a :class:`QuarantineSet`: traversals
+skip quarantined nodes and *account* for what they skipped, so every
+answer computed around damage carries an honest completeness estimate
+instead of being silently short (see ``docs/robustness.md``).
+
+The set is thread-safe: the scrubber adds nodes from its background
+thread while query threads consult membership lock-free (a single
+``set.__contains__`` under the GIL).  Strong references to the
+quarantined nodes are kept so CPython cannot recycle an ``id()`` while
+it is still being used as a membership key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..observability import state as _obs
+
+__all__ = ["QuarantineSet"]
+
+
+class QuarantineSet:
+    """A thread-safe set of quarantined index nodes.
+
+    Membership is keyed by object identity (``id(node)``), which is how
+    the in-memory trees address their pages.  ``add`` optionally records
+    the :class:`~repro.reliability.StructuralFault` that condemned the
+    node, so an operator can ask *why* a page is quarantined.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids: set = set()
+        # node id -> (node, fault) — the node reference pins the id.
+        self._entries: Dict[int, Any] = {}
+
+    def _mirror(self) -> None:
+        reg = _obs.registry
+        if reg is not None:
+            reg.set_gauge("reliability.quarantined_nodes", len(self._ids))
+
+    def add(self, node: Any, fault: Optional[Any] = None) -> None:
+        """Quarantine ``node`` (idempotent), recording the causal fault."""
+        with self._lock:
+            self._ids.add(id(node))
+            self._entries[id(node)] = (node, fault)
+            self._mirror()
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc(
+                "reliability.quarantine_adds",
+                kind=getattr(fault, "kind", "manual"),
+            )
+
+    def contains(self, node: Any) -> bool:
+        """True if ``node`` is quarantined (lock-free hot-path check)."""
+        return id(node) in self._ids
+
+    def discard(self, node: Any) -> None:
+        """Lift the quarantine on ``node`` (no-op when absent)."""
+        with self._lock:
+            self._ids.discard(id(node))
+            self._entries.pop(id(node), None)
+            self._mirror()
+
+    def clear(self) -> None:
+        """Lift every quarantine (e.g. after a successful repair)."""
+        with self._lock:
+            self._ids.clear()
+            self._entries.clear()
+            self._mirror()
+
+    def faults(self) -> List[Any]:
+        """The recorded faults behind the current quarantines."""
+        with self._lock:
+            return [
+                fault
+                for _node, fault in self._entries.values()
+                if fault is not None
+            ]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuarantineSet({len(self._ids)} node(s))"

@@ -83,6 +83,11 @@ class QueryOutcome:
     rate limiting), ``"circuit_open"``, ``"deadline"``, ``"cancelled"``
     or ``"error"``.  ``latency_s`` covers the request's whole stay in the
     service, including any queue wait.
+
+    ``degraded`` marks an answer produced around quarantined index
+    damage (or via the linear-scan fallback rung); ``completeness`` is
+    the backend's estimate of the fraction of the dataset that was
+    reachable — an honest ``0.97`` instead of a silently short answer.
     """
 
     request: QueryRequest
@@ -92,6 +97,8 @@ class QueryOutcome:
     error: Optional[str] = None
     nodes: int = 0
     dists: int = 0
+    completeness: float = 1.0
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -134,6 +141,11 @@ class ServiceReport:
         return [o for o in self.outcomes if o.status == "ok"]
 
     @property
+    def degraded(self) -> List[QueryOutcome]:
+        """Accepted answers that were computed around index damage."""
+        return [o for o in self.outcomes if o.status == "ok" and o.degraded]
+
+    @property
     def throughput_qps(self) -> float:
         return len(self.accepted) / self.wall_s if self.wall_s > 0 else 0.0
 
@@ -147,7 +159,8 @@ class ServiceReport:
         lines = [
             f"{self.total} requests over {self.wall_s * 1e3:.1f} ms "
             f"with {self.workers} worker(s): "
-            f"{len(self.accepted)} ok, "
+            f"{len(self.accepted)} ok "
+            f"({len(self.degraded)} degraded), "
             f"{self.count('rejected')} rejected, "
             f"{self.count('circuit_open')} circuit-open, "
             f"{self.count('deadline')} deadline, "
@@ -180,13 +193,65 @@ class MTreeBackend:
     read through it — so retry fronts, fault policies and circuit
     breakers stacked on the pager see real traffic and their failures
     surface as query failures.
+
+    ``quarantine`` (a :class:`~repro.reliability.QuarantineSet`) makes
+    the backend scrub-aware: traversals route around quarantined nodes
+    and every affected outcome is flagged ``degraded`` with its
+    ``completeness`` estimate.  When completeness would fall below
+    ``min_completeness`` and a ``fallback``
+    (:class:`~repro.workloads.LinearScanBaseline`) is configured, the
+    request is re-answered by the linear scan over the pristine object
+    snapshot — the existing degradation rung — which restores
+    completeness 1.0 at linear cost (still flagged ``degraded``).
     """
 
     name = "mtree"
 
-    def __init__(self, tree: Any, pager: Optional[Any] = None):
+    def __init__(
+        self,
+        tree: Any,
+        pager: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
+        fallback: Optional[Any] = None,
+        min_completeness: float = 0.0,
+    ):
+        if not (0.0 <= min_completeness <= 1.0):
+            raise InvalidParameterError(
+                f"min_completeness must lie in [0, 1], got {min_completeness}"
+            )
         self.tree = tree
         self.pager = pager
+        self.quarantine = quarantine
+        self.fallback = fallback
+        self.min_completeness = min_completeness
+
+    def _fallback_execute(
+        self, request: QueryRequest, start: float
+    ) -> QueryOutcome:
+        """Answer via the linear-scan rung (complete, but linear cost)."""
+        if request.kind == "range":
+            matches, pages, n_dists = self.fallback.range_query(
+                request.query, request.radius
+            )
+            items = list(matches)
+        else:
+            neighbors, pages, n_dists = self.fallback.knn_query(
+                request.query, request.k
+            )
+            items = list(neighbors)
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("service.degraded_queries", rung="linear_scan")
+        return QueryOutcome(
+            request=request,
+            status="ok",
+            latency_s=time.perf_counter() - start,
+            items=items,
+            nodes=pages,
+            dists=n_dists,
+            completeness=1.0,
+            degraded=True,
+        )
 
     def execute(
         self, request: QueryRequest, deadline: Optional[Any] = None
@@ -194,14 +259,30 @@ class MTreeBackend:
         start = time.perf_counter()
         if request.kind == "range":
             result = self.tree.range_query(
-                request.query, request.radius, deadline=deadline
+                request.query,
+                request.radius,
+                deadline=deadline,
+                quarantine=self.quarantine,
             )
             items = result.items
         else:
             result = self.tree.knn_query(
-                request.query, request.k, deadline=deadline
+                request.query,
+                request.k,
+                deadline=deadline,
+                quarantine=self.quarantine,
             )
             items = [(n.oid, n.obj, n.distance) for n in result.neighbors]
+        completeness = getattr(result, "completeness", 1.0)
+        degraded = completeness < 1.0
+        if degraded and self.fallback is not None and (
+            completeness < self.min_completeness
+        ):
+            return self._fallback_execute(request, start)
+        if degraded:
+            reg = _obs.registry
+            if reg is not None:
+                reg.inc("service.degraded_queries", rung="quarantine")
         if self.pager is not None:
             for page_id in range(
                 min(result.stats.nodes_accessed, len(self.pager))
@@ -217,16 +298,24 @@ class MTreeBackend:
             items=items,
             nodes=result.stats.nodes_accessed,
             dists=result.stats.dists_computed,
+            completeness=completeness,
+            degraded=degraded,
         )
 
 
 class VPTreeBackend:
-    """Executes requests against one vp-tree (main-memory)."""
+    """Executes requests against one vp-tree (main-memory).
+
+    ``quarantine`` makes the backend scrub-aware exactly like
+    :class:`MTreeBackend` (no fallback rung: vp-trees are the in-memory
+    tier).
+    """
 
     name = "vptree"
 
-    def __init__(self, tree: Any):
+    def __init__(self, tree: Any, quarantine: Optional[Any] = None):
         self.tree = tree
+        self.quarantine = quarantine
 
     def execute(
         self, request: QueryRequest, deadline: Optional[Any] = None
@@ -234,14 +323,24 @@ class VPTreeBackend:
         start = time.perf_counter()
         if request.kind == "range":
             result = self.tree.range_query(
-                request.query, request.radius, deadline=deadline
+                request.query,
+                request.radius,
+                deadline=deadline,
+                quarantine=self.quarantine,
             )
             items = result.items
         else:
             result = self.tree.knn_query(
-                request.query, request.k, deadline=deadline
+                request.query,
+                request.k,
+                deadline=deadline,
+                quarantine=self.quarantine,
             )
             items = list(result.neighbors)
+        completeness = getattr(result, "completeness", 1.0)
+        degraded = completeness < 1.0
+        if degraded and _obs.registry is not None:
+            _obs.registry.inc("service.degraded_queries", rung="quarantine")
         return QueryOutcome(
             request=request,
             status="ok",
@@ -249,6 +348,8 @@ class VPTreeBackend:
             items=items,
             nodes=0,
             dists=result.stats.dists_computed,
+            completeness=completeness,
+            degraded=degraded,
         )
 
 

@@ -148,6 +148,17 @@ class PageStore:
         with self._lock:
             return len(self._pages)
 
+    def page_ids(self) -> list:
+        """Every allocated page id, ascending.
+
+        The allocation-table view a structural fsck needs: reachability
+        from the root can only be compared against the set of pages that
+        actually exist (see
+        :func:`repro.reliability.fsck.fsck_page_graph`).
+        """
+        with self._lock:
+            return sorted(self._pages)
+
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = PagerStats()

@@ -65,8 +65,15 @@ class VPQueryStats:
 
 @dataclass
 class VPRangeResult:
+    """Range answer plus quarantine accounting (``completeness < 1.0``
+    means damaged subtrees were routed around; see
+    :class:`~repro.reliability.QuarantineSet`)."""
+
     items: List[Tuple[int, Any, float]]  # (oid, object, distance)
     stats: VPQueryStats
+    skipped_subtrees: int = 0
+    skipped_objects: int = 0
+    completeness: float = 1.0
 
     def oids(self) -> List[int]:
         return [oid for oid, _obj, _dist in self.items]
@@ -77,8 +84,14 @@ class VPRangeResult:
 
 @dataclass
 class VPKNNResult:
+    """k-NN answer plus quarantine accounting (see
+    :class:`VPRangeResult`)."""
+
     neighbors: List[Tuple[int, Any, float]]  # sorted by distance
     stats: VPQueryStats
+    skipped_subtrees: int = 0
+    skipped_objects: int = 0
+    completeness: float = 1.0
 
     def distances(self) -> List[float]:
         return [dist for _oid, _obj, dist in self.neighbors]
@@ -249,8 +262,28 @@ class VPTree:
     # Queries
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _subtree_size(node: VPNode) -> int:
+        """Objects in the subtree rooted at ``node`` (one per node)."""
+        size = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            size += 1
+            stack.extend(c for c in current.children if c is not None)
+        return size
+
+    def _completeness(self, skipped_objects: int) -> float:
+        if self._n_objects == 0:
+            return 1.0
+        return (self._n_objects - skipped_objects) / self._n_objects
+
     def range_query(
-        self, query: Any, radius: float, deadline: Optional[Any] = None
+        self,
+        query: Any,
+        radius: float,
+        deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> VPRangeResult:
         """All objects within ``radius``; one distance per accessed node.
 
@@ -258,6 +291,10 @@ class VPTree:
         :class:`~repro.context.Context`) is polled once per node pop, so
         an over-budget query raises
         :class:`~repro.exceptions.DeadlineExceededError` promptly.
+
+        ``quarantine`` (a :class:`~repro.reliability.QuarantineSet`)
+        causes quarantined subtrees to be skipped; the result's
+        ``completeness`` reports the reachable fraction of the dataset.
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
@@ -271,8 +308,20 @@ class VPTree:
         with span as sp:
             stats = VPQueryStats()
             items: List[Tuple[int, Any, float]] = []
+            skipped_subtrees = 0
+            skipped_objects = 0
             if self._root is None:
                 return VPRangeResult(items, stats)
+            if quarantine is not None and quarantine.contains(self._root):
+                if reg is not None:
+                    reg.inc("vptree.quarantine_skips", kind="range")
+                return VPRangeResult(
+                    items,
+                    stats,
+                    skipped_subtrees=1,
+                    skipped_objects=self._subtree_size(self._root),
+                    completeness=0.0,
+                )
             stack = [self._root]
             while stack:
                 if deadline is not None:
@@ -289,7 +338,20 @@ class VPTree:
                 previous_cut = 0.0
                 for cut, child in zip(node.cutoffs, node.children):
                     if child is not None:
-                        if previous_cut - radius < dist <= cut + radius:
+                        # Quarantine is consulted before the shell test:
+                        # a corrupt cutoff must never silently prune the
+                        # damaged subtree out of the accounting.
+                        if quarantine is not None and quarantine.contains(
+                            child
+                        ):
+                            skipped_subtrees += 1
+                            skipped_objects += self._subtree_size(child)
+                            if reg is not None:
+                                reg.inc(
+                                    "vptree.quarantine_skips",
+                                    kind="range",
+                                )
+                        elif previous_cut - radius < dist <= cut + radius:
                             stack.append(child)
                         elif reg is not None:
                             reg.inc("vptree.pruned_subtrees", kind="range")
@@ -303,14 +365,25 @@ class VPTree:
                     dists=stats.dists_computed,
                     results=len(items),
                 )
-            return VPRangeResult(items, stats)
+            return VPRangeResult(
+                items,
+                stats,
+                skipped_subtrees=skipped_subtrees,
+                skipped_objects=skipped_objects,
+                completeness=self._completeness(skipped_objects),
+            )
 
     def knn_query(
-        self, query: Any, k: int, deadline: Optional[Any] = None
+        self,
+        query: Any,
+        k: int,
+        deadline: Optional[Any] = None,
+        quarantine: Optional[Any] = None,
     ) -> VPKNNResult:
         """Best-first k-NN using per-subtree distance lower bounds.
 
-        ``deadline`` is polled once per node pop (see :meth:`range_query`).
+        ``deadline`` is polled once per node pop; ``quarantine`` routes
+        around damaged subtrees (see :meth:`range_query`).
         """
         if self._root is None:
             raise EmptyTreeError("cannot run a k-NN query on an empty tree")
@@ -328,6 +401,18 @@ class VPTree:
         with span as sp:
             stats = VPQueryStats()
             best: List[Tuple[float, int, Any]] = []  # max-heap via negation
+            skipped_subtrees = 0
+            skipped_objects = 0
+            if quarantine is not None and quarantine.contains(self._root):
+                if reg is not None:
+                    reg.inc("vptree.quarantine_skips", kind="knn")
+                return VPKNNResult(
+                    [],
+                    stats,
+                    skipped_subtrees=1,
+                    skipped_objects=self._subtree_size(self._root),
+                    completeness=0.0,
+                )
 
             def kth() -> float:
                 return -best[0][0] if len(best) == k else float("inf")
@@ -356,7 +441,18 @@ class VPTree:
                         # Lower bound on d(Q, x) for x in the
                         # (previous_cut, cut] shell around the vantage point.
                         lower = max(previous_cut - dist, dist - cut, 0.0)
-                        if lower <= kth():
+                        # Quarantine first — the bound uses the stored
+                        # cutoffs, which are exactly what may be corrupt.
+                        if quarantine is not None and quarantine.contains(
+                            child
+                        ):
+                            skipped_subtrees += 1
+                            skipped_objects += self._subtree_size(child)
+                            if reg is not None:
+                                reg.inc(
+                                    "vptree.quarantine_skips", kind="knn"
+                                )
+                        elif lower <= kth():
                             heapq.heappush(
                                 pending, (lower, next(counter), child)
                             )
@@ -374,7 +470,13 @@ class VPTree:
                 sp.set(
                     nodes=stats.nodes_accessed, dists=stats.dists_computed
                 )
-            return VPKNNResult(neighbors, stats)
+            return VPKNNResult(
+                neighbors,
+                stats,
+                skipped_subtrees=skipped_subtrees,
+                skipped_objects=skipped_objects,
+                completeness=self._completeness(skipped_objects),
+            )
 
     # ------------------------------------------------------------------
     # Validation

@@ -22,6 +22,8 @@ EXPECTED_CHECKS = {
     "degradation ladder",
     "crash recovery",
     "workload isolation",
+    "structural fsck",
+    "scrub quarantine",
 }
 
 

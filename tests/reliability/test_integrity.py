@@ -147,3 +147,60 @@ class TestVerifyFile:
         report = verify_file(tmp_path / "nope.json")
         assert not report.ok
         assert "unreadable" in report.error
+
+
+class TestStrictMode:
+    """``strict=True`` turns legacy tolerance into rejection, and the
+    tolerant default meters every legacy load it lets through."""
+
+    def test_strict_rejects_legacy_payload(self):
+        with pytest.raises(CorruptedDataError) as excinfo:
+            loads_artifact(json.dumps(PAYLOAD), strict=True)
+        assert "legacy" in str(excinfo.value)
+
+    def test_strict_accepts_envelopes(self):
+        assert loads_artifact(dumps_artifact(PAYLOAD), strict=True) == (
+            PAYLOAD
+        )
+
+    def test_strict_verify_file_fails_legacy(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(PAYLOAD))
+        report = verify_file(path, strict=True)
+        assert not report.ok
+        assert "legacy" in report.error
+
+    def test_strict_load_histogram_rejects_legacy(self, tmp_path):
+        from repro.persistence import (
+            histogram_to_dict,
+            load_histogram,
+            save_histogram,
+        )
+        from repro.core import DistanceHistogram
+
+        hist = DistanceHistogram([1, 3, 2, 4], 2.5)
+        sound = tmp_path / "hist.json"
+        save_histogram(hist, sound)
+        assert load_histogram(sound, strict=True).n_bins == hist.n_bins
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps(histogram_to_dict(hist)))
+        assert load_histogram(legacy).n_bins == hist.n_bins  # tolerated
+        with pytest.raises(CorruptedDataError):
+            load_histogram(legacy, strict=True)
+
+    def test_legacy_loads_metered(self, tmp_path):
+        from repro import observability
+
+        registry = observability.install()
+        try:
+            loads_artifact(json.dumps(PAYLOAD))
+            loads_artifact(json.dumps(PAYLOAD))
+            loads_artifact(dumps_artifact(PAYLOAD))  # enveloped: not legacy
+            assert (
+                registry.counter_total(
+                    "reliability.legacy_artifact_loads"
+                )
+                == 2
+            )
+        finally:
+            observability.uninstall()

@@ -1,0 +1,95 @@
+"""Property tests for checksum localisation.
+
+The envelope's contract is sharper than "corruption is detected": a
+single flipped character must be *localised* — the
+:class:`~repro.exceptions.CorruptedDataError` carries the byte offset of
+the start of the block containing the flip, for any body size and any
+``block_size``.  Hypothesis drives randomised body sizes, block sizes,
+and flip positions through that contract.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CorruptedDataError
+from repro.reliability import (
+    loads_artifact,
+    unwrap_artifact,
+    wrap_artifact,
+)
+
+# Alphanumeric bodies keep json.dumps escape-free, so every character of
+# the body string is exactly one UTF-8 byte: char index == byte offset.
+ALPHABET = string.ascii_letters + string.digits
+
+payloads = st.text(alphabet=ALPHABET, min_size=0, max_size=4096).map(
+    lambda blob: {"kind": "t", "version": 1, "blob": blob}
+)
+block_sizes = st.integers(min_value=1, max_value=700)
+
+
+def _flip(body: str, index: int) -> str:
+    replacement = "0" if body[index] != "0" else "1"
+    return body[:index] + replacement + body[index + 1 :]
+
+
+@given(payload=payloads, block_size=block_sizes, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_flipped_character_localised_to_its_block(
+    payload, block_size, data
+):
+    envelope = wrap_artifact(payload, block_size=block_size)
+    body = envelope["body"]
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(body) - 1), label="flip"
+    )
+    corrupted = dict(envelope, body=_flip(body, index))
+    with pytest.raises(CorruptedDataError) as excinfo:
+        unwrap_artifact(corrupted)
+    assert excinfo.value.offset == (index // block_size) * block_size
+
+
+@given(payload=payloads, block_size=block_sizes)
+@settings(max_examples=100, deadline=None)
+def test_clean_envelope_round_trips(payload, block_size):
+    envelope = wrap_artifact(payload, block_size=block_size)
+    assert unwrap_artifact(envelope) == payload
+    # Block coverage is exact: ceil(length / block_size) checksums.
+    length = envelope["length"]
+    assert len(envelope["block_crcs"]) == -(-length // block_size)
+
+
+@given(
+    payload=payloads,
+    block_size=block_sizes,
+    cut=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_truncation_always_detected(payload, block_size, cut):
+    envelope = wrap_artifact(payload, block_size=block_size)
+    body = envelope["body"]
+    truncated = dict(envelope, body=body[: max(0, len(body) - cut)])
+    with pytest.raises(CorruptedDataError):
+        unwrap_artifact(truncated)
+
+
+@given(payload=payloads, block_size=block_sizes, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_flip_detected_through_serialised_path(payload, block_size, data):
+    """The same localisation holds end-to-end through loads_artifact."""
+    import json
+
+    envelope = wrap_artifact(payload, block_size=block_size)
+    body = envelope["body"]
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(body) - 1), label="flip"
+    )
+    text = json.dumps(dict(envelope, body=_flip(body, index)))
+    with pytest.raises(CorruptedDataError) as excinfo:
+        loads_artifact(text, strict=True)
+    assert excinfo.value.offset == (index // block_size) * block_size

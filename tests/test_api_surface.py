@@ -72,6 +72,7 @@ def test_exceptions_hierarchy():
         OperationCancelledError,
         OverloadError,
         RetryExhaustedError,
+        StructuralCorruptionError,
     )
 
     for error_type in (
@@ -88,6 +89,7 @@ def test_exceptions_hierarchy():
         OperationCancelledError,
         OverloadError,
         CircuitOpenError,
+        StructuralCorruptionError,
     ):
         assert issubclass(error_type, MetricostError)
     # ValueError / IOError / TimeoutError compatibility where promised.

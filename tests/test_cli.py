@@ -139,3 +139,108 @@ class TestMetricsCli:
         assert observability.installed()
         assert main(["metrics"]) == 0
         assert "mtree.nodes_accessed" in capsys.readouterr().out
+
+
+class TestSelfHealingCli:
+    """The doctor / fsck / scrub subcommands and their --json contracts."""
+
+    def test_doctor_json_healthy(self, capsys):
+        assert main(["doctor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is True
+        assert payload["checks"]
+
+    def test_doctor_json_flags_damaged_artifacts(self, capsys, tmp_path):
+        (tmp_path / "legacy.json").write_text('{"kind": "x", "version": 1}')
+        assert (
+            main(
+                [
+                    "doctor",
+                    "--json",
+                    "--strict",
+                    "--artifacts",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is False
+
+    def test_fsck_selftest_detects_and_repairs(self, capsys):
+        assert main(["fsck", "--json", "--size", "220"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is True
+        assert len(payload["cases"]) == 7
+        for case in payload["cases"]:
+            assert case["ok"], case
+            assert case["detected"]
+            assert case["expected"] in case["detected_kinds"]
+
+    def test_fsck_selftest_table(self, capsys):
+        assert main(["fsck", "--size", "220"]) == 0
+        out = capsys.readouterr().out
+        assert "structural self-test" in out
+        assert "radius_violation" in out
+
+    def test_fsck_checks_persisted_tree(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.datasets import clustered_dataset
+        from repro.mtree import bulk_load, vector_layout
+        from repro.persistence import save_mtree
+
+        data = clustered_dataset(size=120, dim=3, seed=9)
+        tree = bulk_load(
+            data.points, data.metric, vector_layout(3), seed=9
+        )
+        path = tmp_path / "tree.json"
+        save_mtree(tree, path)
+        assert main(["fsck", "--json", "--mtree", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["tree_kind"] == "mtree"
+
+    def test_fsck_rejects_both_tree_kinds(self, capsys):
+        assert main(["fsck", "--mtree", "a.json", "--vptree", "b.json"]) == 2
+
+    def test_scrub_clean_tree_exits_zero(self, capsys):
+        assert main(["scrub", "--json", "--size", "300"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["fault_kinds"] == []
+        assert payload["progress"]["complete"] is True
+
+    def test_scrub_injected_fault_exits_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "scrub",
+                    "--json",
+                    "--size",
+                    "600",
+                    "--inject",
+                    "shrink_radius",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert "radius_violation" in payload["fault_kinds"]
+        assert payload["quarantined_nodes"] >= 1
+        assert payload["probe_query"]["completeness"] <= 1.0
+
+    def test_scrub_unknown_fault_kind_rejected(self, capsys):
+        assert main(["scrub", "--inject", "set_on_fire"]) == 2
+
+    def test_fsck_corrupt_artifact_fails_cleanly(self, capsys, tmp_path):
+        from repro.reliability import dumps_artifact
+
+        path = tmp_path / "tree.json"
+        text = dumps_artifact({"kind": "mtree", "version": 1})
+        path.write_text(text.replace("1", "2", 1))
+        assert main(["fsck", "--json", "--mtree", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "error" in payload

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro import observability
+from repro.exceptions import InvalidParameterError
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ _SCALES = {
 def scale() -> BenchScale:
     name = os.environ.get("METRICOST_BENCH_SCALE", "default")
     if name not in _SCALES:
-        raise ValueError(
+        raise InvalidParameterError(
             f"METRICOST_BENCH_SCALE must be one of {sorted(_SCALES)}, "
             f"got {name!r}"
         )

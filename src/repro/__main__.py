@@ -155,6 +155,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="clear the live registry after dumping",
     )
+    lint = subparsers.add_parser(
+        "lint",
+        help="run metalint, the project-specific static analyser",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to analyse (default: src)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="metalint-baseline.json",
+        metavar="FILE",
+        help="baseline of grandfathered findings "
+        "(default: metalint-baseline.json; ignored when absent)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, including baselined ones",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings "
+        "and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rules (comma-separated)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
     doctor = subparsers.add_parser(
         "doctor",
         help="verify artifact integrity and run the fault-injection "
@@ -711,8 +756,63 @@ def _run_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import Baseline, all_rules, analyze_paths
+    from .analysis.report import render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(rule)
+        return 0
+    rules = (
+        [part.strip() for part in args.rules.split(",") if part.strip()]
+        if args.rules is not None
+        else None
+    )
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if (
+        not args.no_baseline
+        and not args.write_baseline
+        and baseline_path.is_file()
+    ):
+        baseline = Baseline.load(baseline_path)
+    # Anchor finding paths (and the docs/ lookup) at the repo root, not
+    # the caller's cwd: baseline fingerprints embed relative paths, so
+    # `python -m repro lint` must agree with itself from any directory.
+    # The baseline file marks the root when it exists; otherwise walk up
+    # from the first scanned path looking for one.
+    root = Path.cwd()
+    if baseline_path.is_file() or args.write_baseline:
+        root = baseline_path.resolve().parent
+    else:
+        probe = Path(args.paths[0]).resolve() if args.paths else root
+        for candidate in (probe, *probe.parents):
+            if (candidate / "metalint-baseline.json").is_file() or (
+                candidate / "docs" / "api.md"
+            ).is_file():
+                root = candidate
+                break
+    report = analyze_paths(args.paths, rules=rules, baseline=baseline, root=root)
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote {len(report.findings)} entr"
+            f"{'y' if len(report.findings) == 1 else 'ies'} to "
+            f"{baseline_path} — add a justification to each"
+        )
+        return 0
+    output = render_json(report) if args.json else render_text(report)
+    print(output, end="")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "lint":
+        return _run_lint(args)
     if args.experiment == "doctor":
         return _run_doctor(args)
     if args.experiment == "fsck":

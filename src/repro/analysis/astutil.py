@@ -1,0 +1,141 @@
+"""Small AST helpers shared by the checkers.
+
+The standard :mod:`ast` module gives children, not parents; the engine
+annotates every node with a ``_metalint_parent`` back-pointer once per
+file so checkers can ask "am I inside a ``with self._lock`` block?" or
+"is there a guard between me and the enclosing loop?" in O(depth).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+__all__ = [
+    "ancestors",
+    "attach_parents",
+    "dotted_name",
+    "enclosing_class",
+    "enclosing_function",
+    "final_identifier",
+    "handler_type_names",
+    "is_nonnone_guard",
+    "is_under_with",
+]
+
+_PARENT = "_metalint_parent"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``_metalint_parent`` back-pointer."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield parents from the immediate one up to the module."""
+    current = getattr(node, _PARENT, None)
+    while current is not None:
+        yield current
+        current = getattr(current, _PARENT, None)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for pure Name/Attribute chains, else ``None``."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def final_identifier(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute/Call chain."""
+    if isinstance(node, ast.Call):
+        return final_identifier(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    for parent in ancestors(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None
+
+
+def enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    for parent in ancestors(node):
+        if isinstance(parent, ast.ClassDef):
+            return parent
+    return None
+
+
+def is_under_with(
+    node: ast.AST, context_dotted: str, stop: Optional[ast.AST] = None
+) -> bool:
+    """True when an enclosing ``with`` manages ``context_dotted``.
+
+    Matches both ``with self._lock:`` and ``with self._lock as held:``;
+    the climb stops at ``stop`` (typically the enclosing function) so a
+    lock held by an *outer* function does not vouch for a nested one.
+    """
+    for parent in ancestors(node):
+        if parent is stop:
+            return False
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            for item in parent.items:
+                expr: ast.AST = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                if dotted_name(expr) == context_dotted:
+                    return True
+    return False
+
+
+def is_nonnone_guard(test: ast.AST, names: Set[str]) -> bool:
+    """Does ``test`` establish that one of ``names`` is not ``None``?
+
+    Recognises ``x is not None``, bare truthiness (``if x:``), and those
+    forms as conjuncts of an ``and`` chain.  ``names`` holds dotted
+    receiver spellings (``reg``, ``_obs.registry``, ...).
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(is_nonnone_guard(value, names) for value in test.values)
+    if isinstance(test, ast.Compare):
+        if (
+            len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return dotted_name(test.left) in names
+        return False
+    return dotted_name(test) in names
+
+
+def handler_type_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """The exception class names an ``except`` clause catches."""
+    node = handler.type
+    if node is None:
+        return ()
+    if isinstance(node, ast.Tuple):
+        elements = node.elts
+    else:
+        elements = [node]
+    names = []
+    for element in elements:
+        name = final_identifier(element)
+        if name is not None:
+            names.append(name)
+    return tuple(names)

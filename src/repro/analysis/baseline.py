@@ -1,0 +1,118 @@
+"""The committed metalint baseline: explicitly grandfathered findings.
+
+A baseline entry pins one finding by its content fingerprint (rule +
+path + source snippet + occurrence index) together with a human
+``justification``.  New findings never silently join the baseline —
+``python -m repro lint --write-baseline`` rewrites it deliberately, and
+CI fails on anything not in it.  The healthy steady state is an *empty*
+baseline; every entry is debt with a name on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..exceptions import FormatVersionError, InvalidParameterError
+from .findings import Finding
+
+__all__ = ["Baseline", "assign_occurrences"]
+
+FORMAT = "metricost-lint-baseline-v1"
+
+
+def assign_occurrences(
+    findings: Sequence[Finding],
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its fingerprint.
+
+    Identical (rule, path, snippet) triples are numbered in (line, col)
+    order so two textually identical violations in one file get distinct,
+    stable fingerprints.
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    pairs: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        pairs.append((finding, finding.fingerprint(occurrence)))
+    return pairs
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != FORMAT:
+            raise FormatVersionError(
+                f"not a lint baseline: format={payload.get('format')!r}, "
+                f"expected {FORMAT!r}"
+            )
+        entries: Dict[str, Dict[str, Any]] = {}
+        for entry in payload.get("entries", []):
+            fingerprint = entry.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise InvalidParameterError(
+                    f"baseline entry without a fingerprint: {entry!r}"
+                )
+            entries[fingerprint] = dict(entry)
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        justification: str = "grandfathered by --write-baseline",
+    ) -> "Baseline":
+        entries: Dict[str, Dict[str, Any]] = {}
+        for finding, fingerprint in assign_occurrences(findings):
+            entries[fingerprint] = {
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "justification": justification,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "format": FORMAT,
+            "entries": [
+                self.entries[key] for key in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition findings into (new, baselined) + unused fingerprints."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen: set = set()
+        for finding, fingerprint in assign_occurrences(findings):
+            if fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        unused = sorted(set(self.entries) - seen)
+        return new, baselined, unused

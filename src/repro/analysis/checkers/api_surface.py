@@ -1,0 +1,138 @@
+"""api-surface: ``__all__`` must be real and documented.
+
+The ``repro.*`` package ``__init__`` modules are the public API; their
+``__all__`` lists are the contract ``tests/test_api_surface.py``
+enforces at runtime.  This checker enforces the same contract
+statically, plus the half the runtime test cannot see: every exported
+name must actually be bound in the module (no phantom exports that
+would make ``from repro.x import *`` raise), and every exported name
+must appear in ``docs/api.md`` — an export nobody documented is an API
+nobody agreed to support.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Iterable, List, Optional, Set
+
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["ApiSurfaceChecker"]
+
+DOCS_PATH = "docs/api.md"
+
+
+def _exported_names(tree: ast.Module) -> Optional[ast.Assign]:
+    """The top-level ``__all__ = [...]`` assignment, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "__all__"
+                ):
+                    return node
+    return None
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name the module body binds (imports, defs, assignments)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class ApiSurfaceChecker(Checker):
+    rule = "api-surface"
+    description = (
+        "every name in a repro.* package __all__ must be bound in the "
+        "module and documented in docs/api.md"
+    )
+
+    def check_project(self, context: Any) -> Iterable[Finding]:
+        docs_file = context.root / DOCS_PATH
+        try:
+            docs_text = docs_file.read_text(encoding="utf-8")
+        except OSError:
+            docs_text = ""
+        findings: List[Finding] = []
+        for module in context.modules:
+            if not module.module_name.startswith("repro"):
+                continue
+            is_package_init = module.path.name == "__init__.py" or bool(
+                module.suppressions.module_override
+            )
+            if not is_package_init:
+                continue
+            assign = _exported_names(module.tree)
+            if assign is None:
+                continue
+            if not isinstance(assign.value, (ast.List, ast.Tuple)):
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        assign,
+                        "__all__ must be a literal list/tuple of "
+                        "strings so the export surface is statically "
+                        "known",
+                    )
+                )
+                continue
+            bound = _bound_names(module.tree)
+            for element in assign.value.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            element,
+                            "__all__ entries must be string literals",
+                        )
+                    )
+                    continue
+                name = element.value
+                if name not in bound:
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            element,
+                            f"{module.module_name}.__all__ exports "
+                            f"{name!r} but the module never binds it — "
+                            "`from ... import *` would raise "
+                            "AttributeError",
+                        )
+                    )
+                elif not re.search(
+                    rf"\b{re.escape(name)}\b", docs_text
+                ):
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            element,
+                            f"{module.module_name}.{name} is exported "
+                            f"but not documented in {DOCS_PATH}",
+                        )
+                    )
+        return findings

@@ -1,0 +1,134 @@
+"""cancellation-hygiene: broad handlers must not swallow cancellation.
+
+Deadlines (:class:`~repro.exceptions.DeadlineExceededError`) and
+cooperative cancellation (:class:`~repro.exceptions.OperationCancelledError`)
+are control flow, not failures: they must unwind all the way out, or a
+cancelled request keeps burning its worker.  Any ``except Exception``
+(or broader) block is a place where that unwinding can silently stop —
+fault isolation in the workload runner, estimate demotion in the
+optimizer, page skipping in fsck all want to contain *errors* but must
+pass *cancellation* through.
+
+A broad handler is compliant when cancellation has an escape route:
+
+* a preceding ``except (DeadlineExceededError, OperationCancelledError):``
+  arm in the same ``try`` — re-raising, or deliberately converting the
+  cancellation into an outcome the way the service boundary does; or
+* the handler itself re-raises *unconditionally* (a bare ``raise`` at
+  the top of its body, or an explicit ``isinstance`` cancellation
+  triage that re-raises).
+
+Everything else is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List
+
+from ..astutil import handler_type_names
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["CancellationChecker"]
+
+#: The control-flow exceptions that must never be swallowed.
+CANCEL_NAMES = {"DeadlineExceededError", "OperationCancelledError"}
+
+#: Catching any of these also catches cancellation.
+BROAD_NAMES = {"Exception", "BaseException", "MetricostError"}
+
+
+def _is_reraise(node: ast.stmt, bound: "str | None") -> bool:
+    if not isinstance(node, ast.Raise):
+        return False
+    if node.exc is None:
+        return True
+    return (
+        bound is not None
+        and isinstance(node.exc, ast.Name)
+        and node.exc.id == bound
+    )
+
+
+def _mentions_cancellation(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in CANCEL_NAMES:
+            return True
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr in CANCEL_NAMES
+        ):
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler *unconditionally* give cancellation a way out?
+
+    A bare ``raise`` at the top level of the handler body qualifies; a
+    ``raise`` hidden behind ``if not capture:`` does not — that is the
+    exact shape of the workload-isolation bug this rule exists to
+    catch, where the capture path quietly eats the deadline.  The one
+    conditional form accepted is an explicit cancellation triage::
+
+        if isinstance(exc, (DeadlineExceededError, ...)):
+            raise
+    """
+    bound = handler.name
+    for stmt in handler.body:
+        if _is_reraise(stmt, bound):
+            return True
+        if (
+            isinstance(stmt, ast.If)
+            and _mentions_cancellation(stmt.test)
+            and any(_is_reraise(inner, bound) for inner in stmt.body)
+        ):
+            return True
+    return False
+
+
+@register
+class CancellationChecker(Checker):
+    rule = "cancellation-hygiene"
+    description = (
+        "broad `except` blocks must re-raise DeadlineExceededError / "
+        "OperationCancelledError instead of swallowing them"
+    )
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            cancellation_handled = False
+            for handler in node.handlers:
+                names = set(handler_type_names(handler))
+                if names & CANCEL_NAMES:
+                    # An explicit arm — whether it re-raises or converts
+                    # cancellation into an outcome (a service boundary
+                    # does the latter), the broad arms below it never
+                    # see a cancellation exception.
+                    cancellation_handled = True
+                    continue
+                broad = handler.type is None or names & BROAD_NAMES
+                if not broad:
+                    continue
+                if cancellation_handled or _reraises(handler):
+                    continue
+                caught = (
+                    "bare `except:`"
+                    if handler.type is None
+                    else f"`except {', '.join(sorted(names))}`"
+                )
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        handler,
+                        f"{caught} swallows cancellation — add "
+                        "`except (DeadlineExceededError, "
+                        "OperationCancelledError): raise` before it, "
+                        "or re-raise inside the handler",
+                    )
+                )
+        return findings

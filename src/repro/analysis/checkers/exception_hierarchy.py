@@ -1,0 +1,94 @@
+"""exception-hierarchy: raise project exceptions, never raw builtins.
+
+Every error this project raises derives from
+:class:`~repro.exceptions.MetricostError`, so callers can write one
+``except MetricostError:`` at a subsystem boundary and know they have
+caught everything the subsystem means to signal — and *only* that.
+``raise ValueError(...)`` punches a hole in that contract (use
+:class:`~repro.exceptions.InvalidParameterError`, which still satisfies
+``except ValueError`` for stdlib-style callers).  Bare ``except:`` is
+flagged here too: it catches ``SystemExit`` and ``KeyboardInterrupt``,
+which nothing in this codebase should intercept.
+
+``AssertionError`` (invariant self-checks), ``NotImplementedError``
+(abstract methods) and ``StopIteration`` stay allowed — they signal
+programming errors and protocol mechanics, not operational failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List
+
+from ..astutil import final_identifier
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["ExceptionHierarchyChecker"]
+
+#: Builtin exception constructors that must not be raised directly.
+DISALLOWED_RAISES = {
+    "ArithmeticError",
+    "BaseException",
+    "BufferError",
+    "EOFError",
+    "Exception",
+    "IOError",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "OSError",
+    "OverflowError",
+    "RuntimeError",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+}
+
+_REPLACEMENT_HINTS = {
+    "ValueError": "InvalidParameterError",
+    "TypeError": "InvalidParameterError",
+    "KeyError": "InvalidParameterError",
+    "IndexError": "InvalidParameterError",
+}
+
+
+@register
+class ExceptionHierarchyChecker(Checker):
+    rule = "exception-hierarchy"
+    description = (
+        "raised exceptions must derive from MetricostError; no bare "
+        "`except:`"
+    )
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                name = final_identifier(node.exc)
+                if name in DISALLOWED_RAISES:
+                    hint = _REPLACEMENT_HINTS.get(
+                        name, "a MetricostError subclass"
+                    )
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            node,
+                            f"raise {name}(...) bypasses the project "
+                            f"exception hierarchy — raise {hint} "
+                            "(see repro.exceptions)",
+                        )
+                    )
+            elif (
+                isinstance(node, ast.ExceptHandler) and node.type is None
+            ):
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        node,
+                        "bare `except:` catches SystemExit and "
+                        "KeyboardInterrupt — catch Exception (or "
+                        "something narrower) instead",
+                    )
+                )
+        return findings

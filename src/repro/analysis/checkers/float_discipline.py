@@ -1,0 +1,160 @@
+"""float-discipline: no exact equality between computed distances.
+
+The whole cost model runs on floating-point distances: metric values,
+covering radii, VP cutoffs, search thresholds.  Exact ``==`` / ``!=``
+between two such quantities is almost always a latent bug — the same
+geometric value computed along two code paths differs in the last ulp,
+and the comparison silently flips.  Compare with a tolerance (the tree
+validators use an explicit ``eps``) or restructure so the comparison is
+on indices, not distances.
+
+Heuristic scope: the rule fires only in the numeric kernels
+(``repro.core``, ``repro.mtree``, ``repro.vptree``, ``repro.gist``) and
+only when one side of the comparison *names* a distance-valued quantity
+(``dist``, ``radius``, ``cutoff``, ``threshold``, ...).  Comparisons
+against the infinity sentinel, string constants, or container lengths
+are exempt — those are exact by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List, Optional
+
+from ..astutil import final_identifier
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["FloatDisciplineChecker"]
+
+MODULE_PREFIXES = (
+    "repro.core",
+    "repro.gist",
+    "repro.mtree",
+    "repro.vptree",
+)
+
+#: Identifier tokens that mark a value as distance-valued.
+DISTANCE_TOKENS = {
+    "cutoff",
+    "cutoffs",
+    "dist",
+    "distance",
+    "distances",
+    "dists",
+    "dmax",
+    "dmin",
+    "radii",
+    "radius",
+    "threshold",
+    "thresholds",
+}
+
+#: Tokens that mark the identifier as a count/index, not a distance
+#: (``dists_computed`` is a counter even though it says "dists").
+COUNTER_TOKENS = {
+    "accessed",
+    "calls",
+    "computed",
+    "count",
+    "counts",
+    "id",
+    "idx",
+    "ids",
+    "index",
+    "indices",
+    "len",
+    "n",
+    "ndim",
+    "num",
+    "shape",
+    "size",
+}
+
+
+def _is_inf(node: ast.AST) -> bool:
+    """``float('inf')``, ``math.inf`` or an inf constant."""
+    if isinstance(node, ast.Call):
+        func = final_identifier(node.func)
+        if func == "float" and len(node.args) == 1:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and arg.value in (
+                "inf",
+                "-inf",
+                "Infinity",
+            )
+        return False
+    if isinstance(node, ast.Attribute):
+        return node.attr == "inf"
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node.value in (float("inf"), float("-inf"))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_inf(node.operand)
+    return False
+
+
+def _is_exact_by_construction(node: ast.AST) -> bool:
+    """Values exact comparison is fine against: inf, strings, len()."""
+    if _is_inf(node):
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, ast.Call):
+        return final_identifier(node.func) == "len"
+    return False
+
+
+def _distance_identifier(node: ast.AST) -> Optional[str]:
+    """The distance-valued identifier ``node`` names, if any."""
+    name = final_identifier(node)
+    if name is None:
+        return None
+    tokens = {token for token in name.lower().split("_") if token}
+    if tokens & COUNTER_TOKENS:
+        return None
+    if tokens & DISTANCE_TOKENS:
+        return name
+    return None
+
+
+@register
+class FloatDisciplineChecker(Checker):
+    rule = "float-discipline"
+    description = (
+        "no exact ==/!= between distance-valued floats in the numeric "
+        "kernels; compare with a tolerance"
+    )
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        if not module.module_name.startswith(MODULE_PREFIXES):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exact_by_construction(
+                    left
+                ) or _is_exact_by_construction(right):
+                    continue
+                name = _distance_identifier(
+                    left
+                ) or _distance_identifier(right)
+                if name is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                findings.append(
+                    module.finding(
+                        self.rule,
+                        node,
+                        f"exact `{symbol}` on distance-valued "
+                        f"`{name}` — floating-point distances need a "
+                        "tolerance (compare |a - b| <= eps)",
+                    )
+                )
+        return findings

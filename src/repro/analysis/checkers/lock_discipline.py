@@ -1,0 +1,188 @@
+"""lock-discipline: shared mutable state must be mutated under the lock.
+
+The serving and observability layers follow one convention everywhere:
+a thread-safe class creates ``self._lock`` in ``__init__``, every
+mutation of its shared attributes happens inside ``with self._lock:``,
+and helper methods that *assume* the lock is already held advertise it
+with a ``_locked`` name suffix.
+
+This checker infers the guarded attribute set per class instead of
+hard-coding it: any ``self.<attr>`` that is mutated at least once while
+the lock is held (directly under ``with self._lock`` or inside a
+``*_locked`` helper) is considered lock-guarded, and every *other*
+mutation of that attribute — outside ``__init__``, outside the lock,
+outside ``_locked`` helpers — is a finding.  New thread-safe classes
+are covered automatically the moment they adopt the convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..astutil import ancestors, is_under_with
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["LockDisciplineChecker"]
+
+#: ``self.attr.<method>(...)`` calls that mutate the container in place.
+MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: Methods whose body runs either before sharing (construction) or with
+#: the lock already held by the caller (the ``_locked`` convention).
+_EXEMPT_METHODS = ("__init__", "__new__", "__post_init__")
+
+
+def _has_own_lock(cls: ast.ClassDef) -> bool:
+    """Does ``__init__`` create ``self._lock``?"""
+    for node in cls.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == "__init__"
+        ):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and target.attr == "_lock"
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            return True
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.attr``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attr(node: ast.AST) -> Optional[str]:
+    """The ``self.<attr>`` a statement/expression mutates, if any."""
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                return attr
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    return attr
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    attr = _self_attr(element)
+                    if attr is not None:
+                        return attr
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                return attr
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+        ):
+            attr = _self_attr(func.value)
+            if attr is not None:
+                return attr
+    return None
+
+
+def _enclosing_method(
+    node: ast.AST, cls: ast.ClassDef
+) -> Optional[ast.FunctionDef]:
+    """The method of ``cls`` directly containing ``node`` (if any)."""
+    best: Optional[ast.FunctionDef] = None
+    for parent in ancestors(node):
+        if isinstance(parent, ast.FunctionDef) and best is None:
+            best = parent
+        if parent is cls:
+            return best
+    return None
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    description = (
+        "mutations of lock-guarded instance state must happen inside "
+        "`with self._lock:` (or in a `*_locked` helper)"
+    )
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not _has_own_lock(cls):
+                continue
+            findings.extend(self._check_class(module, cls))
+        return findings
+
+    def _check_class(
+        self, module: Any, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        # Pass 1: every (attr, site, held?) mutation in the class body.
+        mutations: List[Tuple[str, ast.AST, bool, ast.FunctionDef]] = []
+        for node in ast.walk(cls):
+            attr = _mutated_attr(node)
+            if attr is None or attr == "_lock":
+                continue
+            method = _enclosing_method(node, cls)
+            if method is None or method.name in _EXEMPT_METHODS:
+                continue
+            held = method.name.endswith("_locked") or is_under_with(
+                node, "self._lock"
+            )
+            mutations.append((attr, node, held, method))
+
+        guarded: Set[str] = {
+            attr for attr, _node, held, _method in mutations if held
+        }
+        seen_lines: Dict[int, str] = {}
+        for attr, node, held, method in mutations:
+            if held or attr not in guarded:
+                continue
+            line = getattr(node, "lineno", 1)
+            if seen_lines.get(line) == attr:
+                continue
+            seen_lines[line] = attr
+            yield module.finding(
+                self.rule,
+                node,
+                f"{cls.name}.{attr} is lock-guarded state but "
+                f"{method.name}() mutates it outside `with self._lock:` "
+                "(hold the lock, or rename the helper `*_locked` if the "
+                "caller already holds it)",
+            )

@@ -1,0 +1,127 @@
+"""observability-guard: hot loops pay for metrics only when installed.
+
+The observability layer is opt-in: ``_obs.registry`` / ``_obs.tracer``
+are ``None`` unless a benchmark installed them.  The traversal kernels
+keep the disabled case free by snapshotting once and guarding every
+per-node emission::
+
+    reg = _obs.registry              # one snapshot per query
+    for child in node.children:
+        ...
+        if reg is not None:          # the fast path the rule enforces
+            reg.inc("mtree.nodes_visited")
+
+This checker flags registry/tracer *calls* inside ``for``/``while``
+loops in the index kernels that are not dominated by a not-``None``
+guard on their receiver — each unguarded call is either a per-node
+``AttributeError`` waiting for the uninstalled case, or (guarded
+upstream some other way) an invisible per-node cost.  Guards are
+recognised as ``if recv is not None:``, bare truthiness, conjuncts of
+an ``and`` chain, and the conditional-expression form
+``tracer.span(...) if tracer is not None else nullcontext()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List, Optional
+
+from ..astutil import ancestors, dotted_name, is_nonnone_guard
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["ObservabilityGuardChecker"]
+
+MODULE_PREFIXES = (
+    "repro.core",
+    "repro.gist",
+    "repro.mtree",
+    "repro.vptree",
+)
+
+#: Receiver spellings that denote the optional observability singletons.
+RECEIVERS = {
+    "_obs.registry",
+    "_obs.tracer",
+    "reg",
+    "registry",
+    "state.registry",
+    "state.tracer",
+    "tracer",
+}
+
+
+def _observability_receiver(call: ast.Call) -> Optional[str]:
+    """The guarded-receiver spelling of ``call``, if it targets one."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = dotted_name(func.value)
+    if receiver in RECEIVERS:
+        return receiver
+    return None
+
+
+@register
+class ObservabilityGuardChecker(Checker):
+    rule = "observability-guard"
+    description = (
+        "registry/tracer calls inside traversal loops must sit behind "
+        "an `is not None` fast-path guard"
+    )
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        if not module.module_name.startswith(MODULE_PREFIXES):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver = _observability_receiver(node)
+            if receiver is None:
+                continue
+            if not self._inside_loop(node):
+                continue
+            if self._guarded(node, receiver):
+                continue
+            findings.append(
+                module.finding(
+                    self.rule,
+                    node,
+                    f"`{receiver}.{node.func.attr}(...)` runs every "
+                    "loop iteration without an `is not None` guard — "
+                    f"wrap it in `if {receiver} is not None:` so the "
+                    "disabled case stays free",
+                )
+            )
+        return findings
+
+    def _inside_loop(self, node: ast.AST) -> bool:
+        for parent in ancestors(node):
+            if isinstance(parent, (ast.For, ast.While, ast.AsyncFor)):
+                return True
+            if isinstance(
+                parent, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return False
+        return False
+
+    def _guarded(self, node: ast.AST, receiver: str) -> bool:
+        names = {receiver}
+        child = node
+        for parent in ancestors(node):
+            if isinstance(
+                parent, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return False
+            if isinstance(parent, ast.IfExp) and child is parent.body:
+                if is_nonnone_guard(parent.test, names):
+                    return True
+            if isinstance(parent, ast.If) and child is not parent.test:
+                in_else = isinstance(child, ast.AST) and any(
+                    child is stmt for stmt in parent.orelse
+                )
+                if not in_else and is_nonnone_guard(parent.test, names):
+                    return True
+            child = parent
+        return False

@@ -1,0 +1,258 @@
+"""The metalint engine: file discovery, parsing, checker dispatch.
+
+``analyze_paths`` is the single entry point used by the CLI, the doctor
+check and the test suite.  It is deterministic end to end: files are
+visited in sorted order, findings are sorted, and the JSON payload
+carries no timestamps — two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..exceptions import InvalidParameterError
+from .astutil import attach_parents
+from .baseline import Baseline
+from .findings import Finding
+from .registry import create_checkers
+from .suppress import FileSuppressions, parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "ProjectContext",
+    "SourceModule",
+    "analyze_paths",
+    "load_module",
+]
+
+_EXCLUDED_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, ready for checkers."""
+
+    path: Path
+    rel_path: str
+    module_name: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: FileSuppressions
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: str,
+        node: Any,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        """Build a finding anchored at an AST node of this module."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.rel_path,
+            line=line,
+            col=col,
+            rule=rule,
+            message=message,
+            snippet=self.snippet(line),
+            severity=severity,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Everything a whole-tree checker can see."""
+
+    root: Path
+    modules: List[SourceModule]
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    unused_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "metricost-lint-report-v1",
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "counts_by_rule": self.counts_by_rule(),
+            "suppressed": self.suppressed,
+            "unused_baseline": list(self.unused_baseline),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        from .report import render_text
+
+        return render_text(self)
+
+
+def _module_name_for(path: Path, root: Path) -> str:
+    """Best-effort dotted module name (``repro.mtree.tree``)."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem
+
+
+def load_module(
+    path: Union[str, Path], root: Optional[Union[str, Path]] = None
+) -> SourceModule:
+    """Parse one file into a :class:`SourceModule`.
+
+    Raises :class:`SyntaxError` on unparseable source; ``analyze_paths``
+    converts that into a ``syntax-error`` finding instead of crashing.
+    """
+    path = Path(path)
+    root = Path(root) if root is not None else Path.cwd()
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    attach_parents(tree)
+    suppressions = parse_suppressions(text)
+    try:
+        rel_path = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel_path = path.as_posix()
+    module_name = suppressions.module_override or _module_name_for(
+        path, root
+    )
+    return SourceModule(
+        path=path,
+        rel_path=rel_path,
+        module_name=module_name,
+        text=text,
+        lines=text.splitlines(),
+        tree=tree,
+        suppressions=suppressions,
+    )
+
+
+def _collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _EXCLUDED_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise InvalidParameterError(f"no such file or directory: {path}")
+    # De-duplicate while keeping sorted order.
+    unique: List[Path] = []
+    seen: set = set()
+    for path in sorted(files):
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> AnalysisReport:
+    """Run the registered checkers over ``paths``.
+
+    ``root`` anchors relative paths in findings (defaults to the current
+    directory) and is where project-level checkers look for ``docs/``.
+    ``baseline`` entries demote matching findings to ``baselined``.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    checkers = create_checkers(rules)
+    modules: List[SourceModule] = []
+    raw_findings: List[Finding] = []
+    for path in _collect_files(paths):
+        try:
+            modules.append(load_module(path, root=root))
+        except SyntaxError as exc:
+            try:
+                rel = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            raw_findings.append(
+                Finding(
+                    path=rel,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    rule="syntax-error",
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+    for module in modules:
+        for checker in checkers:
+            raw_findings.extend(checker.check_module(module))
+    context = ProjectContext(root=root, modules=modules)
+    for checker in checkers:
+        raw_findings.extend(checker.check_project(context))
+
+    by_path = {module.rel_path: module for module in modules}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw_findings:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+
+    if baseline is not None:
+        new, baselined, unused = baseline.split(kept)
+    else:
+        new, baselined, unused = sorted(kept), [], []
+    return AnalysisReport(
+        findings=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        files_scanned=len(modules),
+        rules_run=[checker.rule for checker in checkers],
+        unused_baseline=unused,
+    )

@@ -1,0 +1,75 @@
+"""The :class:`Finding` record every checker emits.
+
+A finding is one rule violation at one source location.  Findings are
+value objects: two runs over the same tree produce identical findings in
+identical order, which is what makes the golden-report tests and the
+baseline file stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line the finding points at; the
+    baseline fingerprint is built from it (not the line *number*), so
+    unrelated edits that merely renumber lines do not invalidate a
+    baseline entry.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+    snippet: str = field(default="", compare=False)
+    severity: str = field(default="error", compare=False)
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Content hash identifying this finding across line renumbering.
+
+        ``occurrence`` disambiguates repeated identical (rule, path,
+        snippet) triples within one file, counted in line order.
+        """
+        raw = "\x1f".join(
+            (self.rule, self.path, self.snippet, str(occurrence))
+        )
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+            severity=str(data.get("severity", "error")),
+        )
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: [{self.rule}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text

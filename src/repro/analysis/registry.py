@@ -1,0 +1,84 @@
+"""The checker registry: rules register themselves, the engine runs them.
+
+A checker is a class with a ``rule`` slug and one or both of:
+
+* ``check_module(module)`` — per-file pass over one
+  :class:`~repro.analysis.engine.SourceModule`;
+* ``check_project(context)`` — whole-tree pass over a
+  :class:`~repro.analysis.engine.ProjectContext` (for cross-module
+  properties like the lock-acquisition graph or ``__all__``/docs drift).
+
+Register with the :func:`register` decorator; the engine instantiates a
+fresh checker per run, so checkers may keep per-run state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
+
+from ..exceptions import InvalidParameterError
+from .findings import Finding
+
+__all__ = ["Checker", "all_rules", "create_checkers", "register"]
+
+
+class Checker:
+    """Base class for metalint rules."""
+
+    rule: str = ""
+    description: str = ""
+
+    def check_module(self, module: Any) -> Iterable[Finding]:
+        """Per-file findings; default none."""
+        return ()
+
+    def check_project(self, context: Any) -> Iterable[Finding]:
+        """Whole-tree findings; default none."""
+        return ()
+
+
+_CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry."""
+    if not cls.rule:
+        raise InvalidParameterError(
+            f"checker {cls.__name__} declares no rule slug"
+        )
+    if cls.rule in _CHECKERS and _CHECKERS[cls.rule] is not cls:
+        raise InvalidParameterError(
+            f"duplicate checker registration for rule {cls.rule!r}"
+        )
+    _CHECKERS[cls.rule] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the checkers package triggers every @register call; done
+    # lazily so `import repro.analysis` stays cheap for non-lint users.
+    from . import checkers  # noqa: F401
+
+
+def all_rules() -> List[str]:
+    """Every registered rule slug, sorted."""
+    _ensure_loaded()
+    return sorted(_CHECKERS)
+
+
+def create_checkers(
+    rules: Optional[Sequence[str]] = None,
+) -> List[Checker]:
+    """Instantiate the requested checkers (all of them by default)."""
+    _ensure_loaded()
+    if rules is None:
+        selected = sorted(_CHECKERS)
+    else:
+        unknown = sorted(set(rules) - set(_CHECKERS))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown lint rule(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_CHECKERS))}"
+            )
+        selected = sorted(set(rules))
+    return [_CHECKERS[rule]() for rule in selected]

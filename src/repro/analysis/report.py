@@ -1,0 +1,53 @@
+"""Reporters: render an :class:`AnalysisReport` for humans or machines.
+
+``render_text`` is what the CLI prints by default; ``render_json`` is
+the stable machine format consumed by CI and the golden-report tests.
+Both are pure functions of the report — no timestamps, no absolute
+paths — so output is reproducible across machines and runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_json(report: Any, indent: int = 2) -> str:
+    """The canonical JSON payload (sorted keys, trailing newline)."""
+    return report.to_json(indent=indent) + "\n"
+
+
+def render_text(report: Any) -> str:
+    """Human-readable summary: findings, then a one-line verdict."""
+    lines = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if report.unused_baseline:
+        lines.append(
+            f"note: {len(report.unused_baseline)} baseline entr"
+            f"{'y is' if len(report.unused_baseline) == 1 else 'ies are'} "
+            "no longer matched (stale — consider pruning)"
+        )
+    counts = report.counts_by_rule()
+    if counts:
+        summary = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(counts.items())
+        )
+        lines.append(
+            f"FAIL: {len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'} "
+            f"({summary}) across {report.files_scanned} files"
+        )
+    else:
+        extras = []
+        if report.baselined:
+            extras.append(f"{len(report.baselined)} baselined")
+        if report.suppressed:
+            extras.append(f"{report.suppressed} suppressed")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"OK: {report.files_scanned} files clean under "
+            f"{len(report.rules_run)} rules{suffix}"
+        )
+    return "\n".join(lines) + "\n"

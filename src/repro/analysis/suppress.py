@@ -1,0 +1,87 @@
+"""Inline suppression comments: ``# metalint: ignore[RULE]``.
+
+Three forms are recognised:
+
+* ``# metalint: ignore[rule-a,rule-b]`` — suppresses those rules on the
+  physical line carrying the comment (or, when the comment stands alone
+  on its own line, on the next code line below it);
+* ``# metalint: ignore[*]`` — suppresses every rule on that line;
+* ``# metalint: ignore-file[rule-a]`` — suppresses a rule for the whole
+  file (put it near the top with a justification).
+
+A suppression should always travel with a justification in the
+surrounding comment — the linter cannot check prose, but reviewers can.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+__all__ = ["FileSuppressions", "parse_suppressions"]
+
+_LINE_RE = re.compile(r"#\s*metalint:\s*ignore\[([^\]]*)\]")
+_FILE_RE = re.compile(r"#\s*metalint:\s*ignore-file\[([^\]]*)\]")
+_MODULE_RE = re.compile(r"#\s*metalint:\s*module=([A-Za-z_][\w.]*)")
+
+
+def _split_rules(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class FileSuppressions:
+    """Parsed suppression state for one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    whole_file: Set[str] = field(default_factory=set)
+    module_override: str = ""
+    used: List[str] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True (and recorded as used) when ``rule`` is ignored at ``line``."""
+        rules = self.by_line.get(line, set())
+        if rule in rules or "*" in rules:
+            self.used.append(rule)
+            return True
+        if rule in self.whole_file or "*" in self.whole_file:
+            self.used.append(rule)
+            return True
+        return False
+
+
+def parse_suppressions(text: str) -> FileSuppressions:
+    """Scan raw source text for metalint control comments.
+
+    Comment-only lines attach their suppression to the next code line as
+    well, so both styles work::
+
+        x = a == b  # metalint: ignore[float-discipline] — exact by design
+
+        # metalint: ignore[float-discipline] — exact by design
+        x = a == b
+    """
+    state = FileSuppressions()
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
+        module_match = _MODULE_RE.search(line)
+        if module_match and not state.module_override:
+            state.module_override = module_match.group(1)
+        file_match = _FILE_RE.search(line)
+        if file_match:
+            state.whole_file |= _split_rules(file_match.group(1))
+            continue
+        line_match = _LINE_RE.search(line)
+        if not line_match:
+            continue
+        rules = _split_rules(line_match.group(1))
+        state.by_line.setdefault(number, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # Standalone comment: also cover the next code line below.
+            for follow in range(number + 1, len(lines) + 1):
+                follow_text = lines[follow - 1].strip()
+                if follow_text and not follow_text.startswith("#"):
+                    state.by_line.setdefault(follow, set()).update(rules)
+                    break
+    return state

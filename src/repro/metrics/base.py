@@ -20,6 +20,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
+
 __all__ = ["Metric", "CountingMetric", "FunctionMetric"]
 
 
@@ -65,7 +67,7 @@ class Metric(ABC):
         distance distribution.
         """
         if len(xs) != len(ys):
-            raise ValueError(
+            raise InvalidParameterError(
                 f"rowwise needs equal lengths, got {len(xs)} and {len(ys)}"
             )
         out = np.empty(len(xs), dtype=np.float64)

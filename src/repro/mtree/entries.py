@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
+from ..exceptions import InvalidParameterError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .node import Node
 
@@ -44,7 +46,9 @@ class RoutingEntry:
         dist_to_parent: float = 0.0,
     ):
         if radius < 0:
-            raise ValueError(f"covering radius must be >= 0, got {radius}")
+            raise InvalidParameterError(
+                f"covering radius must be >= 0, got {radius}"
+            )
         self.obj = obj
         self.radius = radius
         self.child = child

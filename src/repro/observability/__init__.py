@@ -105,6 +105,7 @@ def uninstall() -> None:
 
 
 def installed() -> bool:
+    """True while observability is installed (a registry is active)."""
     return state.registry is not None
 
 
@@ -126,6 +127,7 @@ def get_registry() -> MetricsRegistry:
 
 
 def get_tracer() -> Optional[Tracer]:
+    """The tracer hot paths should emit spans to, or ``None`` when off."""
     return state.tracer
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import functools
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, TypeVar
+from typing import Any, Callable, Iterator, TypeVar, cast
 
 from . import state
 
@@ -79,6 +79,8 @@ def profiled(name: str = "") -> Callable[[F], F]:
             with profile(label):
                 return fn(*args, **kwargs)
 
-        return wrapper  # type: ignore[return-value]
+        # functools.wraps preserves the signature at runtime; the cast
+        # records that fact for the type checker.
+        return cast(F, wrapper)
 
     return decorate

@@ -19,7 +19,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
-from ..exceptions import InvalidParameterError, MetricostError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    MetricostError,
+    OperationCancelledError,
+)
 from ..observability import state as _obs
 from ..storage.diskmodel import DiskModel
 from .plans import AccessPlan, ExecutionOutcome, PlanCostEstimate
@@ -116,6 +121,9 @@ class SimilarityQueryOptimizer:
         for plan in self.plans:
             try:
                 estimate = estimate_one(plan)
+            except (DeadlineExceededError, OperationCancelledError):
+                # A cancelled query must not keep costing estimators.
+                raise
             except Exception as exc:  # noqa: BLE001 — demote, don't fail
                 degraded.append(
                     DegradedPlan(
@@ -203,6 +211,11 @@ class SimilarityQueryOptimizer:
             plan = self._plan_by_name(estimate.plan_name)
             try:
                 return execute_one(plan)
+            except (DeadlineExceededError, OperationCancelledError):
+                # An expired budget inside a rung ends the descent: the
+                # remaining rungs cannot finish in zero time either, and
+                # demoting would misreport cancellation as plan failure.
+                raise
             except Exception as exc:  # noqa: BLE001 — try the next rung
                 choice.degraded.append(
                     DegradedPlan(

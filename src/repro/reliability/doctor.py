@@ -29,8 +29,10 @@ import numpy as np
 
 from ..exceptions import (
     CorruptedDataError,
+    DeadlineExceededError,
     FormatVersionError,
     IOFaultError,
+    OperationCancelledError,
     RetryExhaustedError,
 )
 from ..storage.pager import PageStore
@@ -82,6 +84,9 @@ def _check(
 ) -> None:
     try:
         checks.append(DoctorCheck(name, True, fn()))
+    except (DeadlineExceededError, OperationCancelledError):
+        # A cancelled doctor run stops; it does not fake a failed check.
+        raise
     except Exception as exc:  # noqa: BLE001 — the doctor must not crash
         checks.append(
             DoctorCheck(name, False, f"{type(exc).__name__}: {exc}")
@@ -347,6 +352,58 @@ def _self_test(seed: int) -> List[DoctorCheck]:
             f"({result.skipped_objects} objects unreachable)"
         )
 
+    def static_analysis() -> str:
+        from ..analysis import Baseline, analyze_paths
+
+        package_dir = Path(__file__).resolve().parents[1]
+        root = None
+        for candidate in package_dir.parents:
+            if (candidate / "metalint-baseline.json").is_file() or (
+                candidate / "docs" / "api.md"
+            ).is_file():
+                root = candidate
+                break
+        if root is None:
+            # Installed without the repo around it: nothing to anchor
+            # the baseline or docs checks against, so lint the package
+            # with the code-only rules.
+            report = analyze_paths(
+                [package_dir],
+                rules=[
+                    "cancellation-hygiene",
+                    "exception-hierarchy",
+                    "float-discipline",
+                    "lock-discipline",
+                    "lock-order",
+                    "observability-guard",
+                ],
+                root=package_dir,
+            )
+        else:
+            baseline_path = root / "metalint-baseline.json"
+            baseline = (
+                Baseline.load(baseline_path)
+                if baseline_path.is_file()
+                else None
+            )
+            report = analyze_paths(
+                [package_dir], baseline=baseline, root=root
+            )
+        if not report.ok:
+            counts = ", ".join(
+                f"{rule}={count}"
+                for rule, count in sorted(report.counts_by_rule().items())
+            )
+            raise AssertionError(
+                f"metalint found {len(report.findings)} violation(s): "
+                f"{counts} — run `python -m repro lint` for details"
+            )
+        return (
+            f"metalint clean: {report.files_scanned} files under "
+            f"{len(report.rules_run)} rules "
+            f"({len(report.baselined)} baselined)"
+        )
+
     _check("checksum round-trip", checksum_roundtrip, checks)
     _check("bit-flip detection", bit_flip_detection, checks)
     _check("version gate", version_gate, checks)
@@ -358,6 +415,7 @@ def _self_test(seed: int) -> List[DoctorCheck]:
     _check("workload isolation", workload_isolation, checks)
     _check("structural fsck", structural_fsck, checks)
     _check("scrub quarantine", scrub_quarantine, checks)
+    _check("static analysis", static_analysis, checks)
     return checks
 
 

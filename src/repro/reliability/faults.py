@@ -19,7 +19,12 @@ import random
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..exceptions import InvalidParameterError, IOFaultError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    IOFaultError,
+    OperationCancelledError,
+)
 from ..observability import state as _obs
 from ..storage.pager import PageStore
 
@@ -470,6 +475,8 @@ class StructuralFaultInjector:
         for page_id in store.page_ids():
             try:
                 payload = store.read(page_id)
+            except (DeadlineExceededError, OperationCancelledError):
+                raise
             except Exception:  # noqa: BLE001 — damaged pages are skipped
                 continue
             if isinstance(payload, dict) and payload.get("children"):

@@ -43,7 +43,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import StructuralCorruptionError
+from ..exceptions import (
+    DeadlineExceededError,
+    OperationCancelledError,
+    StructuralCorruptionError,
+)
 from ..observability import state as _obs
 
 __all__ = [
@@ -656,6 +660,10 @@ def fsck_page_graph(store: Any, root_page: int) -> FsckReport:
         reachable.add(page_id)
         try:
             payload = store.read(page_id)
+        except (DeadlineExceededError, OperationCancelledError):
+            # fsck under a budget stops cleanly rather than recording
+            # cancellation as structural damage.
+            raise
         except Exception as exc:  # noqa: BLE001 — any failure is a fault
             report.faults.append(
                 StructuralFault(

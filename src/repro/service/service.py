@@ -523,6 +523,10 @@ class QueryService:
                     outcomes[index] = self.submit(
                         requests[index], deadline=deadline
                     )
+                # metalint: ignore[cancellation-hygiene] — submit()
+                # already converts cancellation into an outcome, so
+                # anything caught here is an unexpected worker crash;
+                # it is re-raised on the caller thread after join().
                 except BaseException as exc:  # noqa: BLE001 — surfaced below
                     worker_errors.append(exc)
                     return

@@ -493,6 +493,9 @@ class VPTree:
             seen.append(node.oid)
             previous_cut = 0.0
             assert len(node.cutoffs) == len(node.children)
+            # metalint: ignore[float-discipline] — comparing the list to
+            # a sorted copy of the *same* float objects is exact-safe:
+            # no arithmetic happens, only reordering.
             assert node.cutoffs == sorted(node.cutoffs), "cutoffs not sorted"
             for cut, child in zip(node.cutoffs, node.children):
                 if child is not None:

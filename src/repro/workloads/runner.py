@@ -25,7 +25,11 @@ from typing import Any, Iterable, List, Optional
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    OperationCancelledError,
+)
 from ..mtree import MTree
 from ..observability import state as _obs
 from ..reliability.faults import FaultPolicy, FaultyPageStore
@@ -199,6 +203,11 @@ def _run_mtree_workload(
                         dists=outcome.stats.dists_computed,
                         results=len(outcome),
                     )
+        except (DeadlineExceededError, OperationCancelledError):
+            # Cancellation is control flow, not a query failure: even
+            # with capture enabled it must unwind the whole run.
+            _record_query(kind, False, 0.0)
+            raise
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             _record_query(kind, False, 0.0)
             if not capture:
@@ -292,6 +301,9 @@ def run_vptree_range_workload(
         started = time.perf_counter()
         try:
             outcome = tree.range_query(query, radius)
+        except (DeadlineExceededError, OperationCancelledError):
+            _record_query("vptree_range", False, 0.0)
+            raise
         except Exception as exc:  # noqa: BLE001
             _record_query("vptree_range", False, 0.0)
             if not capture_errors:
@@ -329,6 +341,9 @@ def run_vptree_knn_workload(
         started = time.perf_counter()
         try:
             outcome = tree.knn_query(query, k)
+        except (DeadlineExceededError, OperationCancelledError):
+            _record_query("vptree_knn", False, 0.0)
+            raise
         except Exception as exc:  # noqa: BLE001
             _record_query("vptree_knn", False, 0.0)
             if not capture_errors:

@@ -1,0 +1,5 @@
+"""Seeded api-surface violation: __all__ exports a phantom name."""
+
+# metalint: module=repro.corpus_api_bad
+
+__all__ = ["phantom_export"]

@@ -1,0 +1,7 @@
+"""A bound, documented export surface: no findings expected."""
+
+# metalint: module=repro.corpus_api_clean
+
+from repro.analysis import Finding
+
+__all__ = ["Finding"]

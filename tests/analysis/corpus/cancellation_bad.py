@@ -1,0 +1,27 @@
+"""Seeded cancellation-hygiene violation: isolation swallows deadlines."""
+
+
+def drain(tasks):
+    results, failures = [], 0
+    for task in tasks:
+        try:
+            results.append(task())
+        except Exception:
+            # Swallows DeadlineExceededError/OperationCancelledError
+            # along with real failures: a cancelled drain keeps going.
+            failures += 1
+            continue
+    return results, failures
+
+
+def drain_with_capture(tasks, capture):
+    results = []
+    for task in tasks:
+        try:
+            results.append(task())
+        except Exception:
+            # The conditional re-raise is not an escape route for the
+            # capture=True path — still a violation.
+            if not capture:
+                raise
+    return results

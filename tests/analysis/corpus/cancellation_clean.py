@@ -1,0 +1,30 @@
+"""Broad isolation with cancellation hygiene: no findings expected."""
+
+from repro.exceptions import DeadlineExceededError, OperationCancelledError
+
+
+def drain(tasks):
+    results, failures = [], 0
+    for task in tasks:
+        try:
+            results.append(task())
+        except (DeadlineExceededError, OperationCancelledError):
+            raise
+        except Exception:
+            failures += 1
+            continue
+    return results, failures
+
+
+def drain_with_triage(tasks):
+    results = []
+    for task in tasks:
+        try:
+            results.append(task())
+        except Exception as exc:
+            if isinstance(
+                exc, (DeadlineExceededError, OperationCancelledError)
+            ):
+                raise
+            continue
+    return results

@@ -1,0 +1,11 @@
+"""Seeded exception-hierarchy violations: builtin raise + bare except."""
+
+
+def parse_radius(text):
+    try:
+        value = float(text)
+    except:  # noqa: E722 — the seeded bare-except violation
+        value = -1.0
+    if value < 0:
+        raise ValueError("radius must be >= 0")
+    return value

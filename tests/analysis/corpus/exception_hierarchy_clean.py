@@ -1,0 +1,13 @@
+"""Project-hierarchy raises only: no findings expected."""
+
+from repro.exceptions import InvalidParameterError
+
+
+def parse_radius(text):
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise InvalidParameterError(f"bad radius: {text!r}") from exc
+    if value < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {value}")
+    return value

@@ -1,0 +1,11 @@
+"""Seeded float-discipline violations: exact == on distances."""
+
+# metalint: module=repro.core.corpus_float_bad
+
+
+def shells_equal(radius_a, radius_b):
+    return radius_a == radius_b
+
+
+def outside_shell(dist, threshold):
+    return dist != threshold

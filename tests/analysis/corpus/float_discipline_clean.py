@@ -1,0 +1,14 @@
+"""Tolerance-based distance comparison: no findings expected."""
+
+# metalint: module=repro.core.corpus_float_clean
+
+EPS = 1e-9
+
+
+def shells_equal(radius_a, radius_b):
+    return abs(radius_a - radius_b) <= EPS
+
+
+def is_bounded(threshold):
+    # Exact comparison against the infinity sentinel is exempt.
+    return threshold != float("inf")

@@ -1,0 +1,49 @@
+"""Seeded lock-order violations: a cross-class cycle and a self-deadlock."""
+
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+        self.ledger = Ledger()
+
+    def append(self, item):
+        with self._lock:
+            self.entries.append(item)
+            # Holding Journal's lock, acquire Ledger's: edge J -> L.
+            self.ledger.reconcile(item)
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.balance = 0
+        self.journal = Journal()
+
+    def reconcile(self, item):
+        with self._lock:
+            self.balance += 1
+
+    def audit(self):
+        with self._lock:
+            # Holding Ledger's lock, acquire Journal's: edge L -> J.
+            # Together with append() this is an acquisition cycle.
+            self.journal.append(("audit", self.balance))
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            # refresh() re-acquires the non-reentrant Lock we hold.
+            self.refresh()
+
+    def refresh(self):
+        with self._lock:
+            self.value = max(self.value, 0)

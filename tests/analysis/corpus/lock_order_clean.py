@@ -1,0 +1,42 @@
+"""Lock usage with an acyclic acquisition order: no findings expected."""
+
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+        self.ledger = Ledger()
+
+    def append(self, item):
+        with self._lock:
+            self.entries.append(item)
+        # Ledger's lock is only ever taken with Journal's released.
+        self.ledger.reconcile(item)
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.balance = 0
+
+    def reconcile(self, item):
+        with self._lock:
+            self.balance += 1
+
+
+class Gauge:
+    def __init__(self):
+        # Reentrant, so bump() may call refresh() while holding it.
+        self._lock = threading.RLock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            self.refresh()
+
+    def refresh(self):
+        with self._lock:
+            self.value = max(self.value, 0)

@@ -1,0 +1,16 @@
+"""Seeded observability-guard violation: unguarded emission in a loop."""
+
+# metalint: module=repro.mtree.corpus_obs_bad
+
+from repro.observability import state as _obs
+
+
+def visit_all(nodes):
+    reg = _obs.registry
+    visited = 0
+    for _node in nodes:
+        visited += 1
+        # Crashes when observability is not installed, and costs a call
+        # per node when it is but the guard was meant to skip it.
+        reg.inc("corpus.nodes_visited")
+    return visited

@@ -1,0 +1,23 @@
+"""Snapshot-and-guard emission discipline: no findings expected."""
+
+# metalint: module=repro.mtree.corpus_obs_clean
+
+from contextlib import nullcontext
+
+from repro.observability import state as _obs
+
+
+def visit_all(nodes):
+    reg = _obs.registry
+    tracer = _obs.tracer
+    visited = 0
+    for _node in nodes:
+        visited += 1
+        if reg is not None:
+            reg.inc("corpus.nodes_visited")
+        span = (
+            tracer.span("corpus.visit") if tracer is not None else nullcontext()
+        )
+        with span:
+            pass
+    return visited

@@ -1,0 +1,100 @@
+"""Per-rule corpus tests: each bad fixture fires its rule, each clean
+fixture stays silent for it.
+
+The corpus under ``tests/analysis/corpus/`` seeds exactly the violations
+the checkers exist to catch.  A fixture may legitimately trip *other*
+rules too (a bare ``except:`` is both an exception-hierarchy and a
+cancellation-hygiene violation), so the bad-side assertions check that
+the target rule is among the findings rather than the only one.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: rule -> (bad fixture, expected finding count for that rule, clean fixture)
+RULE_FIXTURES = {
+    "lock-discipline": ("lock_discipline_bad.py", 2, "lock_discipline_clean.py"),
+    "lock-order": ("lock_order_bad.py", 2, "lock_order_clean.py"),
+    "cancellation-hygiene": ("cancellation_bad.py", 2, "cancellation_clean.py"),
+    "exception-hierarchy": (
+        "exception_hierarchy_bad.py",
+        2,
+        "exception_hierarchy_clean.py",
+    ),
+    "float-discipline": ("float_discipline_bad.py", 2, "float_discipline_clean.py"),
+    "observability-guard": (
+        "observability_guard_bad.py",
+        1,
+        "observability_guard_clean.py",
+    ),
+    "api-surface": ("api_surface_bad.py", 1, "api_surface_clean.py"),
+}
+
+
+def _run(rule, fixture):
+    return analyze_paths([CORPUS / fixture], rules=[rule], root=REPO_ROOT)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_bad_fixture_fires_rule(rule):
+    bad, expected, _clean = RULE_FIXTURES[rule]
+    report = _run(rule, bad)
+    fired = [f for f in report.findings if f.rule == rule]
+    assert len(fired) == expected, report.render()
+    for finding in fired:
+        assert finding.path.endswith(bad)
+        assert finding.line > 0
+        assert finding.snippet
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_clean_fixture_is_silent(rule):
+    _bad, _expected, clean = RULE_FIXTURES[rule]
+    report = _run(rule, clean)
+    assert [f for f in report.findings if f.rule == rule] == [], report.render()
+
+
+def test_every_rule_fires_somewhere_in_corpus():
+    """Acceptance criterion: all registered project rules are exercised."""
+    report = analyze_paths([CORPUS], root=REPO_ROOT)
+    fired = {finding.rule for finding in report.findings}
+    assert set(RULE_FIXTURES) <= fired, sorted(fired)
+
+
+def test_lock_order_reports_cycle_and_self_deadlock():
+    report = _run("lock-order", "lock_order_bad.py")
+    messages = sorted(f.message for f in report.findings)
+    assert any("lock-acquisition cycle" in m for m in messages)
+    assert any("self-deadlock" in m for m in messages)
+
+
+def test_lock_order_survives_name_collisions_across_fixtures():
+    """Bad and clean fixtures reuse class names; resolution must stay
+    module-local instead of letting one file's classes shadow the other's.
+    """
+    report = analyze_paths(
+        [CORPUS / "lock_order_bad.py", CORPUS / "lock_order_clean.py"],
+        rules=["lock-order"],
+        root=REPO_ROOT,
+    )
+    paths = {f.path for f in report.findings}
+    assert len(report.findings) == 2, report.render()
+    assert all(p.endswith("lock_order_bad.py") for p in paths)
+
+
+def test_cancellation_findings_name_the_swallowed_exceptions():
+    report = _run("cancellation-hygiene", "cancellation_bad.py")
+    for finding in report.findings:
+        assert "DeadlineExceededError" in finding.message
+
+
+def test_exception_hierarchy_suggests_project_replacement():
+    report = _run("exception-hierarchy", "exception_hierarchy_bad.py")
+    messages = " ".join(f.message for f in report.findings)
+    assert "InvalidParameterError" in messages

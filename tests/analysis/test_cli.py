@@ -1,0 +1,101 @@
+"""CLI tests for ``python -m repro lint``."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = Path(__file__).parent / "corpus"
+
+FLOAT_BAD = """\
+# metalint: module=repro.core.cli_case
+
+def close(dist, threshold):
+    return dist == threshold
+"""
+
+
+def test_lint_src_with_repo_baseline_exits_zero(capsys):
+    code = main(
+        [
+            "lint",
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "metalint-baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "OK:" in out
+
+
+def test_lint_corpus_exits_nonzero(capsys):
+    code = main(["lint", str(CORPUS), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL:" in out
+
+
+def test_lint_json_output(capsys):
+    code = main(["lint", str(CORPUS), "--no-baseline", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["format"] == "metricost-lint-report-v1"
+    assert payload["ok"] is False
+    assert payload["counts_by_rule"]["lock-order"] == 2
+
+
+def test_lint_rules_filter(capsys):
+    code = main(
+        ["lint", str(CORPUS), "--no-baseline", "--json", "--rules", "api-surface"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["rules_run"] == ["api-surface"]
+    assert set(payload["counts_by_rule"]) == {"api-surface"}
+
+
+def test_list_rules(capsys):
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in (
+        "api-surface",
+        "cancellation-hygiene",
+        "exception-hierarchy",
+        "float-discipline",
+        "lock-discipline",
+        "lock-order",
+        "observability-guard",
+    ):
+        assert rule in out
+
+
+def test_write_baseline_round_trip(tmp_path, capsys):
+    case = tmp_path / "case.py"
+    case.write_text(FLOAT_BAD, encoding="utf-8")
+    baseline_path = tmp_path / "baseline.json"
+
+    code = main(
+        ["lint", str(case), "--write-baseline", "--baseline", str(baseline_path)]
+    )
+    assert code == 0
+    assert len(Baseline.load(baseline_path)) == 1
+    capsys.readouterr()
+
+    # With the fresh baseline the same violation is grandfathered.
+    code = main(["lint", str(case), "--baseline", str(baseline_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 baselined" in out
+
+
+def test_missing_baseline_file_fails_cleanly(tmp_path, capsys):
+    case = tmp_path / "clean.py"
+    case.write_text("x = 1\n", encoding="utf-8")
+    code = main(
+        ["lint", str(case), "--baseline", str(tmp_path / "absent.json")]
+    )
+    assert code == 0  # no baseline file means no baseline, not a crash

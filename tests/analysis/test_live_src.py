@@ -1,0 +1,49 @@
+"""Meta-tests tying the linter to the real repository.
+
+Two contracts live here:
+
+* the committed golden report pins the exact findings the seeded corpus
+  produces, so any behaviour drift in a checker is a visible diff;
+* the live ``src/`` tree is lint-clean modulo the committed baseline —
+  the same gate CI enforces via ``python -m repro lint``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = Path(__file__).parent / "corpus"
+GOLDEN = Path(__file__).parent / "golden_report.json"
+
+
+def test_corpus_matches_golden_report():
+    report = analyze_paths([CORPUS], root=REPO_ROOT)
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert report.to_dict() == golden, (
+        "corpus findings drifted from tests/analysis/golden_report.json; "
+        "if the change is intentional, regenerate the golden file"
+    )
+
+
+def test_live_src_is_clean_modulo_baseline():
+    baseline_path = REPO_ROOT / "metalint-baseline.json"
+    baseline = Baseline.load(baseline_path)
+    report = analyze_paths(
+        [REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT
+    )
+    assert report.ok, report.render()
+    assert report.unused_baseline == [], (
+        "stale baseline entries — remove them from metalint-baseline.json: "
+        f"{report.unused_baseline}"
+    )
+
+
+def test_baseline_entries_carry_justifications():
+    baseline = Baseline.load(REPO_ROOT / "metalint-baseline.json")
+    for fingerprint, entry in baseline.entries.items():
+        justification = entry.get("justification", "")
+        assert justification and "grandfathered by --write-baseline" not in (
+            justification
+        ), f"baseline entry {fingerprint} needs a real justification"

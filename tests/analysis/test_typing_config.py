@@ -1,0 +1,74 @@
+"""Static-typing configuration gate.
+
+mypy may not be installed in every environment (it is an optional
+``lint`` dependency), so these tests pin the *configuration* — the tiers
+in ``pyproject.toml`` that CI's lint job runs with — and the repo-wide
+invariant that no ``type: ignore`` escape hatches remain in ``src/``.
+When mypy is available, the last test actually runs it on the strict
+tier.
+"""
+
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _pyproject():
+    return tomllib.loads(
+        (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    )
+
+
+def test_mypy_config_defines_the_three_tiers():
+    config = _pyproject()
+    mypy = config["tool"]["mypy"]
+    assert mypy["mypy_path"] == "src"
+
+    overrides = {
+        tuple(entry["module"]): entry
+        for entry in config["tool"]["mypy"]["overrides"]
+    }
+    strict = next(
+        entry
+        for modules, entry in overrides.items()
+        if "repro.analysis" in modules
+    )
+    assert "repro.exceptions" in strict["module"]
+    assert strict["disallow_untyped_defs"] is True
+    assert strict["disallow_incomplete_defs"] is True
+
+
+def test_mypy_is_an_optional_lint_dependency():
+    config = _pyproject()
+    lint_extras = config["project"]["optional-dependencies"]["lint"]
+    assert any(dep.startswith("mypy") for dep in lint_extras)
+
+
+def test_no_type_ignore_comments_in_src():
+    offenders = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if "type: ignore" in line:
+                offenders.append(f"{path.relative_to(REPO_ROOT)}:{number}")
+    assert offenders == [], (
+        "use typing.cast or fix the types instead of `type: ignore`: "
+        f"{offenders}"
+    )
+
+
+def test_mypy_strict_tier_when_available():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "-p", "repro.analysis"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,95 @@
+"""The optimizer's degradation ladder must not demote cancellation.
+
+Companion to ``tests/workloads/test_cancellation.py``: a deadline
+expiring inside a plan's estimator or executor used to be caught by the
+broad demotion handlers and treated as "this plan is broken, try the
+next one" — turning a cancelled query into a full ladder descent.  Both
+stages now re-raise cancellation errors immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeadlineExceededError, OperationCancelledError
+from repro.metrics import L2
+from repro.optimizer import (
+    AccessPlan,
+    LinearScanPlan,
+    PlanCostEstimate,
+    SimilarityQueryOptimizer,
+)
+from repro.workloads import LinearScanBaseline
+
+
+class DeadlinePlan(AccessPlan):
+    """Raises a cancellation error at a configurable stage."""
+
+    def __init__(self, stage, error_type=DeadlineExceededError):
+        self.name = "deadline-probe"
+        self.stage = stage
+        self.error_type = error_type
+
+    def _maybe_raise(self, stage):
+        if stage == self.stage:
+            raise self.error_type(f"budget spent during {stage}")
+
+    def estimate_range(self, radius, disk):
+        self._maybe_raise("estimate")
+        return PlanCostEstimate(self.name, 0.0, 0.0, 0.0, 0.0)
+
+    def estimate_knn(self, k, disk):
+        return self.estimate_range(0.0, disk)
+
+    def execute_range(self, query, radius, disk, deadline=None):
+        self._maybe_raise("execute")
+        raise AssertionError("unreachable in these tests")
+
+    def execute_knn(self, query, k, disk, deadline=None):
+        return self.execute_range(query, 0.0, disk, deadline)
+
+
+@pytest.fixture()
+def scan_plan():
+    points = list(np.random.default_rng(0).random((50, 3)))
+    return LinearScanPlan(LinearScanBaseline(points, L2(), 32, 4096))
+
+
+class TestEstimateStage:
+    def test_deadline_in_estimator_is_not_demoted(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [DeadlinePlan("estimate"), scan_plan]
+        )
+        with pytest.raises(DeadlineExceededError):
+            optimizer.choose_range_plan(0.2)
+
+    def test_cancellation_in_estimator_is_not_demoted(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [DeadlinePlan("estimate", OperationCancelledError), scan_plan]
+        )
+        with pytest.raises(OperationCancelledError):
+            optimizer.choose_knn_plan(3)
+
+
+class TestExecuteStage:
+    def test_deadline_mid_rung_ends_the_ladder(self, scan_plan):
+        """The scan rung must not run after cancellation: the ladder
+        stops instead of descending to plans that cannot finish either.
+        """
+        optimizer = SimilarityQueryOptimizer(
+            [DeadlinePlan("execute"), scan_plan]
+        )
+        query = np.zeros(3)
+        with pytest.raises(DeadlineExceededError):
+            optimizer.run_range(query, 0.2)
+        choice = optimizer.choose_range_plan(0.2)
+        assert choice.best.plan_name == "deadline-probe"
+        assert choice.degraded == []
+
+    def test_cancellation_mid_rung_ends_the_ladder(self, scan_plan):
+        optimizer = SimilarityQueryOptimizer(
+            [DeadlinePlan("execute", OperationCancelledError), scan_plan]
+        )
+        with pytest.raises(OperationCancelledError):
+            optimizer.run_knn(np.zeros(3), 3)

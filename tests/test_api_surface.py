@@ -23,6 +23,8 @@ PACKAGES = [
     "repro.reliability",
     "repro.context",
     "repro.service",
+    "repro.observability",
+    "repro.analysis",
 ]
 
 

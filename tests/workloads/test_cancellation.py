@@ -1,0 +1,89 @@
+"""Cancellation must unwind the whole workload run, never be "isolated".
+
+Regression tests for the bug metalint's ``cancellation-hygiene`` rule
+exists to catch: the runner's per-query isolation handlers used to catch
+``Exception`` broadly, so a deadline expiring *inside* a query was
+recorded as one failed query and the run kept burning budget.  A
+deadline or cancellation raised by the metric must now propagate out of
+the runner even with ``capture_errors=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeadlineExceededError, OperationCancelledError
+from repro.metrics import FunctionMetric
+from repro.mtree import NodeLayout, bulk_load
+from repro.vptree import VPTree
+from repro.workloads import (
+    run_knn_workload,
+    run_range_workload,
+    run_vptree_range_workload,
+)
+
+#: Sentinel query object: the metric raises as if the query's deadline
+#: expired the moment this query reaches any distance computation.
+EXPIRED = object()
+CANCELLED = object()
+
+
+def _metric():
+    def distance(a, b):
+        for obj in (a, b):
+            if obj is EXPIRED:
+                raise DeadlineExceededError("deadline expired mid-query")
+            if obj is CANCELLED:
+                raise OperationCancelledError("caller cancelled")
+        return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+    return FunctionMetric(distance, name="deadline-probe")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    points = rng.random((80, 3))
+    metric = _metric()
+    layout = NodeLayout(node_size_bytes=256, object_bytes=12)
+    tree = bulk_load(points, metric, layout, seed=1)
+    vptree = VPTree.build(list(points), metric, arity=3, seed=2)
+    queries = list(rng.random((6, 3)))
+    return tree, vptree, queries
+
+
+class TestDeadlinePropagation:
+    def test_range_capture_does_not_swallow_deadline(self, setup):
+        tree, _vptree, queries = setup
+        poisoned = queries[:3] + [EXPIRED] + queries[3:]
+        with pytest.raises(DeadlineExceededError):
+            run_range_workload(tree, poisoned, 0.3, capture_errors=True)
+
+    def test_knn_capture_does_not_swallow_deadline(self, setup):
+        tree, _vptree, queries = setup
+        poisoned = queries + [EXPIRED]
+        with pytest.raises(DeadlineExceededError):
+            run_knn_workload(tree, poisoned, 3, capture_errors=True)
+
+    def test_vptree_capture_does_not_swallow_deadline(self, setup):
+        _tree, vptree, queries = setup
+        poisoned = [EXPIRED] + queries
+        with pytest.raises(DeadlineExceededError):
+            run_vptree_range_workload(vptree, poisoned, 0.3, capture_errors=True)
+
+    def test_cancellation_propagates_too(self, setup):
+        tree, _vptree, queries = setup
+        poisoned = queries + [CANCELLED]
+        with pytest.raises(OperationCancelledError):
+            run_range_workload(tree, poisoned, 0.3, capture_errors=True)
+
+    def test_ordinary_failures_are_still_isolated(self, setup):
+        """The fix must not weaken isolation for non-cancellation errors."""
+        tree, _vptree, queries = setup
+        poisoned = queries + [None]  # metric chokes on None with TypeError
+        measurement = run_range_workload(
+            tree, poisoned, 0.3, capture_errors=True
+        )
+        assert measurement.n_queries == len(queries)
+        assert measurement.failed_queries == 1

@@ -13,11 +13,20 @@ QueryService` wrapped around one shared M-tree:
    request pile up behind the slots (accepted p99 balloons); a bounded
    queue sheds the excess in microseconds and keeps the accepted p99
    within the acceptance bar of 3x the unloaded p99.
+3. **Sharded scatter-gather scaling** — the same workload routed by
+   :class:`repro.cluster.Router` across N shards.  Each run appends its
+   rows to ``benchmarks/BENCH_cluster.json`` so the throughput/pruning
+   curve accumulates a trajectory across revisions.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 from repro import observability
+from repro.cluster import build_cluster
 from repro.datasets import clustered_dataset
 from repro.experiments import format_table, paper_range_radius
 from repro.mtree import bulk_load, vector_layout
@@ -31,6 +40,9 @@ from repro.workloads import sample_workload
 
 WORKER_COUNTS = (1, 2, 4, 8)
 OVERLOAD_SLOTS = 2
+SHARD_COUNTS = (1, 2, 4, 8)
+CLUSTER_TRAJECTORY = Path(__file__).resolve().parent / "BENCH_cluster.json"
+TRAJECTORY_KEEP = 50  # most recent records retained per file
 
 
 def _build_service_inputs(size: int, n_queries: int):
@@ -126,6 +138,78 @@ def run_overload_comparison(size: int, n_queries: int):
     }
 
 
+def run_shard_scaling(size: int, n_queries: int):
+    data = clustered_dataset(size, 8, seed=71)
+    radius = paper_range_radius(8)
+    queries = sample_workload(data, n_queries, seed=73)
+    requests = []
+    for i, query in enumerate(queries):
+        if i % 2 == 0:
+            requests.append(
+                QueryRequest("range", query, radius=radius, request_id=i)
+            )
+        else:
+            requests.append(
+                QueryRequest("knn", query, k=1 + (i % 10), request_id=i)
+            )
+    objects = list(data.points)
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        router = build_cluster(
+            objects,
+            data.metric,
+            n_shards=n_shards,
+            d_plus=data.d_plus,
+            seed=71,
+            hedge_delay_s=0.05,
+        )
+        report = router.run(requests, workers=8)
+        shard_queries = sum(o.shards_total for o in report.outcomes)
+        pruned = sum(o.shards_pruned for o in report.outcomes)
+        rows.append(
+            {
+                "shards": n_shards,
+                "ok": report.count("ok"),
+                "throughput qps": round(report.throughput_qps, 1),
+                "p50 ms": round(
+                    1e3 * report.latency_percentile(50, status="ok"), 3
+                ),
+                "p99 ms": round(
+                    1e3 * report.latency_percentile(99, status="ok"), 3
+                ),
+                "pruned %": round(100.0 * pruned / shard_queries, 1),
+                "min compl": round(report.min_completeness, 3),
+            }
+        )
+    return rows
+
+
+def append_cluster_trajectory(scale_name: str, rows) -> None:
+    """Append this run's rows to the ``BENCH_cluster.json`` trajectory.
+
+    The file is a JSON list of records, newest last, capped at
+    ``TRAJECTORY_KEEP`` so the perf curve across revisions stays
+    readable without growing unboundedly.
+    """
+    records = []
+    if CLUSTER_TRAJECTORY.exists():
+        try:
+            records = json.loads(CLUSTER_TRAJECTORY.read_text())
+        except (ValueError, OSError):
+            records = []
+    if not isinstance(records, list):
+        records = []
+    records.append(
+        {
+            "timestamp": round(time.time(), 3),
+            "scale": scale_name,
+            "rows": rows,
+        }
+    )
+    records = records[-TRAJECTORY_KEEP:]
+    CLUSTER_TRAJECTORY.write_text(json.dumps(records, indent=2) + "\n")
+
+
 def test_ext_service_throughput(benchmark, scale, show):
     n_queries = max(200, 2 * scale.n_queries)
     rows = benchmark.pedantic(
@@ -181,3 +265,32 @@ def test_ext_service_overload_shedding(benchmark, scale, show):
     assert shed["reject p99 ms"] < 5.0
     # Shedding beats unbounded queueing on the accepted tail.
     assert shed["accepted p99 ms"] <= unbounded["accepted p99 ms"]
+
+
+def test_ext_cluster_scaling(benchmark, scale, show):
+    n_queries = max(100, scale.n_queries)
+    rows = benchmark.pedantic(
+        run_shard_scaling,
+        args=(scale.vector_size, n_queries),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title=(
+                "Extension - sharded scatter-gather scaling "
+                f"({n_queries} mixed range/k-NN queries, healthy cluster)"
+            ),
+        )
+    )
+    for row in rows:
+        # A healthy cluster never degrades an answer.
+        assert row["ok"] == n_queries
+        assert row["min compl"] == 1.0
+    # Cost-model pruning must actually fire once there are shards to
+    # skip: small-radius range queries cannot touch every partition.
+    assert rows[0]["pruned %"] == 0.0  # single shard: nothing to prune
+    assert any(row["pruned %"] > 0.0 for row in rows[1:])
+    append_cluster_trajectory(scale.name, rows)
+    assert CLUSTER_TRAJECTORY.exists()

@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Scheduled shard chaos drill: kill and slow shards, audit every answer.
+
+The executable contract behind the cluster rows of
+``docs/robustness.md``: build a 4-shard cluster, make one shard slow
+from the start (hedged reads must hide it), kill another mid-workload
+(the router must fail over to honest partial answers), drive a mixed
+range/k-NN workload, then audit **every** outcome against single-node
+ground truth:
+
+* router success rate is exactly 1.0 — a dead shard degrades answers,
+  it never fails queries;
+* every outcome's object-weighted completeness stays >= the surviving
+  object weight (>= 0.75 with the smallest shard killed);
+* zero silent short answers: each range answer equals the ground truth
+  restricted to reachable objects, each k-NN answer contains every
+  reachable object closer than its worst returned neighbour;
+* every pruning decision carries its exact annulus-count proof and is
+  re-verifiable from the shard's pivot-distance profile.
+
+Exits 0 only when all assertions hold.  CI runs this on a schedule
+(see ``.github/workflows/chaos.yml``); locally it is::
+
+    python scripts/run_shard_chaos.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cluster import build_cluster  # noqa: E402
+from repro.datasets import clustered_dataset  # noqa: E402
+from repro.reliability import ShardFaultInjector  # noqa: E402
+from repro.service import QueryRequest  # noqa: E402
+
+N_SHARDS = 4
+KILL_AT = 200  # query index at which the victim shard dies
+SLOW_S = 0.08
+HEDGE_DELAY_S = 0.02
+COMPLETENESS_BAR = 0.75
+
+
+def build_workload(data, n_queries: int, seed: int = 23):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(n_queries):
+        query = rng.normal(size=3)
+        if i % 2 == 0:
+            radius = float(rng.uniform(0.1, 0.35)) * data.d_plus
+            requests.append(
+                QueryRequest("range", query, radius=radius, request_id=i)
+            )
+        else:
+            requests.append(
+                QueryRequest(
+                    "knn", query, k=int(rng.integers(1, 12)), request_id=i
+                )
+            )
+    return requests
+
+
+def audit_outcome(outcome, router, points, metric, floor, check) -> dict:
+    """Audit one outcome against single-node ground truth.
+
+    Returns counters: pruned decisions seen (all proof-checked) and
+    whether the victim shard degraded this answer.
+    """
+    request = outcome.request
+    i = request.request_id
+    check(
+        outcome.ok,
+        f"query {i}: status ok (got {outcome.status})",
+        quiet=True,
+    )
+    check(
+        outcome.completeness >= floor - 1e-12,
+        f"query {i}: completeness {outcome.completeness:.3f} >= {floor:.3f}",
+        quiet=True,
+    )
+
+    reachable = {
+        oid
+        for report in outcome.shard_reports
+        if report.status in ("ok", "pruned")
+        for oid in router.shards[report.shard_id].oids
+    }
+    dists = np.asarray(metric.one_to_many(request.query, points))
+    got = {oid for oid, _obj, _d in outcome.items}
+    if request.kind == "range":
+        truth = {int(j) for j in np.flatnonzero(dists <= request.radius)}
+        check(
+            got == truth & reachable,
+            f"query {i}: range answer complete over reachable objects",
+            quiet=True,
+        )
+    else:
+        check(
+            len(got) == min(request.k, len(reachable)),
+            f"query {i}: k-NN answer has k distinct objects",
+            quiet=True,
+        )
+        worst = max((d for _o, _obj, d in outcome.items), default=0.0)
+        closer = {
+            int(j)
+            for j in np.flatnonzero(dists < worst - 1e-12)
+            if int(j) in reachable
+        }
+        check(
+            closer <= got,
+            f"query {i}: no reachable object closer than the worst "
+            "returned neighbour was dropped",
+            quiet=True,
+        )
+
+    pruned = 0
+    for report in outcome.shard_reports:
+        if report.status != "pruned":
+            continue
+        pruned += 1
+        stats = router.shards[report.shard_id].stats
+        ok_proof = report.exact_candidates == 0
+        if request.kind == "range":
+            ok_proof = ok_proof and (
+                stats.candidate_count(report.pivot_dist, request.radius)
+                == 0
+            )
+        check(
+            ok_proof,
+            f"query {i}: prune of shard {report.shard_id} carries a "
+            "zero-count proof",
+            quiet=True,
+        )
+    return {"pruned": pruned}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=2000)
+    parser.add_argument("--queries", type=int, default=1000)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down smoke (CI lint)"
+    )
+    args = parser.parse_args()
+    size, n_queries = args.size, args.queries
+    kill_at = KILL_AT
+    if args.quick:
+        size, n_queries, kill_at = 500, 120, 30
+
+    failures = []
+
+    def check(ok: bool, what: str, quiet: bool = False) -> None:
+        if not ok or not quiet:
+            print(("ok   " if ok else "FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    data = clustered_dataset(size, 3, seed=23)
+    points = list(data.points)
+    router = build_cluster(
+        points,
+        data.metric,
+        n_shards=N_SHARDS,
+        d_plus=data.d_plus,
+        seed=23,
+        hedge_delay_s=HEDGE_DELAY_S,
+        shard_timeout_s=0.5,
+        min_completeness=0.5,
+        max_concurrent=2 * args.workers,
+        max_queue=4 * args.workers,
+    )
+    # Kill the smallest shard (so >= 75% of objects survive); slow the
+    # largest of the rest (hedged reads have the most to hide there).
+    by_size = sorted(router.shards, key=lambda s: s.n_objects)
+    victim, slow = by_size[0], by_size[-1]
+    injector = ShardFaultInjector(seed=23)
+    injector.slow(slow, SLOW_S)
+    floor = 1.0 - victim.n_objects / router.total_objects
+    check(
+        floor >= COMPLETENESS_BAR,
+        f"victim shard weight leaves floor {floor:.3f} >= "
+        f"{COMPLETENESS_BAR}",
+    )
+    print(
+        f"cluster: {size} objects, {N_SHARDS} shards "
+        f"{[s.n_objects for s in router.shards]}; "
+        f"slow=shard {slow.shard_id} ({SLOW_S * 1e3:.0f} ms), "
+        f"victim=shard {victim.shard_id} (killed at query {kill_at})"
+    )
+
+    requests = build_workload(data, n_queries)
+    start = time.perf_counter()
+    healthy = router.run(requests[:kill_at], workers=args.workers)
+    injector.kill(victim)
+    wounded = router.run(requests[kill_at:], workers=args.workers)
+    wall_s = time.perf_counter() - start
+    outcomes = healthy.outcomes + wounded.outcomes
+
+    check(
+        healthy.success_rate == 1.0 and wounded.success_rate == 1.0,
+        f"router success_rate == 1.0 across all {n_queries} queries",
+    )
+    check(
+        healthy.min_completeness == 1.0,
+        "pre-kill completeness is exactly 1.0",
+    )
+
+    pruned_total = 0
+    for outcome in outcomes:
+        floor_i = 1.0 if outcome.request.request_id < kill_at else floor
+        counters = audit_outcome(
+            outcome, router, points, data.metric, floor_i, check
+        )
+        pruned_total += counters["pruned"]
+    check(pruned_total > 0, f"cost model pruned {pruned_total} shard-queries")
+
+    hedge_wins = sum(
+        1
+        for o in outcomes
+        for r in o.shard_reports
+        if r.shard_id == slow.shard_id and r.hedge_won
+    )
+    check(hedge_wins > 0, f"hedged reads won {hedge_wins} races on the slow shard")
+    check(
+        router.quarantine.reason(victim.shard_id) == "breaker_open",
+        "dead shard quarantined via its breaker",
+    )
+    post = [o for o in wounded.outcomes]
+    check(
+        min(o.completeness for o in post) >= COMPLETENESS_BAR - 1e-12,
+        f"post-kill completeness floor {min(o.completeness for o in post):.3f} "
+        f">= {COMPLETENESS_BAR}",
+    )
+
+    print(
+        f"\nshard chaos drill: {n_queries} queries in {wall_s:.1f} s, "
+        f"{pruned_total} certified prunes, {hedge_wins} hedge wins, "
+        f"{len(failures)} failure(s)"
+        + ("" if failures else " — every answer honest")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

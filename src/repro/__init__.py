@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from . import (
+    cluster,
     context,
     core,
     datasets,
@@ -60,6 +61,7 @@ from .exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "cluster",
     "context",
     "core",
     "datasets",

@@ -346,6 +346,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect observability counters and print them after the run",
     )
+    shard = subparsers.add_parser(
+        "shard-bench",
+        help="measure the sharded scatter-gather router: throughput and "
+        "pruning vs shard count, optionally under injected shard faults",
+    )
+    shard.add_argument(
+        "--size",
+        type=int,
+        default=4000,
+        help="number of indexed vector objects (default 4000)",
+    )
+    shard.add_argument(
+        "--queries",
+        type=int,
+        default=300,
+        help="mixed range/k-NN queries per measurement (default 300)",
+    )
+    shard.add_argument(
+        "--shards",
+        default="1,2,4,8",
+        help="comma-separated shard counts to sweep (default 1,2,4,8)",
+    )
+    shard.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="concurrent router workers (default 8)",
+    )
+    shard.add_argument(
+        "--kill",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="kill this shard id before the workload (dead-shard drill)",
+    )
+    shard.add_argument(
+        "--slow",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="slow this shard id before the workload (hedging drill)",
+    )
+    shard.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="per-query deadline in milliseconds (default 1000)",
+    )
+    shard.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink all sizes for a fast smoke run",
+    )
+    shard.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect observability counters and print them after the run",
+    )
     for name in [*EXPERIMENTS, "all"]:
         sub = subparsers.add_parser(
             name,
@@ -741,6 +799,93 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_shard_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .cluster import build_cluster
+    from .datasets import clustered_dataset
+    from .reliability import ShardFaultInjector
+    from .service import QueryRequest
+
+    size = 800 if args.quick else args.size
+    n_queries = 60 if args.quick else args.queries
+    shard_counts = [int(n) for n in str(args.shards).split(",") if n]
+    if args.metrics:
+        from . import observability
+
+        observability.install()
+    data = clustered_dataset(size=size, dim=8, seed=11)
+    rng = np.random.default_rng(11)
+    requests = []
+    for i in range(n_queries):
+        if i % 2 == 0:
+            requests.append(
+                QueryRequest(
+                    "range",
+                    rng.random(8),
+                    radius=float(rng.uniform(0.05, 0.2)) * data.d_plus,
+                    request_id=i,
+                )
+            )
+        else:
+            requests.append(
+                QueryRequest(
+                    "knn",
+                    rng.random(8),
+                    k=int(rng.integers(1, 20)),
+                    request_id=i,
+                )
+            )
+    faults = ", ".join(
+        f"{kind} shard {target}"
+        for kind, target in (("kill", args.kill), ("slow", args.slow))
+        if target is not None
+    )
+    print(
+        f"shard-bench: {size} objects, {n_queries} mixed queries, "
+        f"{args.workers} workers, deadline {args.deadline_ms:g} ms"
+        + (f", faults: {faults}" if faults else "")
+    )
+    for n_shards in shard_counts:
+        router = build_cluster(
+            data.points,
+            data.metric,
+            n_shards=n_shards,
+            d_plus=data.d_plus,
+            seed=11,
+            min_completeness=0.5,
+            hedge_delay_s=0.02,
+        )
+        injector = ShardFaultInjector(seed=11)
+        for kind, target in (("kill", args.kill), ("slow", args.slow)):
+            if target is not None and 0 <= target < n_shards:
+                if kind == "kill":
+                    injector.kill(router.shards[target])
+                else:
+                    injector.slow(router.shards[target], delay_s=0.1)
+        report = router.run(
+            requests, workers=args.workers, deadline_ms=args.deadline_ms
+        )
+        pruned = sum(o.shards_pruned for o in report.outcomes)
+        scattered = sum(
+            o.shards_total - o.shards_pruned for o in report.outcomes
+        )
+        print(f"\n-- shards={n_shards}")
+        for line in report.render().splitlines():
+            print(f"  {line}")
+        print(
+            f"  pruning: {pruned} shard-queries pruned, "
+            f"{scattered} scattered "
+            f"({pruned / max(1, pruned + scattered):.0%} saved)"
+        )
+    if args.metrics:
+        from . import observability
+
+        print("\n== metrics " + "=" * 59)
+        print(observability.snapshot().render())
+    return 0
+
+
 def _run_metrics(args: argparse.Namespace) -> int:
     from . import observability
     from .observability import MetricsSnapshot
@@ -823,6 +968,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_metrics(args)
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)
+    if args.experiment == "shard-bench":
+        return _run_shard_bench(args)
     if args.quick:
         for key, value in QUICK_OVERRIDES.items():
             setattr(args, key, value)

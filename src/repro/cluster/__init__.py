@@ -1,0 +1,47 @@
+"""Fault-tolerant sharded serving: partition, shard, scatter-gather route.
+
+The cost model graduates from *estimating* query cost to *routing*
+queries: a pivot-based partitioner
+(:func:`~repro.cluster.partition.partition_objects`) splits the dataset
+into shards whose exact pivot-distance profiles and per-shard RDD
+histograms let the :class:`~repro.cluster.router.Router` **prove** which
+shards cannot contribute to a range/k-NN answer and skip them.  Each
+:class:`~repro.cluster.shard.Shard` is an independent index behind its
+own admission controller, circuit breaker and quarantine; the router
+scatters under per-shard sub-deadlines with bounded retry and hedged
+duplicate requests, quarantines shards whose breaker opens or whose
+fsck fails, and always gathers into a typed
+:class:`~repro.cluster.router.RouterOutcome` whose object-weighted
+completeness and per-shard accounting make every partial answer honest
+(see ``docs/robustness.md``).
+"""
+
+from .partition import (
+    Partition,
+    ShardStats,
+    choose_pivots,
+    partition_objects,
+)
+from .router import (
+    Router,
+    RouterOutcome,
+    RouterReport,
+    ShardQuarantine,
+    ShardReport,
+    build_cluster,
+)
+from .shard import Shard
+
+__all__ = [
+    "ShardStats",
+    "Partition",
+    "choose_pivots",
+    "partition_objects",
+    "Shard",
+    "ShardReport",
+    "RouterOutcome",
+    "RouterReport",
+    "ShardQuarantine",
+    "Router",
+    "build_cluster",
+]

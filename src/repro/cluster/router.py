@@ -1,0 +1,990 @@
+"""Scatter-gather router: cost-model pruning, hedging, partial answers.
+
+The router is the cluster's front door.  For every range/k-NN request it
+
+1. computes the query↔pivot distances (``n_shards`` metric evaluations,
+   counted exactly as ``router_dists`` — the CMT discipline of never
+   discarding a distance: the same values drive pruning, k-NN bounding
+   and merging);
+2. **prunes** shards the cost model *proves* cannot contribute: a shard
+   whose exact pivot-distance annulus count
+   (:meth:`~repro.cluster.partition.ShardStats.candidate_count`) is zero
+   holds no possible match, so skipping it is free — and, crucially,
+   a pruned-but-dead shard costs the answer nothing;
+3. **scatters** to the surviving shards under per-shard sub-deadlines
+   carved from the request budget, with bounded retry/backoff
+   (:class:`~repro.reliability.RetryPolicy`) and a **hedged** duplicate
+   request when a shard stalls past ``hedge_delay_s`` — first good
+   answer wins, the loser is cancelled through its
+   :class:`~repro.context.Context`;
+4. **gathers** into a typed :class:`RouterOutcome` that always says
+   exactly what happened: per-shard reports, object-weighted
+   completeness, ``shards_pruned`` / ``shards_failed`` /
+   ``shards_hedged`` accounting — never a silently short answer;
+5. applies the ``min_completeness`` rung: when too much of the dataset
+   was unreachable, the router re-answers by linear scan over every
+   healthy shard's pristine snapshot (completeness restored at linear
+   cost, flagged ``degraded``/``fallback_used``).
+
+Shard-level failover is quarantine-based: a shard whose breaker reports
+open, or whose fsck finds structural damage, is quarantined at the
+router (``breaker_open`` / ``fsck`` reasons) and skipped instantly by
+subsequent queries until :meth:`Router.recheck` lifts it.
+
+Completeness aggregation is **object-weighted**, not min: a pruned shard
+contributes its full weight (the cost model proved it empty for this
+query), an answering shard contributes ``n_i * completeness_i``, a
+failed shard contributes zero.  With four equal shards and one dead,
+every answer honestly reports 0.75 — the min rule would report 0.0 and
+make partial answers useless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..context import Context, Deadline
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    MetricostError,
+    OperationCancelledError,
+    RetryExhaustedError,
+)
+from ..metrics import Metric
+from ..observability import state as _obs
+from ..reliability.retry import RetryPolicy
+from ..service.service import QueryOutcome, QueryRequest, percentile
+from .partition import ShardStats, partition_objects
+from .shard import Shard
+
+__all__ = [
+    "ShardReport",
+    "RouterOutcome",
+    "RouterReport",
+    "ShardQuarantine",
+    "Router",
+    "build_cluster",
+]
+
+_QUARANTINE_REASONS = ("breaker_open", "fsck", "manual")
+
+
+class ShardQuarantine:
+    """Thread-safe shard-id → reason map the router consults per query.
+
+    Mirrors :class:`~repro.reliability.QuarantineSet` one level up: the
+    node-level set routes *traversals* around damaged subtrees, this one
+    routes *queries* around damaged shards.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._reasons: Dict[int, str] = {}
+
+    def add(self, shard_id: int, reason: str) -> None:
+        if reason not in _QUARANTINE_REASONS:
+            raise InvalidParameterError(
+                f"reason must be one of {_QUARANTINE_REASONS}, got {reason!r}"
+            )
+        with self._lock:
+            self._reasons[shard_id] = reason
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("cluster.quarantine_adds", reason=reason)
+
+    def discard(self, shard_id: int) -> None:
+        with self._lock:
+            self._reasons.pop(shard_id, None)
+
+    def contains(self, shard_id: int) -> bool:
+        with self._lock:
+            return shard_id in self._reasons
+
+    def reason(self, shard_id: int) -> Optional[str]:
+        with self._lock:
+            return self._reasons.get(shard_id)
+
+    def reasons(self) -> Dict[int, str]:
+        """Snapshot of the current quarantine map."""
+        with self._lock:
+            return dict(self._reasons)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._reasons)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+@dataclass
+class ShardReport:
+    """What one shard contributed to (or withheld from) one answer.
+
+    ``status`` is ``"ok"``, ``"pruned"`` (cost model proved
+    zero contribution — carries the exact annulus count that proves it),
+    ``"quarantined"`` (skipped: shard was quarantined at the router), or
+    ``"failed"`` (scattered to, but no usable answer came back).
+    ``attempts`` logs every attempt's terminal status in order
+    (``[("primary", "cancelled"), ("hedge", "ok")]`` is a hedge win).
+    """
+
+    shard_id: int
+    status: str
+    n_objects: int
+    pivot_dist: float
+    completeness: float = 0.0
+    items: List[Tuple[int, Any, float]] = field(default_factory=list)
+    dists: int = 0
+    latency_s: float = 0.0
+    hedged: bool = False
+    hedge_won: bool = False
+    scanned: bool = False
+    attempts: List[Tuple[str, str]] = field(default_factory=list)
+    exact_candidates: Optional[int] = None
+    expected_matches: Optional[float] = None
+    quarantine_reason: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class RouterOutcome:
+    """How one scatter-gather request ended — always a typed answer.
+
+    ``completeness`` is the object-weighted reachable fraction of the
+    whole dataset; ``status`` stays ``"ok"`` for honest partial answers
+    (the accounting says what is missing) and only becomes
+    ``"deadline"`` / ``"cancelled"`` when the *router-level* budget blew
+    before an answer could be assembled.
+    """
+
+    request: QueryRequest
+    status: str
+    latency_s: float
+    items: List[Tuple[int, Any, float]] = field(default_factory=list)
+    completeness: float = 0.0
+    degraded: bool = False
+    fallback_used: bool = False
+    shards_total: int = 0
+    shards_ok: int = 0
+    shards_pruned: int = 0
+    shards_failed: int = 0
+    shards_hedged: int = 0
+    router_dists: int = 0
+    dists: int = 0
+    shard_reports: List[ShardReport] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class RouterReport:
+    """A batch of router outcomes summarised (mirrors ``ServiceReport``)."""
+
+    outcomes: List[RouterOutcome]
+    wall_s: float
+    workers: int
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def accepted(self) -> List[RouterOutcome]:
+        return [o for o in self.outcomes if o.status == "ok"]
+
+    @property
+    def success_rate(self) -> float:
+        return len(self.accepted) / self.total if self.total else 0.0
+
+    @property
+    def min_completeness(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return min(o.completeness for o in self.outcomes)
+
+    @property
+    def throughput_qps(self) -> float:
+        return len(self.accepted) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentile(self, q: float, status: str = "ok") -> float:
+        values = [o.latency_s for o in self.outcomes if o.status == status]
+        return percentile(values, q)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.total} routed requests over {self.wall_s * 1e3:.1f} ms "
+            f"with {self.workers} worker(s): "
+            f"{len(self.accepted)} ok "
+            f"({sum(1 for o in self.accepted if o.degraded)} degraded, "
+            f"{sum(1 for o in self.accepted if o.fallback_used)} fallback), "
+            f"{self.count('deadline')} deadline, "
+            f"{self.count('cancelled')} cancelled, "
+            f"{self.count('error')} error",
+            f"shards: {sum(o.shards_pruned for o in self.outcomes)} pruned, "
+            f"{sum(o.shards_failed for o in self.outcomes)} failed, "
+            f"{sum(o.shards_hedged for o in self.outcomes)} hedged",
+        ]
+        if self.accepted:
+            lines.append(
+                f"completeness: min {self.min_completeness:.3f}; "
+                f"latency p50 {self.latency_percentile(50) * 1e3:.3f} ms, "
+                f"p99 {self.latency_percentile(99) * 1e3:.3f} ms; "
+                f"throughput {self.throughput_qps:,.0f} q/s"
+            )
+        return "\n".join(lines)
+
+
+class _AttemptCell:
+    """Latest outcome of one shard attempt, shared across retry tries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._outcome: Optional[QueryOutcome] = None
+
+    def store(self, outcome: QueryOutcome) -> None:
+        with self._lock:
+            self._outcome = outcome
+
+    def load(self) -> Optional[QueryOutcome]:
+        with self._lock:
+            return self._outcome
+
+
+class Router:
+    """Scatter-gather over shards with pruning, hedging, and quarantine."""
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        metric: Metric,
+        hedge_delay_s: float = 0.05,
+        shard_timeout_s: float = 2.0,
+        retry_attempts: int = 2,
+        retry_base_delay_s: float = 0.002,
+        min_completeness: float = 0.0,
+        prune: bool = True,
+        hedging: bool = True,
+        seed: int = 0,
+    ):
+        if len(shards) == 0:
+            raise InvalidParameterError("router needs at least one shard")
+        if hedge_delay_s < 0:
+            raise InvalidParameterError(
+                f"hedge_delay_s must be >= 0, got {hedge_delay_s}"
+            )
+        if shard_timeout_s <= 0:
+            raise InvalidParameterError(
+                f"shard_timeout_s must be > 0, got {shard_timeout_s}"
+            )
+        if not (0.0 <= min_completeness <= 1.0):
+            raise InvalidParameterError(
+                f"min_completeness must lie in [0, 1], got {min_completeness}"
+            )
+        for shard in shards:
+            if shard.stats is None:
+                raise InvalidParameterError(
+                    f"shard {shard.shard_id} has no ShardStats; the router "
+                    "needs pivot-distance profiles for routing"
+                )
+        self.shards = list(shards)
+        self.metric = metric
+        self.hedge_delay_s = hedge_delay_s
+        self.shard_timeout_s = shard_timeout_s
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay_s = retry_base_delay_s
+        self.min_completeness = min_completeness
+        self.prune = prune
+        self.hedging = hedging
+        self.seed = seed
+        self.quarantine = ShardQuarantine()
+        self.total_objects = sum(s.n_objects for s in self.shards)
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {}
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, status: str) -> None:
+        with self._lock:
+            self.stats[status] = self.stats.get(status, 0) + 1
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("cluster.queries", status=status)
+
+    @staticmethod
+    def _mirror_shard(report: ShardReport) -> None:
+        reg = _obs.registry
+        if reg is None:
+            return
+        reg.inc("cluster.shard_outcomes", status=report.status)
+        if report.status == "pruned":
+            reg.inc("cluster.shards_pruned")
+        if report.hedged:
+            reg.inc("cluster.hedges")
+        if report.hedge_won:
+            reg.inc("cluster.hedge_wins")
+
+    # -- routing decisions -------------------------------------------------
+
+    def _knn_radius_bound(
+        self, request: QueryRequest, pivot_dists: np.ndarray
+    ) -> float:
+        """A guaranteed upper bound on the k-th NN distance over the
+        *reachable* dataset: the k-th smallest of ``d(q,p_i) + t`` across
+        healthy shards' k pivot-closest members.  Any shard with no
+        member inside the resulting annulus provably contributes nothing
+        to the final k answer."""
+        k = request.k or 1
+        bounds: List[np.ndarray] = []
+        for shard in self.shards:
+            if self.quarantine.contains(shard.shard_id):
+                continue
+            stats: ShardStats = shard.stats
+            bounds.append(stats.knn_upper_bounds(
+                float(pivot_dists[shard.shard_id]), k
+            ))
+        if not bounds:
+            return float("inf")
+        merged = np.sort(np.concatenate(bounds))
+        take = min(k, merged.size)
+        return float(merged[take - 1])
+
+    def _classify(
+        self, request: QueryRequest, pivot_dists: np.ndarray
+    ) -> Tuple[List[ShardReport], List[Shard], float]:
+        """Split shards into pruned / quarantined / scatter targets."""
+        if request.kind == "range":
+            radius = float(request.radius or 0.0)
+        else:
+            radius = self._knn_radius_bound(request, pivot_dists)
+        reports: List[ShardReport] = []
+        targets: List[Shard] = []
+        for shard in self.shards:
+            pivot_dist = float(pivot_dists[shard.shard_id])
+            stats: ShardStats = shard.stats
+            reason = self.quarantine.reason(shard.shard_id)
+            if reason is not None:
+                reports.append(
+                    ShardReport(
+                        shard_id=shard.shard_id,
+                        status="quarantined",
+                        n_objects=shard.n_objects,
+                        pivot_dist=pivot_dist,
+                        quarantine_reason=reason,
+                    )
+                )
+                continue
+            exact = (
+                stats.candidate_count(pivot_dist, radius)
+                if self.prune and np.isfinite(radius)
+                else None
+            )
+            if exact == 0:
+                expected = stats.expected_matches(pivot_dist, radius)
+                reports.append(
+                    ShardReport(
+                        shard_id=shard.shard_id,
+                        status="pruned",
+                        n_objects=shard.n_objects,
+                        pivot_dist=pivot_dist,
+                        completeness=1.0,
+                        exact_candidates=0,
+                        expected_matches=expected,
+                    )
+                )
+                reg = _obs.registry
+                if reg is not None:
+                    reg.inc(
+                        "cluster.prune_decisions",
+                        kind=request.kind,
+                        shard=str(shard.shard_id),
+                    )
+                continue
+            report = ShardReport(
+                shard_id=shard.shard_id,
+                status="failed",  # until the scatter says otherwise
+                n_objects=shard.n_objects,
+                pivot_dist=pivot_dist,
+                exact_candidates=exact,
+                expected_matches=(
+                    stats.expected_matches(pivot_dist, radius)
+                    if exact is not None
+                    else None
+                ),
+            )
+            reports.append(report)
+            targets.append(shard)
+        return reports, targets, radius
+
+    # -- scatter -----------------------------------------------------------
+
+    def _sub_context(self, budget: Optional[Any]) -> Context:
+        """A per-attempt context: shard timeout capped by the request
+        budget (never grants a shard more time than the caller has)."""
+        timeout = self.shard_timeout_s
+        if budget is not None:
+            remaining = budget.remaining_s()
+            if np.isfinite(remaining):
+                timeout = min(timeout, max(0.0, remaining))
+        return Context(Deadline.after(timeout))
+
+    def _attempt(
+        self,
+        shard: Shard,
+        request: QueryRequest,
+        ctx: Context,
+        cell: _AttemptCell,
+        retry: bool,
+    ) -> QueryOutcome:
+        """One shard attempt; transient shard failures raise so the
+        retry policy can re-drive them."""
+
+        def once() -> QueryOutcome:
+            outcome = shard.submit(request, context=ctx)
+            cell.store(outcome)
+            if outcome.status in ("error", "rejected"):
+                # Surface as a retryable fault: overload sheds and
+                # backend errors deserve one bounded, jittered re-try
+                # before the shard is written off for this query.
+                raise _ShardAttemptError(outcome)
+            return outcome
+
+        if not retry:
+            return once()
+        policy = RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_delay_s=self.retry_base_delay_s,
+            max_delay_s=0.05,
+            retry_on=(_ShardAttemptError,),
+            seed=self.seed + shard.shard_id,
+        )
+        return policy.call(once, deadline=ctx)
+
+    def _query_shard(
+        self,
+        shard: Shard,
+        request: QueryRequest,
+        report: ShardReport,
+        budget: Optional[Any],
+    ) -> None:
+        """Drive one shard: primary attempt, hedge on stall, first good
+        answer wins, the loser is cancelled via its context."""
+        start = time.perf_counter()
+        results: "queue.Queue[Tuple[str, QueryOutcome]]" = queue.Queue()
+        primary_ctx = self._sub_context(budget)
+        hedge_ctx: Optional[Context] = None
+        threads: List[threading.Thread] = []
+
+        def run_attempt(
+            label: str, attempt_request: QueryRequest, ctx: Context,
+            retry: bool,
+        ) -> None:
+            cell = _AttemptCell()
+            try:
+                outcome = self._attempt(
+                    shard, attempt_request, ctx, cell, retry
+                )
+            except (
+                _ShardAttemptError,
+                RetryExhaustedError,
+                DeadlineExceededError,
+                OperationCancelledError,
+            ) as exc:
+                last = cell.load()
+                if last is None:
+                    status = (
+                        "cancelled"
+                        if isinstance(exc, OperationCancelledError)
+                        else "deadline"
+                        if isinstance(exc, DeadlineExceededError)
+                        else "error"
+                    )
+                    last = QueryOutcome(
+                        request=attempt_request,
+                        status=status,
+                        latency_s=time.perf_counter() - start,
+                        error=str(exc),
+                    )
+                results.put((label, last))
+                return
+            results.put((label, outcome))
+
+        primary = threading.Thread(
+            target=run_attempt,
+            args=("primary", request, primary_ctx, True),
+            name=f"route-{shard.shard_id}-primary",
+        )
+        threads.append(primary)
+        primary.start()
+
+        winner: Optional[Tuple[str, QueryOutcome]] = None
+        pending = 1
+        hedge_window = self.hedge_delay_s if self.hedging else None
+        while pending > 0:
+            try:
+                timeout = (
+                    hedge_window
+                    if hedge_window is not None
+                    else self.shard_timeout_s + 0.5
+                )
+                label, outcome = results.get(timeout=timeout)
+            except queue.Empty:
+                if hedge_window is not None and hedge_ctx is None:
+                    # The primary stalled past the hedge delay: race a
+                    # duplicate, marked hedged so chaos/fault layers can
+                    # distinguish it, on its own cancellable context.
+                    hedge_ctx = self._sub_context(budget)
+                    hedge_request = dataclasses.replace(request, hedged=True)
+                    hedge = threading.Thread(
+                        target=run_attempt,
+                        args=("hedge", hedge_request, hedge_ctx, False),
+                        name=f"route-{shard.shard_id}-hedge",
+                    )
+                    threads.append(hedge)
+                    hedge.start()
+                    report.hedged = True
+                    pending += 1
+                hedge_window = None
+                continue
+            pending -= 1
+            report.attempts.append((label, outcome.status))
+            if outcome.status == "ok" and winner is None:
+                winner = (label, outcome)
+                # First good answer wins: stop the other attempt.
+                if label == "hedge":
+                    primary_ctx.cancel()
+                elif hedge_ctx is not None:
+                    hedge_ctx.cancel()
+                hedge_window = None
+            elif winner is None and pending == 0 and (
+                hedge_window is not None
+            ):
+                # Primary failed before the hedge even launched — no
+                # point hedging a shard that answered (badly) quickly.
+                break
+        # Attempts are bounded by their sub-deadlines, so joins terminate.
+        for thread in threads:
+            thread.join()
+        # Record any stragglers' terminal statuses for the attempt log.
+        while True:
+            try:
+                label, outcome = results.get_nowait()
+            except queue.Empty:
+                break
+            report.attempts.append((label, outcome.status))
+            if outcome.status == "ok" and winner is None:
+                winner = (label, outcome)
+        report.latency_s = time.perf_counter() - start
+        if winner is None:
+            report.status = "failed"
+            statuses = {status for _label, status in report.attempts}
+            report.error = "; ".join(
+                f"{label}={status}" for label, status in report.attempts
+            ) or "no attempt completed"
+            if "circuit_open" in statuses:
+                # Failover: the shard's own breaker says it is sick —
+                # quarantine it so the next queries skip it instantly
+                # instead of re-discovering the open circuit.
+                self.quarantine.add(shard.shard_id, "breaker_open")
+            return
+        label, outcome = winner
+        report.status = "ok"
+        report.hedge_won = label == "hedge"
+        report.completeness = outcome.completeness
+        report.items = list(outcome.items or [])
+        report.dists = outcome.dists
+
+    # -- gather ------------------------------------------------------------
+
+    @staticmethod
+    def _merge(
+        request: QueryRequest, reports: Sequence[ShardReport]
+    ) -> List[Tuple[int, Any, float]]:
+        """Merge per-shard answers in one global-oid space.
+
+        k-NN deduplicates by oid (a hedge pair can only double *within*
+        one shard, and only one attempt's items are kept, but the guard
+        costs nothing and makes the invariant explicit)."""
+        everything: List[Tuple[int, Any, float]] = []
+        for report in reports:
+            everything.extend(report.items)
+        everything.sort(key=lambda item: (item[2], item[0]))
+        if request.kind == "range":
+            return everything
+        merged: List[Tuple[int, Any, float]] = []
+        seen: set = set()
+        for oid, obj, dist in everything:
+            if oid in seen:
+                continue
+            seen.add(oid)
+            merged.append((oid, obj, dist))
+            if len(merged) >= (request.k or 1):
+                break
+        return merged
+
+    def _aggregate_completeness(
+        self, reports: Sequence[ShardReport]
+    ) -> float:
+        """Object-weighted completeness over the whole dataset.
+
+        Pruned shards count as fully covered (the cost model proved they
+        hold no match for this query), answering shards contribute their
+        own completeness weighted by size, failed/quarantined shards
+        contribute zero.
+        """
+        if self.total_objects == 0:
+            return 1.0
+        covered = 0.0
+        for report in reports:
+            if report.status == "pruned":
+                covered += report.n_objects
+            elif report.status == "ok":
+                covered += report.n_objects * report.completeness
+        return covered / self.total_objects
+
+    def _fallback_scan(
+        self,
+        request: QueryRequest,
+        reports: Sequence[ShardReport],
+        budget: Optional[Any],
+    ) -> int:
+        """The last rung: linear-scan every reachable shard whose answer
+        was missing or incomplete.  Certified-pruned shards are skipped
+        (scanning them cannot add matches); dead shards stay failed.
+        Returns the distances spent."""
+        dists = 0
+        for report in reports:
+            if report.status == "pruned":
+                continue
+            if report.status == "ok" and report.completeness >= 1.0:
+                continue
+            shard = self.shards[report.shard_id]
+            try:
+                items, n_dists = shard.scan(request, deadline=budget)
+            except (DeadlineExceededError, OperationCancelledError):
+                raise
+            except MetricostError as exc:
+                report.error = f"{type(exc).__name__}: {exc}"
+                continue
+            dists += n_dists
+            report.items = items
+            report.dists += n_dists
+            report.status = "ok"
+            report.completeness = 1.0
+            report.scanned = True
+            reg = _obs.registry
+            if reg is not None:
+                reg.inc("cluster.fallback_scans", shard=str(report.shard_id))
+        return dists
+
+    # -- public API --------------------------------------------------------
+
+    def execute(
+        self,
+        request: QueryRequest,
+        deadline: Optional[Deadline] = None,
+        context: Optional[Context] = None,
+    ) -> RouterOutcome:
+        """One scatter-gather request; always returns a typed outcome."""
+        start = time.perf_counter()
+        budget: Optional[Any] = context if context is not None else deadline
+        tracer = _obs.tracer
+        try:
+            if tracer is not None:
+                with tracer.span(
+                    "cluster.route", kind=request.kind,
+                    shards=len(self.shards),
+                ):
+                    outcome = self._execute(request, budget, start)
+            else:
+                outcome = self._execute(request, budget, start)
+        except DeadlineExceededError as exc:
+            outcome = RouterOutcome(
+                request=request,
+                status="deadline",
+                latency_s=time.perf_counter() - start,
+                shards_total=len(self.shards),
+                error=str(exc),
+            )
+        except OperationCancelledError as exc:
+            outcome = RouterOutcome(
+                request=request,
+                status="cancelled",
+                latency_s=time.perf_counter() - start,
+                shards_total=len(self.shards),
+                error=str(exc),
+            )
+        self._count(outcome.status)
+        reg = _obs.registry
+        if reg is not None:
+            reg.observe(
+                "cluster.latency_seconds", outcome.latency_s,
+                status=outcome.status,
+            )
+            if outcome.ok:
+                reg.observe("cluster.completeness", outcome.completeness)
+            reg.set_gauge("cluster.quarantined_shards", len(self.quarantine))
+        return outcome
+
+    def _execute(
+        self,
+        request: QueryRequest,
+        budget: Optional[Any],
+        start: float,
+    ) -> RouterOutcome:
+        if budget is not None:
+            budget.check("routed query")
+        pivot_dists = np.asarray(
+            self.metric.one_to_many(
+                request.query, [s.stats.pivot for s in self.shards]
+            ),
+            dtype=np.float64,
+        )
+        router_dists = len(self.shards)
+        reports, targets, _radius = self._classify(request, pivot_dists)
+        by_id = {report.shard_id: report for report in reports}
+
+        drivers = [
+            threading.Thread(
+                target=self._query_shard,
+                args=(shard, request, by_id[shard.shard_id], budget),
+                name=f"route-{shard.shard_id}",
+            )
+            for shard in targets
+        ]
+        for driver in drivers:
+            driver.start()
+        for driver in drivers:
+            driver.join()
+
+        completeness = self._aggregate_completeness(reports)
+        fallback_used = False
+        degraded = any(
+            r.status != "ok" and r.status != "pruned" for r in reports
+        ) or any(
+            r.status == "ok" and r.completeness < 1.0 for r in reports
+        )
+        if completeness < self.min_completeness:
+            fallback_dists = self._fallback_scan(request, reports, budget)
+            router_dists += fallback_dists
+            fallback_used = fallback_dists > 0
+            completeness = self._aggregate_completeness(reports)
+        for report in reports:
+            self._mirror_shard(report)
+        items = self._merge(request, reports)
+        return RouterOutcome(
+            request=request,
+            status="ok",
+            latency_s=time.perf_counter() - start,
+            items=items,
+            completeness=completeness,
+            degraded=degraded or fallback_used,
+            fallback_used=fallback_used,
+            shards_total=len(self.shards),
+            shards_ok=sum(1 for r in reports if r.status == "ok"),
+            shards_pruned=sum(1 for r in reports if r.status == "pruned"),
+            shards_failed=sum(
+                1 for r in reports
+                if r.status in ("failed", "quarantined")
+            ),
+            shards_hedged=sum(1 for r in reports if r.hedged),
+            router_dists=router_dists,
+            dists=router_dists + sum(r.dists for r in reports),
+            shard_reports=reports,
+        )
+
+    def run(
+        self,
+        requests: Sequence[QueryRequest],
+        workers: int = 4,
+        deadline_ms: Optional[float] = None,
+    ) -> RouterReport:
+        """Drive a batch through ``workers`` threads; summarise.
+
+        Each request gets its own deadline of ``deadline_ms`` measured
+        from pickup (mirrors :meth:`QueryService.run`).
+        """
+        if workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {workers}"
+            )
+        pending: "queue.Queue[Optional[int]]" = queue.Queue()
+        for index in range(len(requests)):
+            pending.put(index)
+        for _ in range(workers):
+            pending.put(None)
+        outcomes: List[Optional[RouterOutcome]] = [None] * len(requests)
+        worker_errors: List[BaseException] = []
+
+        def work() -> None:
+            while True:
+                index = pending.get()
+                if index is None:
+                    return
+                deadline = (
+                    Deadline.after_ms(deadline_ms)
+                    if deadline_ms is not None
+                    else None
+                )
+                try:
+                    outcomes[index] = self.execute(
+                        requests[index], deadline=deadline
+                    )
+                # metalint: ignore[cancellation-hygiene] — execute()
+                # already converts cancellation into an outcome, so
+                # anything caught here is an unexpected worker crash;
+                # it is re-raised on the caller thread after join().
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    worker_errors.append(exc)
+                    return
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=work, name=f"router-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+        if worker_errors:
+            raise worker_errors[0]
+        done = [o for o in outcomes if o is not None]
+        if len(done) != len(requests):
+            raise MetricostError(
+                f"router pool lost {len(requests) - len(done)} request(s)"
+            )
+        return RouterReport(outcomes=done, wall_s=wall_s, workers=workers)
+
+    # -- health ------------------------------------------------------------
+
+    def health_check(self) -> List[dict]:
+        """Fsck every non-quarantined shard and poll every breaker;
+        quarantine what fails.  Returns one record per new quarantine."""
+        records: List[dict] = []
+        for shard in self.shards:
+            if self.quarantine.contains(shard.shard_id):
+                continue
+            if shard.breaker.state == "open":
+                self.quarantine.add(shard.shard_id, "breaker_open")
+                records.append(
+                    {"shard_id": shard.shard_id, "reason": "breaker_open"}
+                )
+                continue
+            fsck = shard.fsck()
+            if not fsck.ok:
+                self.quarantine.add(shard.shard_id, "fsck")
+                records.append(
+                    {
+                        "shard_id": shard.shard_id,
+                        "reason": "fsck",
+                        "fault_kinds": fsck.kinds(),
+                    }
+                )
+        return records
+
+    def recheck(self) -> List[int]:
+        """Lift quarantines whose cause has cleared (breaker no longer
+        open; fsck now clean).  Returns the shard ids brought back."""
+        lifted: List[int] = []
+        for shard_id, reason in self.quarantine.reasons().items():
+            shard = self.shards[shard_id]
+            if reason == "breaker_open":
+                if shard.breaker.state != "open" and (
+                    shard.chaos.mode != "dead"
+                ):
+                    self.quarantine.discard(shard_id)
+                    lifted.append(shard_id)
+            elif reason == "fsck":
+                if shard.fsck().ok:
+                    self.quarantine.discard(shard_id)
+                    lifted.append(shard_id)
+        reg = _obs.registry
+        if reg is not None:
+            reg.set_gauge("cluster.quarantined_shards", len(self.quarantine))
+        return lifted
+
+    def __repr__(self) -> str:
+        return (
+            f"Router(shards={len(self.shards)}, "
+            f"objects={self.total_objects}, "
+            f"quarantined={len(self.quarantine)})"
+        )
+
+
+class _ShardAttemptError(MetricostError):
+    """Internal: a shard attempt ended in a retryable status."""
+
+    def __init__(self, outcome: QueryOutcome):
+        super().__init__(
+            f"shard attempt ended {outcome.status}: {outcome.error}"
+        )
+        self.outcome = outcome
+
+
+def build_cluster(
+    objects: Sequence[Any],
+    metric: Metric,
+    n_shards: int,
+    d_plus: float,
+    seed: int = 0,
+    arity: int = 4,
+    hedge_delay_s: float = 0.05,
+    shard_timeout_s: float = 2.0,
+    min_completeness: float = 0.0,
+    prune: bool = True,
+    hedging: bool = True,
+    max_concurrent: int = 8,
+    max_queue: int = 32,
+) -> Router:
+    """Partition ``objects``, build one :class:`Shard` per slice, and
+    front them with a :class:`Router` — the one-call cluster.
+
+    ``max_concurrent`` sizes each shard's admission controller.  Hedged
+    duplicates need *headroom*: if every slot can be held by a stalled
+    primary, a hedge queues behind the very straggler it was meant to
+    beat — provision roughly twice the expected concurrent router
+    workers when hedging matters.
+    """
+    partition = partition_objects(
+        objects, metric, n_shards, d_plus, seed=seed
+    )
+    shards = [
+        Shard(
+            shard_id=shard_id,
+            objects=[objects[i] for i in partition.shard_indices[shard_id]],
+            oids=[int(i) for i in partition.shard_indices[shard_id]],
+            metric=metric,
+            stats=partition.stats[shard_id],
+            arity=arity,
+            seed=seed,
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+        )
+        for shard_id in range(n_shards)
+    ]
+    return Router(
+        shards,
+        metric,
+        hedge_delay_s=hedge_delay_s,
+        shard_timeout_s=shard_timeout_s,
+        min_completeness=min_completeness,
+        prune=prune,
+        hedging=hedging,
+        seed=seed,
+    )

@@ -10,6 +10,7 @@ from .homogeneity import (
     HomogeneityReport,
     discrepancy,
     estimate_hv,
+    partition_rdd_histograms,
     rdd_histogram,
 )
 from .mtree_model import (
@@ -57,6 +58,7 @@ __all__ = [
     "subsample_distance_matrix",
     "discrepancy",
     "rdd_histogram",
+    "partition_rdd_histograms",
     "estimate_hv",
     "HomogeneityReport",
     "nn_distance_cdf",

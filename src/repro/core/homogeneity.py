@@ -32,6 +32,7 @@ from .histogram import DistanceHistogram
 __all__ = [
     "discrepancy",
     "rdd_histogram",
+    "partition_rdd_histograms",
     "HomogeneityReport",
     "estimate_hv",
 ]
@@ -49,6 +50,34 @@ def rdd_histogram(
         raise EmptyDatasetError("need at least one target object for an RDD")
     distances = metric.one_to_many(viewpoint, list(targets))
     return DistanceHistogram.from_sample(distances, n_bins, d_plus)
+
+
+def partition_rdd_histograms(
+    partition_distances: Sequence[np.ndarray],
+    d_plus: float,
+    n_bins: int = 100,
+) -> list:
+    """Per-partition RDDs from *precomputed* pivot-to-member distances.
+
+    A partitioned dataset (e.g. :mod:`repro.cluster`) already holds, for
+    each partition, the exact distances between its pivot and its
+    members — computed once during assignment.  This turns each such
+    sample into the partition's empirical RDD (the pivot's viewpoint,
+    restricted to the partition) without spending a single extra metric
+    evaluation.  All histograms share ``d_plus`` so they remain mutually
+    comparable via :func:`discrepancy`.
+    """
+    if len(partition_distances) == 0:
+        raise EmptyDatasetError("need at least one partition for RDDs")
+    out = []
+    for i, distances in enumerate(partition_distances):
+        sample = np.asarray(distances, dtype=np.float64)
+        if sample.size == 0:
+            raise EmptyDatasetError(
+                f"partition {i} has no distances to build an RDD from"
+            )
+        out.append(DistanceHistogram.from_sample(sample, n_bins, d_plus))
+    return out
 
 
 def discrepancy(

@@ -27,6 +27,8 @@ from .faults import (
     FaultPolicy,
     FaultStats,
     FaultyPageStore,
+    ShardChaos,
+    ShardFaultInjector,
     StructuralFaultInjector,
     TornPage,
 )
@@ -66,6 +68,8 @@ __all__ = [
     "TornPage",
     "CorruptedPayload",
     "StructuralFaultInjector",
+    "ShardChaos",
+    "ShardFaultInjector",
     "RetryPolicy",
     "RetryAttempt",
     "RetryStats",

@@ -404,6 +404,69 @@ def _self_test(seed: int) -> List[DoctorCheck]:
             f"({len(report.baselined)} baselined)"
         )
 
+    def router_partial_answers() -> str:
+        # A self-test cluster with one shard killed must keep answering:
+        # router success, honest object-weighted completeness, quarantine
+        # accounting, and answers that match ground truth over the
+        # surviving shards — never a silently short answer.
+        from ..cluster import build_cluster
+        from ..service import QueryRequest
+        from .faults import ShardFaultInjector
+
+        points = rng.random((200, 3))
+        metric = L2()
+        router = build_cluster(
+            points, metric, n_shards=4, d_plus=2.0, seed=seed,
+            min_completeness=0.5, shard_timeout_s=0.5, hedge_delay_s=0.01,
+        )
+        victim = router.shards[1]
+        ShardFaultInjector(seed).kill(victim)
+        weight = victim.n_objects / router.total_objects
+        reachable = {
+            oid
+            for shard in router.shards
+            if shard.shard_id != victim.shard_id
+            for oid in shard.oids
+        }
+        for probe in range(6):
+            query = points[probe * 11]
+            outcome = router.execute(
+                QueryRequest(kind="range", query=query, radius=0.6)
+            )
+            if not outcome.ok:
+                raise AssertionError(
+                    f"router gave status {outcome.status} with 1/4 dead"
+                )
+            report = outcome.shard_reports[victim.shard_id]
+            floor = 1.0 - (
+                weight if report.status != "pruned" else 0.0
+            ) - 1e-9
+            if outcome.completeness < floor:
+                raise AssertionError(
+                    f"completeness {outcome.completeness:.3f} below the "
+                    f"object-weighted floor {floor:.3f}"
+                )
+            truth = {
+                oid
+                for oid in reachable
+                if metric.distance(points[oid], query) <= 0.6
+            }
+            got = {oid for oid, _obj, _dist in outcome.items}
+            if not got >= truth:
+                raise AssertionError(
+                    f"silent short answer: missing {sorted(truth - got)}"
+                )
+        reasons = router.quarantine.reasons()
+        if reasons.get(victim.shard_id) != "breaker_open":
+            raise AssertionError(
+                f"dead shard not quarantined: {reasons}"
+            )
+        return (
+            f"1/4 shards dead: 6 probes all ok with completeness >= "
+            f"{1.0 - weight:.2f}, answers complete over surviving shards, "
+            f"shard {victim.shard_id} quarantined (breaker_open)"
+        )
+
     _check("checksum round-trip", checksum_roundtrip, checks)
     _check("bit-flip detection", bit_flip_detection, checks)
     _check("version gate", version_gate, checks)
@@ -415,6 +478,7 @@ def _self_test(seed: int) -> List[DoctorCheck]:
     _check("workload isolation", workload_isolation, checks)
     _check("structural fsck", structural_fsck, checks)
     _check("scrub quarantine", scrub_quarantine, checks)
+    _check("router partial answers", router_partial_answers, checks)
     _check("static analysis", static_analysis, checks)
     return checks
 

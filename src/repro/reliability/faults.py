@@ -16,8 +16,9 @@ asserts, so chaos machinery can stay permanently wired into benches.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from ..exceptions import (
     DeadlineExceededError,
@@ -35,6 +36,8 @@ __all__ = [
     "TornPage",
     "CorruptedPayload",
     "StructuralFaultInjector",
+    "ShardChaos",
+    "ShardFaultInjector",
 ]
 
 
@@ -516,3 +519,121 @@ class StructuralFaultInjector:
             "page_id": page_id,
             "aliased_child": victim,
         }
+
+
+class ShardChaos:
+    """Thread-safe per-shard chaos switch: healthy, dead, or slow.
+
+    A cluster shard consults its chaos switch on every query.  ``dead``
+    makes the shard raise :class:`IOFaultError` (the whole-machine
+    failure: trips the shard's circuit breaker, triggers router
+    quarantine); ``slow`` delays execution by ``delay_s`` (the straggler
+    regime hedged reads exist for).  By default a slow shard only slows
+    *primary* attempts — modelling a transient per-request stall (GC
+    pause, queue spike) where a duplicate request takes a fresh, fast
+    path — so hedges deterministically win; set ``slow_hedged=True`` for
+    a machine-level slowdown that hits hedges too.
+
+    The switch is flipped by a chaos driver thread while query workers
+    read it, so all access goes through the lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._mode: Optional[str] = None
+        self._delay_s = 0.0
+        self._slow_hedged = False
+
+    def kill(self) -> None:
+        """Every subsequent query on this shard fails with an I/O fault."""
+        with self._lock:
+            self._mode = "dead"
+
+    def slow(self, delay_s: float, slow_hedged: bool = False) -> None:
+        """Every subsequent query on this shard stalls for ``delay_s``."""
+        if delay_s < 0:
+            raise InvalidParameterError(
+                f"delay_s must be >= 0, got {delay_s}"
+            )
+        with self._lock:
+            self._mode = "slow"
+            self._delay_s = delay_s
+            self._slow_hedged = slow_hedged
+
+    def heal(self) -> None:
+        """Back to healthy: no injected failures or stalls."""
+        with self._lock:
+            self._mode = None
+            self._delay_s = 0.0
+            self._slow_hedged = False
+
+    def snapshot(self) -> Tuple[Optional[str], float, bool]:
+        """Consistent ``(mode, delay_s, slow_hedged)`` view for one query."""
+        with self._lock:
+            return self._mode, self._delay_s, self._slow_hedged
+
+    @property
+    def mode(self) -> Optional[str]:
+        with self._lock:
+            return self._mode
+
+    def __repr__(self) -> str:
+        mode, delay_s, slow_hedged = self.snapshot()
+        return (
+            f"ShardChaos(mode={mode!r}, delay_s={delay_s}, "
+            f"slow_hedged={slow_hedged})"
+        )
+
+
+class ShardFaultInjector:
+    """Shard-level chaos for a cluster: kill, slow, corrupt, heal.
+
+    Operates on anything shard-shaped — an object with a ``shard_id``,
+    a ``chaos`` :class:`ShardChaos` switch, and (for ``corrupt``) a
+    ``tree`` attribute holding a vp-tree.  ``kill``/``slow`` flip the
+    chaos switch; ``corrupt`` delegates to
+    :class:`StructuralFaultInjector.shrink_cutoff` so the damage is
+    *detectable by construction* (the shard's fsck must flag it).  Every
+    method returns a record describing exactly what was injected, so
+    chaos drills can assert detection and recovery against ground truth.
+    """
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+        self._structural = StructuralFaultInjector(seed=seed)
+
+    @staticmethod
+    def _record(shard: Any, kind: str, **detail: Any) -> dict:
+        record = {"kind": kind, "shard_id": shard.shard_id}
+        record.update(detail)
+        if _obs.registry is not None:
+            _obs.registry.inc(
+                "reliability.shard_faults_injected",
+                kind=kind,
+                shard=str(shard.shard_id),
+            )
+        return record
+
+    def kill(self, shard: Any) -> dict:
+        """Dead shard: every query raises :class:`IOFaultError`."""
+        shard.chaos.kill()
+        return self._record(shard, "shard_dead")
+
+    def slow(
+        self, shard: Any, delay_s: float, slow_hedged: bool = False
+    ) -> dict:
+        """Straggler shard: every (primary) query stalls for ``delay_s``."""
+        shard.chaos.slow(delay_s, slow_hedged=slow_hedged)
+        return self._record(
+            shard, "shard_slow", delay_s=delay_s, slow_hedged=slow_hedged
+        )
+
+    def corrupt(self, shard: Any) -> dict:
+        """Structurally damage the shard's index (fsck-detectable)."""
+        detail = self._structural.shrink_cutoff(shard.tree)
+        return self._record(shard, "shard_corrupt", structural=detail)
+
+    def heal(self, shard: Any) -> dict:
+        """Lift any injected chaos on the shard (structure stays damaged)."""
+        shard.chaos.heal()
+        return self._record(shard, "shard_healed")

@@ -50,13 +50,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One similarity query: a range probe or a k-NN probe."""
+    """One similarity query: a range probe or a k-NN probe.
+
+    ``hedged`` marks a duplicate attempt issued by a scatter-gather
+    router after its hedge delay; backends and fault injectors may treat
+    hedges differently (a transient straggler slows the primary, not the
+    hedge), and it keeps router accounting honest.
+    """
 
     kind: str  # "range" | "knn"
     query: Any
     radius: Optional[float] = None  # for kind == "range"
     k: Optional[int] = None  # for kind == "knn"
     request_id: Optional[int] = None
+    hedged: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("range", "knn"):

@@ -1,0 +1,273 @@
+"""Scatter-gather router: exactness, pruning, quarantine, partial answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Router, Shard, ShardStats, build_cluster
+from repro.context import Deadline
+from repro.datasets import clustered_dataset
+from repro.exceptions import InvalidParameterError
+from repro.reliability import ShardFaultInjector
+from repro.service import QueryRequest
+
+N_OBJECTS = 200
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_dataset(N_OBJECTS, 3, seed=41)
+
+
+@pytest.fixture()
+def router(data):
+    return build_cluster(
+        list(data.points),
+        data.metric,
+        n_shards=N_SHARDS,
+        d_plus=data.d_plus,
+        seed=41,
+        hedge_delay_s=0.05,
+        shard_timeout_s=1.0,
+    )
+
+
+def range_truth(data, query, radius):
+    dists = np.asarray(data.metric.one_to_many(query, list(data.points)))
+    return {int(i) for i in np.flatnonzero(dists <= radius)}
+
+
+def knn_truth(data, query, k):
+    dists = np.asarray(data.metric.one_to_many(query, list(data.points)))
+    order = np.argsort(dists, kind="stable")[:k]
+    return [(int(i), float(dists[i])) for i in order]
+
+
+def queries(data, n, seed=5):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=3) for _ in range(n)]
+
+
+def test_healthy_range_matches_ground_truth(router, data):
+    for i, query in enumerate(queries(data, 15)):
+        radius = 0.1 * (1 + i % 4) * data.d_plus
+        outcome = router.execute(
+            QueryRequest("range", query, radius=radius, request_id=i)
+        )
+        assert outcome.ok
+        assert outcome.completeness == 1.0
+        assert not outcome.degraded
+        assert {oid for oid, _obj, _d in outcome.items} == range_truth(
+            data, query, radius
+        )
+        # Router accounting: one pivot distance per shard, every shard
+        # accounted for exactly once.
+        assert outcome.router_dists == N_SHARDS
+        assert outcome.shards_total == N_SHARDS
+        assert (
+            outcome.shards_ok
+            + outcome.shards_pruned
+            + outcome.shards_failed
+        ) == N_SHARDS
+
+
+def test_healthy_knn_matches_ground_truth(router, data):
+    for i, query in enumerate(queries(data, 15, seed=6)):
+        k = 1 + (i % 10)
+        outcome = router.execute(QueryRequest("knn", query, k=k))
+        assert outcome.ok
+        assert outcome.completeness == 1.0
+        truth = knn_truth(data, query, k)
+        assert len(outcome.items) == k
+        got = [(oid, d) for oid, _obj, d in outcome.items]
+        # Distance-equal ties may resolve to different oids; the distance
+        # profile must match exactly and every reported distance must be
+        # the object's true distance.
+        assert np.allclose(
+            sorted(d for _, d in got), sorted(d for _, d in truth)
+        )
+        true_dists = np.asarray(
+            data.metric.one_to_many(query, list(data.points))
+        )
+        for oid, dist in got:
+            assert dist == pytest.approx(float(true_dists[oid]))
+        assert len({oid for oid, _ in got}) == k
+
+
+def test_pruning_fires_and_never_drops_matches(router, data):
+    pruned_total = 0
+    for query in queries(data, 20, seed=7):
+        radius = 0.08 * data.d_plus
+        outcome = router.execute(QueryRequest("range", query, radius=radius))
+        assert outcome.ok
+        pruned_total += outcome.shards_pruned
+        assert {oid for oid, _obj, _d in outcome.items} == range_truth(
+            data, query, radius
+        )
+        for report in outcome.shard_reports:
+            if report.status == "pruned":
+                # The decision carries its proof: an exact annulus count.
+                assert report.exact_candidates == 0
+                assert report.expected_matches is not None
+                assert report.completeness == 1.0
+    assert pruned_total > 0, "small-radius workload never pruned a shard"
+
+
+def test_prune_toggle_answers_identically(data):
+    objects = list(data.points)
+    kwargs = dict(
+        n_shards=N_SHARDS, d_plus=data.d_plus, seed=41, hedging=False
+    )
+    pruning = build_cluster(objects, data.metric, prune=True, **kwargs)
+    exhaustive = build_cluster(objects, data.metric, prune=False, **kwargs)
+    for query in queries(data, 8, seed=8):
+        request = QueryRequest("range", query, radius=0.1 * data.d_plus)
+        a = pruning.execute(request)
+        b = exhaustive.execute(request)
+        assert a.ok and b.ok
+        assert {o for o, _, _ in a.items} == {o for o, _, _ in b.items}
+        assert b.shards_pruned == 0
+
+
+def test_dead_shard_yields_honest_partial_answers(router, data):
+    victim = router.shards[1]
+    injector = ShardFaultInjector(seed=1)
+    injector.kill(victim)
+    reachable = {
+        oid for shard in router.shards if shard is not victim
+        for oid in shard.oids
+    }
+    weight = victim.n_objects / router.total_objects
+    for i, query in enumerate(queries(data, 10, seed=9)):
+        radius = 0.3 * data.d_plus
+        outcome = router.execute(QueryRequest("range", query, radius=radius))
+        # Never an exception, never a silent short answer: status stays
+        # ok and the completeness accounting names the missing weight.
+        assert outcome.ok
+        victim_report = outcome.shard_reports[victim.shard_id]
+        if victim_report.status == "pruned":
+            assert outcome.completeness == 1.0
+        else:
+            assert victim_report.status in ("failed", "quarantined")
+            assert outcome.completeness == pytest.approx(1.0 - weight)
+            assert outcome.degraded
+        got = {oid for oid, _obj, _d in outcome.items}
+        assert got == range_truth(data, query, radius) & reachable
+    # The breaker opened and the router quarantined the shard for it.
+    assert router.quarantine.reason(victim.shard_id) == "breaker_open"
+    # Heal: chaos lifted, breaker reset, recheck readmits the shard.
+    injector.heal(victim)
+    victim.breaker.reset()
+    assert victim.shard_id in router.recheck()
+    outcome = router.execute(
+        QueryRequest("knn", queries(data, 1, seed=10)[0], k=5)
+    )
+    assert outcome.ok and outcome.completeness == 1.0
+
+
+def test_object_weighted_completeness_pinned_at_three_quarters(data):
+    """Regression: 1 of 4 equal shards quarantined => exactly 0.75.
+
+    The min rule would report 0.0 here and make every partial answer
+    look worthless; the object-weighted rule reports the reachable
+    fraction of the dataset.
+    """
+    points = list(data.points)[:100]
+    shards = []
+    for i in range(4):
+        members = points[25 * i : 25 * (i + 1)]
+        stats = ShardStats.from_objects(
+            i, members, members[0], data.metric, data.d_plus
+        )
+        shards.append(
+            Shard(
+                shard_id=i,
+                objects=members,
+                oids=list(range(25 * i, 25 * (i + 1))),
+                metric=data.metric,
+                stats=stats,
+                seed=i,
+            )
+        )
+    router = Router(shards, data.metric, hedging=False)
+    router.quarantine.add(1, "manual")
+    for query in queries(data, 5, seed=11):
+        outcome = router.execute(
+            QueryRequest("range", query, radius=0.4 * data.d_plus)
+        )
+        assert outcome.ok
+        assert outcome.degraded
+        assert outcome.completeness == 0.75  # pinned, exact
+        report = outcome.shard_reports[1]
+        assert report.status == "quarantined"
+        assert report.quarantine_reason == "manual"
+
+
+def test_min_completeness_rung_falls_back_to_scan(data):
+    objects = list(data.points)
+    router = build_cluster(
+        objects,
+        data.metric,
+        n_shards=N_SHARDS,
+        d_plus=data.d_plus,
+        seed=41,
+        min_completeness=1.0,
+        hedging=False,
+    )
+    # Quarantine a healthy shard: scatter skips it, completeness drops
+    # below the rung, and the fallback linear scan restores the answer.
+    router.quarantine.add(2, "manual")
+    query = queries(data, 1, seed=12)[0]
+    radius = 0.3 * data.d_plus
+    outcome = router.execute(QueryRequest("range", query, radius=radius))
+    assert outcome.ok
+    assert outcome.fallback_used
+    assert outcome.degraded
+    assert outcome.completeness == 1.0
+    assert {oid for oid, _obj, _d in outcome.items} == range_truth(
+        data, query, radius
+    )
+    scanned = [r for r in outcome.shard_reports if r.scanned]
+    assert any(r.shard_id == 2 for r in scanned)
+
+
+def test_blown_budget_returns_typed_outcome(router, data):
+    query = queries(data, 1, seed=13)[0]
+    outcome = router.execute(
+        QueryRequest("range", query, radius=0.2 * data.d_plus),
+        deadline=Deadline.after(0.0),
+    )
+    assert outcome.status == "deadline"
+    assert not outcome.ok
+    assert outcome.error
+
+
+def test_router_run_batch_report(router, data):
+    requests = [
+        QueryRequest("range", q, radius=0.15 * data.d_plus, request_id=i)
+        if i % 2 == 0
+        else QueryRequest("knn", q, k=3, request_id=i)
+        for i, q in enumerate(queries(data, 12, seed=14))
+    ]
+    report = router.run(requests, workers=4)
+    assert report.total == 12
+    assert report.success_rate == 1.0
+    assert report.min_completeness == 1.0
+    rendered = report.render()
+    assert "12 routed requests" in rendered
+    assert "pruned" in rendered
+
+
+def test_router_parameter_validation(router, data):
+    with pytest.raises(InvalidParameterError):
+        Router([], data.metric)
+    with pytest.raises(InvalidParameterError):
+        Router(router.shards, data.metric, hedge_delay_s=-1.0)
+    with pytest.raises(InvalidParameterError):
+        Router(router.shards, data.metric, shard_timeout_s=0.0)
+    with pytest.raises(InvalidParameterError):
+        Router(router.shards, data.metric, min_completeness=1.5)
+    with pytest.raises(InvalidParameterError):
+        router.quarantine.add(0, "bogus-reason")

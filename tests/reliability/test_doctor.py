@@ -24,6 +24,7 @@ EXPECTED_CHECKS = {
     "workload isolation",
     "structural fsck",
     "scrub quarantine",
+    "router partial answers",
     "static analysis",
 }
 

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.service",
     "repro.observability",
     "repro.analysis",
+    "repro.cluster",
 ]
 
 

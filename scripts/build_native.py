@@ -1,0 +1,54 @@
+"""Build the optional native distance kernels in place and report status.
+
+Usage::
+
+    python scripts/build_native.py
+
+Equivalent to ``python setup.py build_ext --inplace`` followed by an
+import probe.  Exits 0 whether or not the build succeeded (the extension
+is optional by design); exits 1 only when invoked with ``--require`` and
+the native backend still isn't importable afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv: list[str]) -> int:
+    require = "--require" in argv
+    if os.environ.get("REPRO_NO_NATIVE", "") not in ("", "0"):
+        print("REPRO_NO_NATIVE is set; not building the native kernels.")
+        return 1 if require else 0
+    build = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+    )
+    if build.returncode != 0:
+        print("build_ext failed; the numpy fallback will be used.")
+        return 1 if require else 0
+    probe = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.metrics import kernels; "
+            "import sys; "
+            "ok = kernels.native_available(); "
+            "print('native kernels available:', ok); "
+            "sys.exit(0 if ok else 1)",
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+    )
+    if probe.returncode != 0:
+        print("extension built but did not import; numpy fallback in use.")
+        return 1 if require else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

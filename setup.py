@@ -1,10 +1,60 @@
-"""Legacy setup shim.
+"""Legacy setup shim plus the optional native kernel extension.
 
 The metadata lives in pyproject.toml; this file exists so that offline
 environments without the ``wheel`` package can still do a legacy editable
-install (``pip install -e . --no-build-isolation --no-use-pep517``).
+install (``pip install -e . --no-build-isolation --no-use-pep517``) and so
+the optional ``repro.metrics._ckernels`` C extension can be built:
+
+    python setup.py build_ext --inplace
+
+The extension is strictly optional — it has no dependencies beyond a C
+compiler (it uses only the CPython buffer protocol, not the numpy C API),
+and every build failure degrades to the pure-numpy fallback rather than
+failing the install.  Set ``REPRO_NO_NATIVE=1`` to skip the build (and, at
+runtime, to ignore an already-built extension).
 """
 
-from setuptools import setup
+import os
+import sys
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """A ``build_ext`` that degrades to the numpy fallback on any failure."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - compiler-dependent
+            print(
+                "warning: native kernel build unavailable "
+                f"({exc}); the numpy fallback will be used",
+                file=sys.stderr,
+            )
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - compiler-dependent
+            print(
+                f"warning: building {ext.name} failed "
+                f"({exc}); the numpy fallback will be used",
+                file=sys.stderr,
+            )
+
+
+ext_modules = []
+if os.environ.get("REPRO_NO_NATIVE", "") in ("", "0"):
+    extra_compile_args = [] if sys.platform == "win32" else ["-O3"]
+    ext_modules.append(
+        Extension(
+            "repro.metrics._ckernels",
+            sources=["src/repro/metrics/_ckernels.c"],
+            extra_compile_args=extra_compile_args,
+            optional=True,
+        )
+    )
+
+setup(ext_modules=ext_modules, cmdclass={"build_ext": OptionalBuildExt})

@@ -1,5 +1,6 @@
 """Metric-space substrate: distance functions and BRM spaces."""
 
+from . import kernels
 from .base import CountingMetric, FunctionMetric, Metric
 from .discrete import DiscreteMetric, HammingDistance, JaccardDistance
 from .minkowski import L1, L2, LInf, MinkowskiMetric, chebyshev, euclidean, manhattan
@@ -8,6 +9,7 @@ from .strings import EditDistance, WeightedEditDistance, edit_distance
 from .vectors_extra import AngularDistance, CanberraDistance, MahalanobisDistance
 
 __all__ = [
+    "kernels",
     "Metric",
     "CountingMetric",
     "FunctionMetric",

@@ -75,6 +75,23 @@ class Metric(ABC):
             out[i] = self.distance(x, y)
         return out
 
+    def one_to_many_bounded(
+        self, x: Any, ys: Sequence[Any], bound: float
+    ) -> np.ndarray:
+        """Distances from ``x`` to each of ``ys`` where ``<= bound``,
+        ``inf`` elsewhere.
+
+        Every returned finite value is the *exact* distance, so callers may
+        use the result wherever they would have used :meth:`one_to_many`
+        followed by a radius filter.  The default computes exact distances
+        and masks; metrics with an early-exit bounded kernel (see
+        :class:`~repro.metrics.strings.EditDistance`) override it.  Each
+        element still counts as one distance computation for accounting
+        purposes regardless of early exit.
+        """
+        exact = self.one_to_many(x, ys)
+        return np.where(exact <= bound, exact, np.inf)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -122,6 +139,12 @@ class CountingMetric(Metric):
     def rowwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
         self.calls += len(xs)
         return self.inner.rowwise(xs, ys)
+
+    def one_to_many_bounded(
+        self, x: Any, ys: Sequence[Any], bound: float
+    ) -> np.ndarray:
+        self.calls += len(ys)
+        return self.inner.one_to_many_bounded(x, ys, bound)
 
     def reset(self) -> None:
         """Zero the call counter."""

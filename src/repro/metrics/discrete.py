@@ -13,6 +13,7 @@ from typing import AbstractSet, Sequence
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from . import kernels
 from .base import Metric
 
 __all__ = ["HammingDistance", "JaccardDistance", "DiscreteMetric"]
@@ -40,16 +41,13 @@ class HammingDistance(Metric):
         return float(diff)
 
     def pairwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
-        x = np.asarray(xs)
-        y = np.asarray(ys)
-        if x.ndim == 1:
-            x = x.reshape(1, -1)
-        if y.ndim == 1:
-            y = y.reshape(1, -1)
-        diff = (x[:, None, :] != y[None, :, :]).sum(axis=2).astype(np.float64)
-        if self.normalized and x.shape[1]:
-            diff /= x.shape[1]
-        return diff
+        return kernels.hamming_pairwise(xs, ys, self.normalized)
+
+    def one_to_many(self, x: Sequence, ys: Sequence) -> np.ndarray:
+        return kernels.hamming_one_to_many(x, ys, self.normalized)
+
+    def rowwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        return kernels.hamming_rowwise(xs, ys, self.normalized)
 
     def domain_bound(self, dim: int) -> float:
         """``d_plus`` for sequences of length ``dim``."""
@@ -71,6 +69,15 @@ class JaccardDistance(Metric):
         if union == 0:
             return 0.0
         return 1.0 - len(sa & sb) / union
+
+    def pairwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        return kernels.jaccard_pairwise(xs, ys)
+
+    def one_to_many(self, x: AbstractSet, ys: Sequence) -> np.ndarray:
+        return kernels.jaccard_one_to_many(x, ys)
+
+    def rowwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
+        return kernels.jaccard_rowwise(xs, ys)
 
     @staticmethod
     def domain_bound() -> float:

@@ -1,0 +1,81 @@
+"""Independent scalar reference implementations.
+
+These are deliberately *not* imported from ``repro.metrics.strings`` /
+``repro.metrics.minkowski``: the conformance harness uses them as a
+third, independently-coded oracle so a shared bug in the production
+scalar path and a batch kernel cannot cancel out.  Everything here is
+straight-line Python over ``math`` — slow, obvious, and easy to audit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+__all__ = [
+    "minkowski",
+    "hamming",
+    "jaccard",
+    "levenshtein",
+]
+
+
+def minkowski(x: Sequence[float], y: Sequence[float], p: float) -> float:
+    """L_p distance between two equal-length vectors."""
+    if math.isinf(p):
+        worst = 0.0
+        for a, b in zip(x, y):
+            gap = abs(float(a) - float(b))
+            if gap > worst:
+                worst = gap
+        return worst
+    total = 0.0
+    for a, b in zip(x, y):
+        total += abs(float(a) - float(b)) ** p
+    return total ** (1.0 / p)
+
+
+def hamming(x: Sequence[Any], y: Sequence[Any], normalized: bool) -> float:
+    """Count (or fraction) of mismatched positions."""
+    mismatches = 0
+    for a, b in zip(x, y):
+        if a != b:
+            mismatches += 1
+    if normalized and len(x):
+        return mismatches / len(x)
+    return float(mismatches)
+
+
+def jaccard(a: Sequence[Any], b: Sequence[Any]) -> float:
+    """1 - |A ∩ B| / |A ∪ B|, with two empty sets at distance 0."""
+    sa = set(a)
+    sb = set(b)
+    union = 0
+    inter = 0
+    for element in sa:
+        union += 1
+        if element in sb:
+            inter += 1
+    for element in sb:
+        if element not in sa:
+            union += 1
+    if union == 0:
+        return 0.0
+    return 1.0 - inter / union
+
+
+def levenshtein(a: str, b: str) -> float:
+    """Full-matrix Wagner-Fischer edit distance (unit costs)."""
+    la, lb = len(a), len(b)
+    previous: List[int] = list(range(lb + 1))
+    for i in range(1, la + 1):
+        current = [i] + [0] * lb
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+        previous = current
+    return float(previous[lb])

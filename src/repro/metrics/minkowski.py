@@ -3,7 +3,9 @@
 The paper's synthetic experiments use ``L_inf`` on the unit hypercube
 (Table 1); the BRM-space examples also mention ``L_1`` ("diamonds"),
 ``L_2`` (circles) and ``L_inf`` (squares) balls.  All of them are instances
-of :class:`MinkowskiMetric`, which is fully vectorised via numpy.
+of :class:`MinkowskiMetric`, whose batch methods go through
+``repro.metrics.kernels`` — the GIL-releasing C extension when built,
+vectorised numpy otherwise.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from . import kernels
 from .base import Metric
 
 __all__ = [
@@ -25,13 +28,6 @@ __all__ = [
     "manhattan",
     "chebyshev",
 ]
-
-
-def _as_matrix(xs: Sequence) -> np.ndarray:
-    arr = np.asarray(xs, dtype=np.float64)
-    if arr.ndim == 1:
-        arr = arr.reshape(1, -1)
-    return arr
 
 
 class MinkowskiMetric(Metric):
@@ -59,43 +55,13 @@ class MinkowskiMetric(Metric):
         return float((diff**self.p).sum() ** (1.0 / self.p))
 
     def pairwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
-        x = _as_matrix(xs)
-        y = _as_matrix(ys)
-        diff = np.abs(x[:, None, :] - y[None, :, :])
-        if math.isinf(self.p):
-            return diff.max(axis=2)
-        if self.p == 1.0:
-            return diff.sum(axis=2)
-        if self.p == 2.0:
-            return np.sqrt((diff * diff).sum(axis=2))
-        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
+        return kernels.minkowski_pairwise(xs, ys, self.p)
 
     def one_to_many(self, x, ys: Sequence) -> np.ndarray:
-        y = _as_matrix(ys)
-        diff = np.abs(y - np.asarray(x, dtype=np.float64)[None, :])
-        if math.isinf(self.p):
-            return diff.max(axis=1)
-        if self.p == 1.0:
-            return diff.sum(axis=1)
-        if self.p == 2.0:
-            return np.sqrt((diff * diff).sum(axis=1))
-        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+        return kernels.minkowski_one_to_many(x, ys, self.p)
 
     def rowwise(self, xs: Sequence, ys: Sequence) -> np.ndarray:
-        x = _as_matrix(xs)
-        y = _as_matrix(ys)
-        if x.shape != y.shape:
-            raise InvalidParameterError(
-                f"rowwise needs matching shapes, got {x.shape} and {y.shape}"
-            )
-        diff = np.abs(x - y)
-        if math.isinf(self.p):
-            return diff.max(axis=1)
-        if self.p == 1.0:
-            return diff.sum(axis=1)
-        if self.p == 2.0:
-            return np.sqrt((diff * diff).sum(axis=1))
-        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+        return kernels.minkowski_rowwise(xs, ys, self.p)
 
     def unit_cube_diameter(self, dim: int) -> float:
         """Return ``d_plus`` for the unit hypercube ``[0, 1]^dim``."""

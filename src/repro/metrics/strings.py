@@ -18,6 +18,7 @@ from typing import Mapping, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from . import kernels
 from .base import Metric
 
 __all__ = ["EditDistance", "WeightedEditDistance", "edit_distance"]
@@ -90,11 +91,22 @@ class EditDistance(Metric):
         return float(previous[-1]) if previous[-1] <= bound else float("inf")
 
     def pairwise(self, xs: Sequence[str], ys: Sequence[str]) -> np.ndarray:
-        out = np.empty((len(xs), len(ys)), dtype=np.float64)
-        for i, x in enumerate(xs):
-            for j, y in enumerate(ys):
-                out[i, j] = edit_distance(x, y)
-        return out
+        return kernels.levenshtein_pairwise(xs, ys)
+
+    def one_to_many(self, x: str, ys: Sequence[str]) -> np.ndarray:
+        return kernels.levenshtein_one_to_many(x, ys)
+
+    def rowwise(self, xs: Sequence[str], ys: Sequence[str]) -> np.ndarray:
+        return kernels.levenshtein_rowwise(xs, ys)
+
+    def one_to_many_bounded(
+        self, x: str, ys: Sequence[str], bound: float
+    ) -> np.ndarray:
+        """Batched :meth:`bounded_distance`: exact where ``<= bound``,
+        ``inf`` elsewhere, via the banded early-exit kernel when native."""
+        if bound < 0:
+            raise InvalidParameterError(f"bound must be >= 0, got {bound}")
+        return kernels.levenshtein_one_to_many_bounded(x, ys, bound)
 
     @staticmethod
     def domain_bound(max_length: int) -> float:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
@@ -482,10 +483,16 @@ class MTree:
             if not entries:
                 continue
             # One batched distance evaluation per node: counts identically,
-            # but keeps vectorised metrics in numpy.
+            # but goes through the batched kernel dispatch.  Leaves only
+            # need distances up to the radius, so they use the bounded
+            # kernel (early-exit for edit distance); internal nodes need
+            # exact values to seed the children's parent-pruning bounds.
             objs = [entry.obj for entry in entries]
+            bound = radius if node.is_leaf else None
             if trace_nodes:
-                dists = self._traced_distances(query, objs, level)
+                dists = self._traced_distances(query, objs, level, bound)
+            elif bound is not None:
+                dists = self.metric.one_to_many_bounded(query, objs, bound)
             else:
                 dists = self.metric.one_to_many(query, objs)
             stats.dists_computed += len(entries)
@@ -517,14 +524,26 @@ class MTree:
             completeness=completeness,
         )
 
-    def _traced_distances(self, query: Any, objs: List[Any], level: int):
+    def _traced_distances(
+        self,
+        query: Any,
+        objs: List[Any],
+        level: int,
+        bound: Optional[float] = None,
+    ):
         """Batched distance evaluation under node-visit/distance spans."""
         tracer = _obs.tracer
+
+        def evaluate():
+            if bound is not None:
+                return self.metric.one_to_many_bounded(query, objs, bound)
+            return self.metric.one_to_many(query, objs)
+
         with tracer.span("mtree.node_visit", level=level, entries=len(objs)):
             if tracer.trace_distances:
                 with tracer.span("mtree.distance_eval", n=len(objs)):
-                    return self.metric.one_to_many(query, objs)
-            return self.metric.one_to_many(query, objs)
+                    return evaluate()
+            return evaluate()
 
     def knn_query(
         self,
@@ -649,8 +668,17 @@ class MTree:
             if not entries:
                 continue
             objs = [entry.obj for entry in entries]
+            # Leaves only need distances up to the current k-th best (the
+            # dynamic radius can only shrink, so a proven-greater distance
+            # can never re-qualify); internal nodes need exact values for
+            # the d_min frontier ordering.
+            bound = kth_distance() if node.is_leaf else None
+            if bound is not None and math.isinf(bound):
+                bound = None
             if trace_nodes:
-                dists = self._traced_distances(query, objs, level)
+                dists = self._traced_distances(query, objs, level, bound)
+            elif bound is not None:
+                dists = self.metric.one_to_many_bounded(query, objs, bound)
             else:
                 dists = self.metric.one_to_many(query, objs)
             stats.dists_computed += len(entries)
@@ -731,9 +759,11 @@ class MTree:
             entries = node.entries
             if not entries:
                 continue
-            dists = self.metric.one_to_many(
-                query, [entry.obj for entry in entries]
-            )
+            objs = [entry.obj for entry in entries]
+            if node.is_leaf:
+                dists = self.metric.one_to_many_bounded(query, objs, radius)
+            else:
+                dists = self.metric.one_to_many(query, objs)
             stats.dists_computed += len(entries)
             if reg is not None:
                 reg.inc(

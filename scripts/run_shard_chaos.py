@@ -18,16 +18,33 @@ ground truth:
 * every pruning decision carries its exact annulus-count proof and is
   re-verifiable from the shard's pivot-distance profile.
 
+Two lifecycle stages ride along (``--stage`` selects one):
+
+* **lifecycle** — corrupt a shard's vp-tree mid-workload and let
+  ``ClusterLifecycle.tick`` walk the whole ladder automatically:
+  scrub finds the fault, promotes it into the router quarantine,
+  repairs the tree, bumps the membership epoch and commits through the
+  generation store — ``success_rate == 1.0`` and zero silent short
+  answers across the entire drill, no manual ``health_check`` call.
+* **rebalance** — run the full query workload *concurrently* with a
+  two-phase shard rebalance (one shard slowed under it), asserting
+  every answer is complete, matches ground truth, and names exactly
+  one membership epoch (old or new, never a mix); then kill the
+  rebalance at every journal step and assert the reopened cluster
+  always answers from a single epoch and ``resume()`` always finishes.
+
 Exits 0 only when all assertions hold.  CI runs this on a schedule
 (see ``.github/workflows/chaos.yml``); locally it is::
 
-    python scripts/run_shard_chaos.py [--quick]
+    python scripts/run_shard_chaos.py [--quick] [--stage STAGE]
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -38,10 +55,18 @@ SRC = REPO / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.cluster import build_cluster  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    ClusterLifecycle,
+    Rebalancer,
+    build_cluster,
+    load_cluster,
+    plan_rebalance,
+    save_cluster,
+)
 from repro.datasets import clustered_dataset  # noqa: E402
 from repro.reliability import ShardFaultInjector  # noqa: E402
 from repro.service import QueryRequest  # noqa: E402
+from repro.service.recovery import SimulatedCrashError  # noqa: E402
 
 N_SHARDS = 4
 KILL_AT = 200  # query index at which the victim shard dies
@@ -143,27 +168,12 @@ def audit_outcome(outcome, router, points, metric, floor, check) -> dict:
     return {"pruned": pruned}
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--size", type=int, default=2000)
-    parser.add_argument("--queries", type=int, default=1000)
-    parser.add_argument("--workers", type=int, default=8)
-    parser.add_argument(
-        "--quick", action="store_true", help="scaled-down smoke (CI lint)"
-    )
-    args = parser.parse_args()
+def stage_scatter(args, check) -> None:
+    """Stage 1: kill + slow under a mixed workload (the original drill)."""
     size, n_queries = args.size, args.queries
     kill_at = KILL_AT
     if args.quick:
         size, n_queries, kill_at = 500, 120, 30
-
-    failures = []
-
-    def check(ok: bool, what: str, quiet: bool = False) -> None:
-        if not ok or not quiet:
-            print(("ok   " if ok else "FAIL ") + what)
-        if not ok:
-            failures.append(what)
 
     data = clustered_dataset(size, 3, seed=23)
     points = list(data.points)
@@ -243,9 +253,264 @@ def main() -> int:
     )
 
     print(
-        f"\nshard chaos drill: {n_queries} queries in {wall_s:.1f} s, "
-        f"{pruned_total} certified prunes, {hedge_wins} hedge wins, "
-        f"{len(failures)} failure(s)"
+        f"\nscatter stage: {n_queries} queries in {wall_s:.1f} s, "
+        f"{pruned_total} certified prunes, {hedge_wins} hedge wins"
+    )
+
+
+def stage_lifecycle(args, check) -> None:
+    """Stage 2: the self-healing ladder fires with no manual calls.
+
+    Corrupt one shard's vp-tree between two workload halves; one
+    ``ClusterLifecycle.tick`` must scrub, promote, repair, bump the
+    epoch and commit — and the second half must answer as exactly as
+    the first.
+    """
+    size = 400 if args.quick else 900
+    n_queries = 80 if args.quick else 300
+    data = clustered_dataset(size, 3, seed=31)
+    points = list(data.points)
+    with tempfile.TemporaryDirectory() as tmp:
+        router = build_cluster(
+            points,
+            data.metric,
+            n_shards=3,
+            d_plus=data.d_plus,
+            seed=31,
+            min_completeness=1.0,
+            max_concurrent=2 * args.workers,
+            max_queue=4 * args.workers,
+        )
+        save_cluster(router, tmp, data.d_plus)
+        rebalancer = Rebalancer(tmp, data.metric)
+        lifecycle = ClusterLifecycle(router, data.d_plus, rebalancer)
+        old_epoch = router.membership.epoch
+        requests = build_workload(data, n_queries, seed=31)
+        half = n_queries // 2
+
+        start = time.perf_counter()
+        before = router.run(requests[:half], workers=args.workers)
+        # Mid-workload structural damage: shrink a routing cutoff so
+        # the ancestor's pruning test lies about its subtree.
+        router.membership.shards[1].tree.root.cutoffs[0] *= 0.25
+        report = lifecycle.tick()
+        after = router.run(requests[half:], workers=args.workers)
+        wall_s = time.perf_counter() - start
+
+        check(
+            report.promotions == 1,
+            "scrub found the fault and promoted it to router quarantine",
+        )
+        check(report.repairs_ok == 1, "repair rung rebuilt the shard")
+        check(
+            [e.to_state for e in report.events]
+            == ["quarantined", "repairing", "healthy"],
+            "ladder walked quarantined -> repairing -> healthy",
+        )
+        check(
+            router.membership.epoch == old_epoch + 1,
+            f"repair bumped the membership epoch to {old_epoch + 1}",
+        )
+        check(
+            before.success_rate == 1.0 and after.success_rate == 1.0,
+            f"success_rate == 1.0 across all {n_queries} queries",
+        )
+        for outcome in before.outcomes + after.outcomes:
+            audit_outcome(outcome, router, points, data.metric, 1.0, check)
+        reopened = load_cluster(tmp, data.metric)
+        check(
+            reopened.membership.epoch == old_epoch + 1,
+            "repair was committed: cold restart sees the new epoch",
+        )
+        print(
+            f"\nlifecycle stage: {n_queries} queries in {wall_s:.1f} s, "
+            f"ladder healed shard 1 at epoch {router.membership.epoch}"
+        )
+
+
+def stage_rebalance(args, check) -> None:
+    """Stage 3: rebalance under chaos + kill at every journal step."""
+    size = 300 if args.quick else 600
+    n_queries = 60 if args.quick else 200
+    n_shards = 3
+    data = clustered_dataset(size, 3, seed=37)
+    points = list(data.points)
+
+    # 3a. Queries hammer the router (one shard slowed) while the
+    # two-phase rebalance commits underneath them.
+    with tempfile.TemporaryDirectory() as tmp:
+        router = build_cluster(
+            points,
+            data.metric,
+            n_shards=n_shards,
+            d_plus=data.d_plus,
+            seed=37,
+            hedge_delay_s=HEDGE_DELAY_S,
+            max_concurrent=2 * args.workers,
+            max_queue=4 * args.workers,
+        )
+        save_cluster(router, tmp, data.d_plus)
+        rebalancer = Rebalancer(tmp, data.metric)
+        old_epoch = router.membership.epoch
+        plan = plan_rebalance(router, data.d_plus, seed=5, reason="chaos")
+        injector = ShardFaultInjector(seed=37)
+        injector.slow(router.shards[0], SLOW_S / 2)
+
+        requests = build_workload(data, n_queries, seed=37)
+        result_box = {}
+
+        def run_workload():
+            result_box["run"] = router.run(requests, workers=args.workers)
+
+        start = time.perf_counter()
+        worker = threading.Thread(target=run_workload)
+        worker.start()
+        rebalancer.execute(router, plan)
+        worker.join()
+        wall_s = time.perf_counter() - start
+        run = result_box["run"]
+
+        check(
+            run.success_rate == 1.0,
+            f"success_rate == 1.0 for {n_queries} queries under rebalance",
+        )
+        check(
+            run.min_completeness == 1.0,
+            "every answer under the rebalance is complete",
+        )
+        check(
+            router.membership.epoch == old_epoch + 1,
+            "rebalance committed and installed the new epoch",
+        )
+        epochs = {o.epoch for o in run.outcomes}
+        check(
+            epochs <= {old_epoch, old_epoch + 1},
+            f"every answer names one epoch from {{old, new}} (saw {epochs})",
+        )
+        for outcome in run.outcomes:
+            audit_outcome(outcome, router, points, data.metric, 1.0, check)
+        print(
+            f"\nrebalance stage: {n_queries} queries in {wall_s:.1f} s "
+            f"concurrent with a commit to epoch {router.membership.epoch}"
+        )
+
+    # 3b. Kill the protocol at every journal step; the reopened cluster
+    # must answer from exactly one epoch, and resume must finish.
+    probe_rebalancer = Rebalancer(tempfile.mkdtemp(), data.metric)
+    total = probe_rebalancer.total_steps(n_shards)
+    steps = range(0, total + 1, 3) if args.quick else range(total + 1)
+    rng = np.random.default_rng(41)
+    probes = [rng.normal(size=3) for _ in range(3)]
+    radius = 0.25 * data.d_plus
+    truths = [
+        {int(j) for j in np.flatnonzero(
+            np.asarray(data.metric.one_to_many(q, points)) <= radius
+        )}
+        for q in probes
+    ]
+    for k in steps:
+        with tempfile.TemporaryDirectory() as tmp:
+            router = build_cluster(
+                points, data.metric, n_shards=n_shards,
+                d_plus=data.d_plus, seed=37,
+            )
+            old_epoch = router.membership.epoch
+            save_cluster(router, tmp, data.d_plus)
+            rebalancer = Rebalancer(tmp, data.metric)
+            plan = plan_rebalance(router, data.d_plus, seed=5)
+            crashed = False
+            try:
+                rebalancer.execute(router, plan, crash_after_step=k)
+            except SimulatedCrashError:
+                crashed = True
+            check(
+                crashed == (k < total),
+                f"kill step {k}: crash fired iff mid-protocol",
+                quiet=True,
+            )
+            rebalancer = Rebalancer(tmp, data.metric)
+            rebalancer.recover()
+            survivor = load_cluster(tmp, data.metric)
+            check(
+                survivor.membership.epoch in (old_epoch, plan.epoch_to),
+                f"kill step {k}: survivor answers from one epoch",
+                quiet=True,
+            )
+            oids = sorted(
+                oid for s in survivor.membership.shards for oid in s.oids
+            )
+            check(
+                oids == list(range(size)),
+                f"kill step {k}: survivor owns every object exactly once",
+                quiet=True,
+            )
+            for query, truth in zip(probes, truths):
+                outcome = survivor.execute(
+                    QueryRequest("range", query, radius=radius)
+                )
+                check(
+                    outcome.ok
+                    and outcome.completeness == 1.0
+                    and {o for o, _b, _d in outcome.items} == truth,
+                    f"kill step {k}: survivor answer matches ground truth",
+                    quiet=True,
+                )
+            resumed = rebalancer.resume(router=None)
+            if resumed is None and rebalancer.committed_epoch() == old_epoch:
+                fresh = load_cluster(tmp, data.metric)
+                rebalancer.execute(
+                    fresh, plan_rebalance(fresh, data.d_plus, seed=5)
+                )
+            check(
+                rebalancer.committed_epoch() == plan.epoch_to
+                and rebalancer.gc_report()["clean"],
+                f"kill step {k}: resume finished at the new epoch, no debris",
+                quiet=True,
+            )
+    print(
+        f"kill-at-every-step: {len(list(steps))} crash points over "
+        f"{total} protocol steps, single-epoch at every one"
+    )
+
+
+STAGES = {
+    "scatter": stage_scatter,
+    "lifecycle": stage_lifecycle,
+    "rebalance": stage_rebalance,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=2000)
+    parser.add_argument("--queries", type=int, default=1000)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down smoke (CI lint)"
+    )
+    parser.add_argument(
+        "--stage",
+        choices=sorted(STAGES) + ["all"],
+        default="all",
+        help="run one drill stage (default: all)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+
+    def check(ok: bool, what: str, quiet: bool = False) -> None:
+        if not ok or not quiet:
+            print(("ok   " if ok else "FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    names = sorted(STAGES) if args.stage == "all" else [args.stage]
+    for name in names:
+        print(f"=== stage: {name} ===")
+        STAGES[name](args, check)
+        print()
+    print(
+        f"shard chaos drill ({', '.join(names)}): {len(failures)} failure(s)"
         + ("" if failures else " — every answer honest")
     )
     return 1 if failures else 0

@@ -308,6 +308,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable report instead of the table",
     )
+    gc = subparsers.add_parser(
+        "gc",
+        help="inspect and reclaim crash debris in a cluster store "
+        "directory: stale rebalance journals, orphaned staging files, "
+        "uncollected generation files",
+    )
+    gc.add_argument(
+        "directory",
+        help="the cluster GenerationStore directory to inspect",
+    )
+    gc.add_argument(
+        "--reclaim",
+        action="store_true",
+        help="actually remove the debris (default: report only)",
+    )
+    gc.add_argument(
+        "--force",
+        action="store_true",
+        help="with --reclaim, also abandon a *resumable* in-flight "
+        "rebalance (its journal and staging copies are deleted; the "
+        "committed epoch keeps serving)",
+    )
+    gc.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report instead of the table",
+    )
     serve = subparsers.add_parser(
         "serve-bench",
         help="measure the concurrent query service: throughput vs "
@@ -717,6 +744,57 @@ def _run_scrub(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_gc(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import Rebalancer
+    from .metrics import L2
+
+    # The metric is only consulted when loading trees; the GC paths
+    # operate purely on files, so any metric satisfies the constructor.
+    rebalancer = Rebalancer(args.directory, L2())
+    if args.reclaim:
+        result = rebalancer.gc(force=args.force)
+        report = result["report"]
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            removed = result["removed"]
+            print(
+                f"metricost gc — {report['directory']}: reclaimed "
+                f"{len(removed)} file(s)"
+            )
+            for name in removed:
+                print(f"  removed {name}")
+            if report["journal"] == "resumable":
+                print(
+                    "  in-flight rebalance journal preserved "
+                    "(resume it, or pass --force to abandon)"
+                )
+        return 0 if report["clean"] or report["journal"] == "resumable" else 1
+    report = rebalancer.gc_report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        lines = [
+            f"metricost gc — {report['directory']} "
+            f"(committed epoch: {report['committed_epoch']})"
+        ]
+        lines.append(f"rebalance journal: {report['journal']}")
+        for name in report["orphaned_staging"]:
+            lines.append(f"orphaned staging:  {name}")
+        for name in report["stale_generation_files"]:
+            lines.append(f"stale generation:  {name}")
+        verdict = (
+            "clean"
+            if report["clean"]
+            else "debris found (rerun with --reclaim to remove)"
+        )
+        lines.append(f"verdict: {verdict}")
+        print("\n".join(lines))
+    return 0 if report["clean"] else 1
+
+
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -964,6 +1042,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_fsck(args)
     if args.experiment == "scrub":
         return _run_scrub(args)
+    if args.experiment == "gc":
+        return _run_gc(args)
     if args.experiment == "metrics":
         return _run_metrics(args)
     if args.experiment == "serve-bench":

@@ -16,13 +16,24 @@ completeness and per-shard accounting make every partial answer honest
 (see ``docs/robustness.md``).
 """
 
+from .lifecycle import ClusterLifecycle, LadderEvent
 from .partition import (
     Partition,
     ShardStats,
     choose_pivots,
     partition_objects,
 )
+from .rebalance import (
+    RebalanceOutcome,
+    RebalancePlan,
+    Rebalancer,
+    estimate_route_cost,
+    load_cluster,
+    plan_rebalance,
+    save_cluster,
+)
 from .router import (
+    ClusterMembership,
     Router,
     RouterOutcome,
     RouterReport,
@@ -42,6 +53,16 @@ __all__ = [
     "RouterOutcome",
     "RouterReport",
     "ShardQuarantine",
+    "ClusterMembership",
     "Router",
     "build_cluster",
+    "RebalancePlan",
+    "RebalanceOutcome",
+    "Rebalancer",
+    "estimate_route_cost",
+    "plan_rebalance",
+    "save_cluster",
+    "load_cluster",
+    "ClusterLifecycle",
+    "LadderEvent",
 ]

@@ -29,7 +29,20 @@ The router is the cluster's front door.  For every range/k-NN request it
 Shard-level failover is quarantine-based: a shard whose breaker reports
 open, or whose fsck finds structural damage, is quarantined at the
 router (``breaker_open`` / ``fsck`` reasons) and skipped instantly by
-subsequent queries until :meth:`Router.recheck` lifts it.
+subsequent queries until :meth:`Router.recheck` lifts it.  The
+background scrubbers of :class:`~repro.cluster.lifecycle.ClusterLifecycle`
+promote the structural faults they find the same way (``scrub`` reason)
+— no manual ``health_check`` needed.
+
+Routing is **epoch-fenced**: the router holds one immutable
+:class:`ClusterMembership` (a monotonically increasing epoch plus the
+shard views of that epoch) and every query runs against a single
+membership snapshot.  When a rebalance or repair installs a newer
+membership (:meth:`Router.install_membership`), the superseded shards
+are fenced; an in-flight query that reaches one gets a
+``"stale_epoch"`` response and the router **retries the whole request**
+against the current membership — stale responses are never merged, so
+every answer is built from exactly one epoch's shard views.
 
 Completeness aggregation is **object-weighted**, not min: a pruned shard
 contributes its full weight (the cost model proved it empty for this
@@ -70,11 +83,17 @@ __all__ = [
     "RouterOutcome",
     "RouterReport",
     "ShardQuarantine",
+    "ClusterMembership",
     "Router",
     "build_cluster",
 ]
 
-_QUARANTINE_REASONS = ("breaker_open", "fsck", "manual")
+_QUARANTINE_REASONS = ("breaker_open", "fsck", "scrub", "manual")
+
+#: How many times ``execute`` re-runs a request that raced a membership
+#: swap.  One retry suffices in practice (the fresh snapshot is taken
+#: after the swap); the margin covers back-to-back installs.
+MAX_EPOCH_RETRIES = 4
 
 
 class ShardQuarantine:
@@ -131,8 +150,10 @@ class ShardReport:
 
     ``status`` is ``"ok"``, ``"pruned"`` (cost model proved
     zero contribution — carries the exact annulus count that proves it),
-    ``"quarantined"`` (skipped: shard was quarantined at the router), or
-    ``"failed"`` (scattered to, but no usable answer came back).
+    ``"quarantined"`` (skipped: shard was quarantined at the router),
+    ``"failed"`` (scattered to, but no usable answer came back), or
+    ``"stale"`` (the shard view was fenced by a membership-epoch bump
+    mid-flight; the router discards the whole scatter and retries).
     ``attempts`` logs every attempt's terminal status in order
     (``[("primary", "cancelled"), ("hedge", "ok")]`` is a hedge win).
     """
@@ -163,7 +184,11 @@ class RouterOutcome:
     whole dataset; ``status`` stays ``"ok"`` for honest partial answers
     (the accounting says what is missing) and only becomes
     ``"deadline"`` / ``"cancelled"`` when the *router-level* budget blew
-    before an answer could be assembled.
+    before an answer could be assembled.  ``epoch`` names the single
+    membership epoch every contributing shard view belongs to;
+    ``epoch_retries`` counts whole-request retries forced by a
+    concurrent membership swap (stale responses are discarded, never
+    merged).
     """
 
     request: QueryRequest
@@ -173,6 +198,8 @@ class RouterOutcome:
     completeness: float = 0.0
     degraded: bool = False
     fallback_used: bool = False
+    epoch: int = 0
+    epoch_retries: int = 0
     shards_total: int = 0
     shards_ok: int = 0
     shards_pruned: int = 0
@@ -249,6 +276,30 @@ class RouterReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ClusterMembership:
+    """One immutable cluster view: an epoch and that epoch's shards.
+
+    Shards are ordered by ``shard_id`` (``shards[i].shard_id == i``) so
+    per-query indexing stays O(1).  A query runs against exactly one
+    membership snapshot; swapping in a new one
+    (:meth:`Router.install_membership`) fences the shards that left, so
+    a snapshot can never yield a cross-epoch answer.
+    """
+
+    epoch: int
+    shards: Tuple[Shard, ...]
+
+    @property
+    def total_objects(self) -> int:
+        return sum(shard.n_objects for shard in self.shards)
+
+
+class _StaleMembershipError(MetricostError):
+    """Internal: a scatter touched a fenced shard view; retry the whole
+    request against the current membership."""
+
+
 class _AttemptCell:
     """Latest outcome of one shard attempt, shared across retry tries."""
 
@@ -280,6 +331,7 @@ class Router:
         prune: bool = True,
         hedging: bool = True,
         seed: int = 0,
+        epoch: int = 1,
     ):
         if len(shards) == 0:
             raise InvalidParameterError("router needs at least one shard")
@@ -295,13 +347,6 @@ class Router:
             raise InvalidParameterError(
                 f"min_completeness must lie in [0, 1], got {min_completeness}"
             )
-        for shard in shards:
-            if shard.stats is None:
-                raise InvalidParameterError(
-                    f"shard {shard.shard_id} has no ShardStats; the router "
-                    "needs pivot-distance profiles for routing"
-                )
-        self.shards = list(shards)
         self.metric = metric
         self.hedge_delay_s = hedge_delay_s
         self.shard_timeout_s = shard_timeout_s
@@ -312,9 +357,86 @@ class Router:
         self.hedging = hedging
         self.seed = seed
         self.quarantine = ShardQuarantine()
-        self.total_objects = sum(s.n_objects for s in self.shards)
         self._lock = threading.Lock()
+        self._membership = self._validated_membership(shards, epoch)
         self.stats: Dict[str, int] = {}
+
+    # -- membership --------------------------------------------------------
+
+    @staticmethod
+    def _validated_membership(
+        shards: Sequence[Shard], epoch: int
+    ) -> ClusterMembership:
+        if epoch < 1:
+            raise InvalidParameterError(
+                f"membership epoch must be >= 1, got {epoch}"
+            )
+        for index, shard in enumerate(shards):
+            if shard.shard_id != index:
+                raise InvalidParameterError(
+                    f"shards must be ordered by id: position {index} "
+                    f"holds shard {shard.shard_id}"
+                )
+            if shard.stats is None:
+                raise InvalidParameterError(
+                    f"shard {shard.shard_id} has no ShardStats; the router "
+                    "needs pivot-distance profiles for routing"
+                )
+            shard.epoch = int(epoch)
+        return ClusterMembership(epoch=int(epoch), shards=tuple(shards))
+
+    @property
+    def membership(self) -> ClusterMembership:
+        """The current immutable cluster view (atomic snapshot)."""
+        with self._lock:
+            return self._membership
+
+    @property
+    def epoch(self) -> int:
+        return self.membership.epoch
+
+    @property
+    def shards(self) -> List[Shard]:
+        return list(self.membership.shards)
+
+    @property
+    def total_objects(self) -> int:
+        return self.membership.total_objects
+
+    def install_membership(
+        self, shards: Sequence[Shard], epoch: int
+    ) -> ClusterMembership:
+        """Swap in a new cluster view and fence the one it supersedes.
+
+        ``epoch`` must strictly exceed the current epoch (monotonic
+        fencing token).  Shards that leave the membership are fenced so
+        in-flight queries holding the old snapshot get ``stale_epoch``
+        responses and retry; router-level quarantines are reset because
+        they described the superseded views.
+        """
+        if len(shards) == 0:
+            raise InvalidParameterError("membership needs at least one shard")
+        with self._lock:
+            previous = self._membership
+            if epoch <= previous.epoch:
+                raise InvalidParameterError(
+                    f"membership epoch must increase monotonically: "
+                    f"current {previous.epoch}, proposed {epoch}"
+                )
+            fresh = self._validated_membership(shards, epoch)
+            self._membership = fresh
+        retained = {id(shard) for shard in fresh.shards}
+        for shard in previous.shards:
+            if id(shard) not in retained:
+                shard.fence(epoch)
+        for shard_id in list(self.quarantine.reasons()):
+            self.quarantine.discard(shard_id)
+        reg = _obs.registry
+        if reg is not None:
+            reg.set_gauge("cluster.epoch", fresh.epoch)
+            reg.inc("cluster.lifecycle.epoch_bumps")
+            reg.set_gauge("cluster.quarantined_shards", len(self.quarantine))
+        return fresh
 
     # -- accounting --------------------------------------------------------
 
@@ -341,7 +463,10 @@ class Router:
     # -- routing decisions -------------------------------------------------
 
     def _knn_radius_bound(
-        self, request: QueryRequest, pivot_dists: np.ndarray
+        self,
+        request: QueryRequest,
+        pivot_dists: np.ndarray,
+        membership: ClusterMembership,
     ) -> float:
         """A guaranteed upper bound on the k-th NN distance over the
         *reachable* dataset: the k-th smallest of ``d(q,p_i) + t`` across
@@ -350,7 +475,7 @@ class Router:
         to the final k answer."""
         k = request.k or 1
         bounds: List[np.ndarray] = []
-        for shard in self.shards:
+        for shard in membership.shards:
             if self.quarantine.contains(shard.shard_id):
                 continue
             stats: ShardStats = shard.stats
@@ -364,16 +489,19 @@ class Router:
         return float(merged[take - 1])
 
     def _classify(
-        self, request: QueryRequest, pivot_dists: np.ndarray
+        self,
+        request: QueryRequest,
+        pivot_dists: np.ndarray,
+        membership: ClusterMembership,
     ) -> Tuple[List[ShardReport], List[Shard], float]:
         """Split shards into pruned / quarantined / scatter targets."""
         if request.kind == "range":
             radius = float(request.radius or 0.0)
         else:
-            radius = self._knn_radius_bound(request, pivot_dists)
+            radius = self._knn_radius_bound(request, pivot_dists, membership)
         reports: List[ShardReport] = []
         targets: List[Shard] = []
-        for shard in self.shards:
+        for shard in membership.shards:
             pivot_dist = float(pivot_dists[shard.shard_id])
             stats: ShardStats = shard.stats
             reason = self.quarantine.reason(shard.shard_id)
@@ -456,6 +584,11 @@ class Router:
         def once() -> QueryOutcome:
             outcome = shard.submit(request, context=ctx)
             cell.store(outcome)
+            if outcome.status == "stale_epoch":
+                # Not a shard fault: the view was superseded.  Retrying
+                # the same fenced shard cannot help — surface the stale
+                # outcome so the router retries the whole request.
+                return outcome
             if outcome.status in ("error", "rejected"):
                 # Surface as a retryable fault: overload sheds and
                 # backend errors deserve one bounded, jittered re-try
@@ -595,6 +728,12 @@ class Router:
             report.error = "; ".join(
                 f"{label}={status}" for label, status in report.attempts
             ) or "no attempt completed"
+            if "stale_epoch" in statuses:
+                # The shard view was fenced mid-flight: the whole
+                # request must be retried on the fresh membership, and
+                # nothing here is the shard's fault — no quarantine.
+                report.status = "stale"
+                return
             if "circuit_open" in statuses:
                 # Failover: the shard's own breaker says it is sick —
                 # quarantine it so the next queries skip it instantly
@@ -636,8 +775,9 @@ class Router:
                 break
         return merged
 
+    @staticmethod
     def _aggregate_completeness(
-        self, reports: Sequence[ShardReport]
+        reports: Sequence[ShardReport], total_objects: int
     ) -> float:
         """Object-weighted completeness over the whole dataset.
 
@@ -646,7 +786,7 @@ class Router:
         own completeness weighted by size, failed/quarantined shards
         contribute zero.
         """
-        if self.total_objects == 0:
+        if total_objects == 0:
             return 1.0
         covered = 0.0
         for report in reports:
@@ -654,13 +794,14 @@ class Router:
                 covered += report.n_objects
             elif report.status == "ok":
                 covered += report.n_objects * report.completeness
-        return covered / self.total_objects
+        return covered / total_objects
 
     def _fallback_scan(
         self,
         request: QueryRequest,
         reports: Sequence[ShardReport],
         budget: Optional[Any],
+        membership: ClusterMembership,
     ) -> int:
         """The last rung: linear-scan every reachable shard whose answer
         was missing or incomplete.  Certified-pruned shards are skipped
@@ -672,7 +813,7 @@ class Router:
                 continue
             if report.status == "ok" and report.completeness >= 1.0:
                 continue
-            shard = self.shards[report.shard_id]
+            shard = membership.shards[report.shard_id]
             try:
                 items, n_dists = shard.scan(request, deadline=budget)
             except (DeadlineExceededError, OperationCancelledError):
@@ -699,35 +840,72 @@ class Router:
         deadline: Optional[Deadline] = None,
         context: Optional[Context] = None,
     ) -> RouterOutcome:
-        """One scatter-gather request; always returns a typed outcome."""
+        """One scatter-gather request; always returns a typed outcome.
+
+        A request that races a membership swap (a shard answers
+        ``stale_epoch``) is transparently re-run against the fresh
+        membership — the stale scatter is discarded whole, never merged
+        with fresh answers.
+        """
         start = time.perf_counter()
         budget: Optional[Any] = context if context is not None else deadline
         tracer = _obs.tracer
-        try:
-            if tracer is not None:
-                with tracer.span(
-                    "cluster.route", kind=request.kind,
-                    shards=len(self.shards),
-                ):
-                    outcome = self._execute(request, budget, start)
-            else:
-                outcome = self._execute(request, budget, start)
-        except DeadlineExceededError as exc:
-            outcome = RouterOutcome(
-                request=request,
-                status="deadline",
-                latency_s=time.perf_counter() - start,
-                shards_total=len(self.shards),
-                error=str(exc),
-            )
-        except OperationCancelledError as exc:
-            outcome = RouterOutcome(
-                request=request,
-                status="cancelled",
-                latency_s=time.perf_counter() - start,
-                shards_total=len(self.shards),
-                error=str(exc),
-            )
+        retries = 0
+        while True:
+            membership = self.membership
+            try:
+                if tracer is not None:
+                    with tracer.span(
+                        "cluster.route", kind=request.kind,
+                        shards=len(membership.shards),
+                        epoch=membership.epoch,
+                    ):
+                        outcome = self._execute(
+                            request, budget, start, membership
+                        )
+                else:
+                    outcome = self._execute(request, budget, start, membership)
+                break
+            except _StaleMembershipError as exc:
+                retries += 1
+                reg = _obs.registry
+                if reg is not None:
+                    reg.inc("cluster.lifecycle.stale_retries")
+                if retries >= MAX_EPOCH_RETRIES:
+                    outcome = RouterOutcome(
+                        request=request,
+                        status="error",
+                        latency_s=time.perf_counter() - start,
+                        epoch=membership.epoch,
+                        shards_total=len(membership.shards),
+                        error=(
+                            f"membership kept moving under the request "
+                            f"({retries} stale retries): {exc}"
+                        ),
+                    )
+                    break
+                continue
+            except DeadlineExceededError as exc:
+                outcome = RouterOutcome(
+                    request=request,
+                    status="deadline",
+                    latency_s=time.perf_counter() - start,
+                    epoch=membership.epoch,
+                    shards_total=len(membership.shards),
+                    error=str(exc),
+                )
+                break
+            except OperationCancelledError as exc:
+                outcome = RouterOutcome(
+                    request=request,
+                    status="cancelled",
+                    latency_s=time.perf_counter() - start,
+                    epoch=membership.epoch,
+                    shards_total=len(membership.shards),
+                    error=str(exc),
+                )
+                break
+        outcome.epoch_retries = retries
         self._count(outcome.status)
         reg = _obs.registry
         if reg is not None:
@@ -745,17 +923,20 @@ class Router:
         request: QueryRequest,
         budget: Optional[Any],
         start: float,
+        membership: ClusterMembership,
     ) -> RouterOutcome:
         if budget is not None:
             budget.check("routed query")
         pivot_dists = np.asarray(
             self.metric.one_to_many(
-                request.query, [s.stats.pivot for s in self.shards]
+                request.query, [s.stats.pivot for s in membership.shards]
             ),
             dtype=np.float64,
         )
-        router_dists = len(self.shards)
-        reports, targets, _radius = self._classify(request, pivot_dists)
+        router_dists = len(membership.shards)
+        reports, targets, _radius = self._classify(
+            request, pivot_dists, membership
+        )
         by_id = {report.shard_id: report for report in reports}
 
         drivers = [
@@ -771,7 +952,18 @@ class Router:
         for driver in drivers:
             driver.join()
 
-        completeness = self._aggregate_completeness(reports)
+        stale = [r.shard_id for r in reports if r.status == "stale"]
+        if stale:
+            # A fenced shard answered: this snapshot is dead.  Nothing
+            # gathered here may be merged with fresh responses.
+            raise _StaleMembershipError(
+                f"shard view(s) {stale} of epoch {membership.epoch} "
+                "were fenced mid-request"
+            )
+
+        completeness = self._aggregate_completeness(
+            reports, membership.total_objects
+        )
         fallback_used = False
         degraded = any(
             r.status != "ok" and r.status != "pruned" for r in reports
@@ -779,10 +971,14 @@ class Router:
             r.status == "ok" and r.completeness < 1.0 for r in reports
         )
         if completeness < self.min_completeness:
-            fallback_dists = self._fallback_scan(request, reports, budget)
+            fallback_dists = self._fallback_scan(
+                request, reports, budget, membership
+            )
             router_dists += fallback_dists
             fallback_used = fallback_dists > 0
-            completeness = self._aggregate_completeness(reports)
+            completeness = self._aggregate_completeness(
+                reports, membership.total_objects
+            )
         for report in reports:
             self._mirror_shard(report)
         items = self._merge(request, reports)
@@ -794,7 +990,8 @@ class Router:
             completeness=completeness,
             degraded=degraded or fallback_used,
             fallback_used=fallback_used,
-            shards_total=len(self.shards),
+            epoch=membership.epoch,
+            shards_total=len(membership.shards),
             shards_ok=sum(1 for r in reports if r.status == "ok"),
             shards_pruned=sum(1 for r in reports if r.status == "pruned"),
             shards_failed=sum(
@@ -880,6 +1077,10 @@ class Router:
         for shard in self.shards:
             if self.quarantine.contains(shard.shard_id):
                 continue
+            if shard.scan_only:
+                # Folded shards serve from the pristine snapshot; their
+                # abandoned index structure is not health-relevant.
+                continue
             if shard.breaker.state == "open":
                 self.quarantine.add(shard.shard_id, "breaker_open")
                 records.append(
@@ -910,7 +1111,7 @@ class Router:
                 ):
                     self.quarantine.discard(shard_id)
                     lifted.append(shard_id)
-            elif reason == "fsck":
+            elif reason in ("fsck", "scrub"):
                 if shard.fsck().ok:
                     self.quarantine.discard(shard_id)
                     lifted.append(shard_id)

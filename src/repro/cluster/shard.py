@@ -19,10 +19,20 @@ promptly instead of sleeping through its stall.
 Local vp-tree oids are positions within the shard; every result is
 remapped to **global** oids before it leaves the shard, so the router's
 merge and its duplicate detection work in one id space.
+
+Every shard belongs to exactly one **membership epoch** (see
+:mod:`repro.cluster.lifecycle`): when a rebalance or repair installs a
+newer cluster view, the superseded shards are *fenced* — each
+subsequent submit returns a ``"stale_epoch"`` outcome instead of an
+answer, so a concurrent query can never merge pre- and post-swap shard
+views.  A shard may also be permanently folded into the linear-scan
+rung (``scan_only``), the Pestov regime where rebuilding an index for
+the slice can no longer beat scanning it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -84,6 +94,20 @@ class _ShardBackend:
             )
         if mode == "slow" and (not request.hedged or slow_hedged):
             self._stall(delay_s, deadline)
+        if shard.scan_only:
+            # Folded into the linear-scan rung: the index is no longer
+            # trusted, the pristine snapshot answers at linear cost.
+            items, dists = shard.scan(request, deadline=deadline)
+            return QueryOutcome(
+                request=request,
+                status="ok",
+                latency_s=time.perf_counter() - start,
+                items=items,
+                nodes=0,
+                dists=dists,
+                completeness=1.0,
+                degraded=True,
+            )
         if request.kind == "range":
             result = shard.tree.range_query(
                 request.query,
@@ -135,6 +159,8 @@ class Shard:
         max_queue: int = 32,
         breaker_failure_threshold: int = 3,
         breaker_recovery_timeout_s: float = 0.5,
+        epoch: int = 0,
+        tree: Optional[VPTree] = None,
     ):
         if len(objects) != len(oids):
             raise InvalidParameterError(
@@ -146,11 +172,22 @@ class Shard:
         self.oids = [int(i) for i in oids]
         self.metric = metric
         self.stats = stats
-        self.tree = VPTree.build(
+        self.epoch = int(epoch)
+        self.arity = arity
+        self.seed = seed
+        if tree is not None and len(tree) != len(self.objects):
+            raise InvalidParameterError(
+                f"shard {shard_id}: prebuilt tree holds {len(tree)} "
+                f"objects but the shard was given {len(self.objects)}"
+            )
+        self.tree = tree if tree is not None else VPTree.build(
             self.objects, metric, arity=arity, seed=seed + shard_id
         )
         self.quarantine = QuarantineSet()
         self.chaos = ShardChaos()
+        self._state_lock = threading.Lock()
+        self._fenced_by: Optional[int] = None
+        self._scan_only = False
         self.breaker = CircuitBreaker(
             f"shard-{shard_id}",
             failure_threshold=breaker_failure_threshold,
@@ -169,6 +206,50 @@ class Shard:
     def n_objects(self) -> int:
         return len(self.objects)
 
+    # -- lifecycle state ---------------------------------------------------
+
+    @property
+    def fenced_by(self) -> Optional[int]:
+        """The epoch that superseded this shard view (None while live)."""
+        with self._state_lock:
+            return self._fenced_by
+
+    def fence(self, epoch: int) -> None:
+        """Supersede this shard view: every later submit answers
+        ``"stale_epoch"`` so the router retries against the current
+        membership instead of merging epochs (idempotent)."""
+        with self._state_lock:
+            if self._fenced_by is None or epoch > self._fenced_by:
+                self._fenced_by = int(epoch)
+
+    @property
+    def scan_only(self) -> bool:
+        """True once the shard is folded into the linear-scan rung."""
+        with self._state_lock:
+            return self._scan_only
+
+    def fold_to_scan(self) -> None:
+        """Permanently serve this shard by linear scan of its pristine
+        snapshot — the last rung of the repair ladder, for damage that
+        survives an index rebuild."""
+        with self._state_lock:
+            self._scan_only = True
+
+    def replace_tree(self, tree: VPTree) -> None:
+        """Swap in a repaired index and lift every node quarantine.
+
+        The swap is a single reference assignment: concurrent queries
+        see either the old tree (with its quarantine entries intact) or
+        the new one — never a half-built hybrid.
+        """
+        if len(tree) != len(self.objects):
+            raise InvalidParameterError(
+                f"shard {self.shard_id}: replacement tree holds "
+                f"{len(tree)} objects, expected {len(self.objects)}"
+            )
+        self.tree = tree
+        self.quarantine.clear()
+
     def submit(
         self,
         request: QueryRequest,
@@ -177,6 +258,20 @@ class Shard:
     ) -> QueryOutcome:
         """One request through the shard's full pipeline (never raises
         for per-request conditions — see :meth:`QueryService.submit`)."""
+        fenced_by = self.fenced_by
+        if fenced_by is not None:
+            # Epoch fence: a superseded view must not answer at all —
+            # a partial answer from here could be merged with fresh
+            # shards into a cross-epoch hybrid.
+            return QueryOutcome(
+                request=request,
+                status="stale_epoch",
+                latency_s=0.0,
+                error=(
+                    f"shard {self.shard_id} view (epoch {self.epoch}) "
+                    f"was fenced by epoch {fenced_by}"
+                ),
+            )
         return self.service.submit(request, deadline=deadline, context=context)
 
     def scan(

@@ -135,3 +135,19 @@ class CircuitOpenError(MetricostError):
     def __init__(self, message: str, retry_after_s=None):
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class StaleEpochError(MetricostError):
+    """A request reached a shard view that has been superseded.
+
+    Raised (and converted into a ``"stale_epoch"`` outcome) when a query
+    lands on a shard that was fenced by a membership-epoch bump — a
+    rebalance or repair installed a newer cluster view while the request
+    was in flight.  The router never merges stale responses with fresh
+    ones; it retries the whole request against the current membership.
+    ``epoch`` is the epoch that fenced the shard.
+    """
+
+    def __init__(self, message: str, epoch=None):
+        super().__init__(message)
+        self.epoch = epoch

@@ -46,6 +46,7 @@ from .fsck import (
     materialize_page_graph,
     mtree_scrub_units,
     repair_mtree,
+    repair_vptree,
     vptree_scrub_units,
 )
 from .integrity import (
@@ -95,6 +96,7 @@ __all__ = [
     "fsck_page_graph",
     "RepairOutcome",
     "repair_mtree",
+    "repair_vptree",
     "QuarantineSet",
     "Scrubber",
     "ScrubProgress",

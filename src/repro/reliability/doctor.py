@@ -467,6 +467,91 @@ def _self_test(seed: int) -> List[DoctorCheck]:
             f"shard {victim.shard_id} quarantined (breaker_open)"
         )
 
+    def lifecycle_gc() -> str:
+        # A rebalance killed mid-protocol strands debris: a stale
+        # REBALANCE journal, orphaned staging copies, uncommitted (or
+        # un-GC'd) generation files.  The gc path must *detect* all of
+        # it read-only, *reclaim* it, and leave the store loadable at
+        # exactly one membership epoch — old before the commit point,
+        # new after.
+        from ..cluster import (
+            Rebalancer,
+            build_cluster,
+            load_cluster,
+            plan_rebalance,
+            save_cluster,
+        )
+        from ..service.recovery import SimulatedCrashError
+
+        points = rng.random((90, 3))
+        metric = L2()
+        probed_epochs = []
+        # Crash once mid-staging (before the commit point: old epoch
+        # must survive) and once mid-store-GC (after it: new epoch).
+        for crash_step, expected_epoch in ((2, 1), (11, 2)):
+            with tempfile.TemporaryDirectory() as tmp:
+                router = build_cluster(
+                    points, metric, n_shards=3, d_plus=2.0, seed=seed
+                )
+                save_cluster(router, tmp, 2.0)
+                rebalancer = Rebalancer(tmp, metric)
+                plan = plan_rebalance(
+                    router, 2.0, seed=seed + 1, reason="manual"
+                )
+                try:
+                    rebalancer.execute(
+                        router, plan, crash_after_step=crash_step
+                    )
+                    raise AssertionError(
+                        f"crash_after_step={crash_step} did not crash"
+                    )
+                except SimulatedCrashError:
+                    pass
+                report = rebalancer.gc_report()
+                if expected_epoch == 1:
+                    # Pre-commit crash: the journal is *resumable* (the
+                    # copy cursor survives), and gc must say so rather
+                    # than calling the directory clean-and-empty.
+                    if report["journal"] != "resumable" or not (
+                        report["staging_files"]
+                    ):
+                        raise AssertionError(
+                            f"gc_report missed the in-flight rebalance: "
+                            f"{report}"
+                        )
+                elif report["clean"]:
+                    raise AssertionError(
+                        f"gc_report missed the step-{crash_step} debris"
+                    )
+                rebalancer.gc(force=True)
+                after = rebalancer.gc_report()
+                if not after["clean"]:
+                    raise AssertionError(
+                        f"gc left debris behind: {after}"
+                    )
+                loaded = load_cluster(tmp, metric)
+                if loaded.epoch != expected_epoch:
+                    raise AssertionError(
+                        f"crash at step {crash_step}: loaded epoch "
+                        f"{loaded.epoch}, expected {expected_epoch}"
+                    )
+                oids = sorted(
+                    oid
+                    for shard in loaded.membership.shards
+                    for oid in shard.oids
+                )
+                if oids != list(range(len(points))):
+                    raise AssertionError(
+                        f"loaded membership does not partition the "
+                        f"dataset after crash at step {crash_step}"
+                    )
+                probed_epochs.append(loaded.epoch)
+        return (
+            f"rebalance killed mid-staging and mid-GC: debris detected "
+            f"and reclaimed both times, store loadable at exactly one "
+            f"epoch each time (epochs {probed_epochs})"
+        )
+
     _check("checksum round-trip", checksum_roundtrip, checks)
     _check("bit-flip detection", bit_flip_detection, checks)
     _check("version gate", version_gate, checks)
@@ -479,6 +564,7 @@ def _self_test(seed: int) -> List[DoctorCheck]:
     _check("structural fsck", structural_fsck, checks)
     _check("scrub quarantine", scrub_quarantine, checks)
     _check("router partial answers", router_partial_answers, checks)
+    _check("lifecycle gc", lifecycle_gc, checks)
     _check("static analysis", static_analysis, checks)
     return checks
 

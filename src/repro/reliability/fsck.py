@@ -65,6 +65,7 @@ __all__ = [
     "fsck_page_graph",
     "RepairOutcome",
     "repair_mtree",
+    "repair_vptree",
 ]
 
 #: Default relative/absolute tolerance for distance comparisons — floats
@@ -808,6 +809,83 @@ def repair_mtree(
         reg.inc("reliability.repairs", ok=report.ok)
     return RepairOutcome(
         tree=new_tree,
+        n_recovered=len(oids),
+        n_lost=n_lost,
+        report=report,
+        generation=generation,
+    )
+
+
+def repair_vptree(
+    tree: Any,
+    seed: int = 0,
+    quarantine: Optional[Any] = None,
+    store: Optional[Any] = None,
+    artifact_name: str = "tree",
+    encode: Optional[Any] = None,
+) -> RepairOutcome:
+    """Rebuild a structurally damaged vp-tree from its surviving objects.
+
+    The vp-tree sibling of :func:`repair_mtree`, and the repair rung of
+    the cluster lifecycle ladder
+    (:class:`~repro.cluster.lifecycle.ClusterLifecycle`): structural
+    faults (shrunken cutoffs, unsorted cutoffs, aliased nodes) damage the
+    index, not the object payloads, so every node's object is harvested,
+    de-duplicated by oid, and rebuilt from scratch — cutoffs and shells
+    re-derived by construction.  With ``store`` the repaired tree is
+    committed as a new :class:`~repro.service.GenerationStore`
+    generation; a non-empty ``quarantine`` is cleared once the rebuilt
+    tree passes fsck.
+    """
+    from ..vptree.tree import VPTree
+
+    recovered: Dict[int, Any] = {}
+    stack = [tree.root] if tree.root is not None else []
+    visited: set = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        if node.oid not in recovered:
+            recovered[node.oid] = node.obj
+        stack.extend(c for c in node.children if c is not None)
+    oids = sorted(recovered)
+    objects = [recovered[oid] for oid in oids]
+    n_lost = max(0, len(tree) - len(oids))
+    rebuilt = VPTree.build(
+        objects,
+        tree.metric,
+        arity=tree.arity,
+        vantage_selection=tree.vantage_selection,
+        seed=seed,
+    )
+    # VPTree.build assigns positional oids; remap to the recovered ones.
+    if oids != list(range(len(oids))):
+        remap = {pos: oid for pos, oid in enumerate(oids)}
+        nodes = [rebuilt.root] if rebuilt.root is not None else []
+        while nodes:
+            node = nodes.pop()
+            node.oid = remap[node.oid]
+            nodes.extend(c for c in node.children if c is not None)
+    report = fsck_vptree(rebuilt)
+    generation = None
+    if store is not None and report.ok:
+        from ..persistence import _default_encode, vptree_to_dict
+        from .integrity import dumps_artifact
+
+        text = dumps_artifact(
+            vptree_to_dict(rebuilt, encode or _default_encode)
+        )
+        store.save({artifact_name: text})
+        generation = store.generation
+    if quarantine is not None and report.ok:
+        quarantine.clear()
+    reg = _obs.registry
+    if reg is not None:
+        reg.inc("reliability.repairs", ok=report.ok)
+    return RepairOutcome(
+        tree=rebuilt,
         n_recovered=len(oids),
         n_lost=n_lost,
         report=report,

@@ -92,6 +92,12 @@ class Scrubber:
     default) every node that fails its unit check is added to
     ``quarantine`` immediately, shrinking the blast radius of the damage
     while the scrub is still running.
+
+    ``on_fault`` is an optional escalation hook called (outside the
+    scrubber's lock) with the list of faults each step surfaces — the
+    cluster lifecycle uses it to promote node-level findings into
+    router-level shard quarantine the moment they appear, without
+    waiting for a pass to finish.
     """
 
     def __init__(
@@ -102,12 +108,16 @@ class Scrubber:
         auto_quarantine: bool = True,
         tolerance: float = 1e-7,
         sleep: Callable[[float], None] = time.sleep,
+        on_fault: Optional[
+            Callable[[List[StructuralFault]], None]
+        ] = None,
     ) -> None:
         self.tree = tree
         self.quarantine = quarantine
         self.rate_limit = rate_limit
         self.auto_quarantine = auto_quarantine
         self.tolerance = tolerance
+        self.on_fault = on_fault
         self._sleep = sleep
         self._lock = threading.Lock()
         self._is_mtree = hasattr(tree, "layout")
@@ -194,6 +204,8 @@ class Scrubber:
             if found:
                 for fault in found:
                     reg.inc("reliability.scrub_faults", kind=fault.kind)
+        if found and self.on_fault is not None:
+            self.on_fault(found)
         return found
 
     def run(

@@ -332,6 +332,29 @@ class GenerationStore:
             action="rolled_back", generation=current, notes=notes
         )
 
+    def stale_files(self) -> List[str]:
+        """Read-only census of files the committed manifest does not own.
+
+        Returns the names of generation-suffixed files (``*.g*.json``)
+        outside the committed generation plus stray ``*.tmp`` files —
+        exactly what :meth:`recover` would reclaim.  Used by
+        ``python -m repro doctor`` / ``gc`` to *report* crash debris
+        without mutating the store.
+        """
+        manifest = self._read_manifest()
+        owned = set()
+        if manifest is not None:
+            owned = {
+                entry["file"] for entry in manifest["artifacts"].values()
+            }
+        stale = [
+            path.name
+            for path in self.directory.glob("*.g*.json")
+            if path.name not in owned
+        ]
+        stale.extend(path.name for path in self.directory.glob("*.tmp"))
+        return sorted(stale)
+
     def _sweep_tmp_files(self) -> int:
         removed = 0
         for path in self.directory.glob("*.tmp"):

@@ -287,9 +287,18 @@ class VPTree:
     ) -> VPRangeResult:
         """All objects within ``radius``; one distance per accessed node.
 
+        The traversal is *frontier-batched*: every iteration evaluates
+        the query's distance to the whole current frontier through one
+        :meth:`~repro.metrics.Metric.one_to_many` kernel call instead of
+        one scalar ``distance()`` per node.  Whether a child is visited
+        depends only on its parent's own distance, so the accessed node
+        set — and therefore ``dists_computed`` — is identical to the
+        node-at-a-time traversal (pinned by the golden accounting
+        tests); only the kernel batch size changes.
+
         ``deadline`` (a :class:`~repro.context.Deadline` or
-        :class:`~repro.context.Context`) is polled once per node pop, so
-        an over-budget query raises
+        :class:`~repro.context.Context`) is polled once per frontier
+        batch, so an over-budget query raises
         :class:`~repro.exceptions.DeadlineExceededError` promptly.
 
         ``quarantine`` (a :class:`~repro.reliability.QuarantineSet`)
@@ -322,40 +331,59 @@ class VPTree:
                     skipped_objects=self._subtree_size(self._root),
                     completeness=0.0,
                 )
-            stack = [self._root]
-            while stack:
+            frontier = [self._root]
+            while frontier:
                 if deadline is not None:
                     deadline.check("vptree range query")
-                node = stack.pop()
-                stats.nodes_accessed += 1
-                dist = self.metric.distance(query, node.obj)
-                stats.dists_computed += 1
+                batch = frontier
+                frontier = []
+                if len(batch) == 1:
+                    batch_dists = [
+                        self.metric.distance(query, batch[0].obj)
+                    ]
+                else:
+                    batch_dists = self.metric.one_to_many(
+                        query, [n.obj for n in batch]
+                    )
+                stats.nodes_accessed += len(batch)
+                stats.dists_computed += len(batch)
                 if reg is not None:
-                    reg.inc("vptree.nodes_accessed", kind="range")
-                    reg.inc("vptree.dists_computed", kind="range")
-                if dist <= radius:
-                    items.append((node.oid, node.obj, dist))
-                previous_cut = 0.0
-                for cut, child in zip(node.cutoffs, node.children):
-                    if child is not None:
-                        # Quarantine is consulted before the shell test:
-                        # a corrupt cutoff must never silently prune the
-                        # damaged subtree out of the accounting.
-                        if quarantine is not None and quarantine.contains(
-                            child
-                        ):
-                            skipped_subtrees += 1
-                            skipped_objects += self._subtree_size(child)
-                            if reg is not None:
-                                reg.inc(
-                                    "vptree.quarantine_skips",
-                                    kind="range",
+                    reg.inc(
+                        "vptree.nodes_accessed", len(batch), kind="range"
+                    )
+                    reg.inc(
+                        "vptree.dists_computed", len(batch), kind="range"
+                    )
+                for node, dist in zip(batch, batch_dists):
+                    dist = float(dist)
+                    if dist <= radius:
+                        items.append((node.oid, node.obj, dist))
+                    previous_cut = 0.0
+                    for cut, child in zip(node.cutoffs, node.children):
+                        if child is not None:
+                            # Quarantine is consulted before the shell
+                            # test: a corrupt cutoff must never silently
+                            # prune the damaged subtree out of the
+                            # accounting.
+                            if quarantine is not None and (
+                                quarantine.contains(child)
+                            ):
+                                skipped_subtrees += 1
+                                skipped_objects += self._subtree_size(
+                                    child
                                 )
-                        elif previous_cut - radius < dist <= cut + radius:
-                            stack.append(child)
-                        elif reg is not None:
-                            reg.inc("vptree.pruned_subtrees", kind="range")
-                    previous_cut = cut
+                                if reg is not None:
+                                    reg.inc(
+                                        "vptree.quarantine_skips",
+                                        kind="range",
+                                    )
+                            elif previous_cut - radius < dist <= cut + radius:
+                                frontier.append(child)
+                            elif reg is not None:
+                                reg.inc(
+                                    "vptree.pruned_subtrees", kind="range"
+                                )
+                        previous_cut = cut
             if reg is not None:
                 reg.inc("vptree.queries", kind="range")
                 reg.inc("vptree.results", len(items), kind="range")
@@ -381,6 +409,12 @@ class VPTree:
         quarantine: Optional[Any] = None,
     ) -> VPKNNResult:
         """Best-first k-NN using per-subtree distance lower bounds.
+
+        Unlike :meth:`range_query`, this traversal stays one node per
+        kernel call *by design*: each evaluated distance may tighten the
+        k-th bound, which decides whether the next-best node is visited
+        at all — batching a frontier would evaluate nodes the
+        sequential order proves prunable and inflate ``dists_computed``.
 
         ``deadline`` is polled once per node pop; ``quarantine`` routes
         around damaged subtrees (see :meth:`range_query`).

@@ -25,6 +25,7 @@ EXPECTED_CHECKS = {
     "structural fsck",
     "scrub quarantine",
     "router partial answers",
+    "lifecycle gc",
     "static analysis",
 }
 

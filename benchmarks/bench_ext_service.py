@@ -19,6 +19,10 @@ QueryService` wrapped around one shared M-tree:
    :class:`repro.cluster.Router` across N shards.  Each run appends its
    rows to ``benchmarks/BENCH_cluster.json`` so the throughput/pruning
    curve accumulates a trajectory across revisions.
+4. **Sustained insert rate** — objects streamed through
+   :class:`repro.ingest.IngestService` (WAL append + clone-then-publish
+   apply) per fsync policy, plus checkpoint and WAL-replay recovery
+   timing.  Rows accumulate in ``benchmarks/BENCH_ingest.json``.
 """
 
 from __future__ import annotations
@@ -44,7 +48,9 @@ WORKER_COUNTS = (1, 2, 4, 8)
 OVERLOAD_SLOTS = 2
 SHARD_COUNTS = (1, 2, 4, 8)
 CLUSTER_TRAJECTORY = Path(__file__).resolve().parent / "BENCH_cluster.json"
+INGEST_TRAJECTORY = Path(__file__).resolve().parent / "BENCH_ingest.json"
 TRAJECTORY_KEEP = 50  # most recent records retained per file
+INGEST_BATCH = 64
 
 
 def _build_service_inputs(size: int, n_queries: int):
@@ -186,17 +192,60 @@ def run_shard_scaling(size: int, n_queries: int):
     return rows
 
 
-def append_cluster_trajectory(scale_name: str, rows) -> None:
-    """Append this run's rows to the ``BENCH_cluster.json`` trajectory.
+def run_ingest_rate(size: int):
+    import tempfile
+
+    from repro.ingest import IngestService
+
+    data = clustered_dataset(size, 8, seed=79)
+    layout = vector_layout(8)
+    points = data.points
+    rows = []
+    for policy in ("always", "batch", "never"):
+        with tempfile.TemporaryDirectory() as tmp:
+            service = IngestService(
+                Path(tmp), data.metric, layout, fsync=policy
+            )
+            service.recover()
+            started = time.perf_counter()
+            for lo in range(0, size, INGEST_BATCH):
+                service.append(points[lo : lo + INGEST_BATCH])
+                service.apply()
+            elapsed = time.perf_counter() - started
+            ckpt_started = time.perf_counter()
+            service.checkpoint()
+            ckpt_s = time.perf_counter() - ckpt_started
+            service.append(points[: min(size, 4 * INGEST_BATCH)])
+            service.close()
+            cold = IngestService(Path(tmp), data.metric, layout)
+            rec_started = time.perf_counter()
+            recovery = cold.recover()
+            rec_s = time.perf_counter() - rec_started
+            rows.append(
+                {
+                    "fsync": policy,
+                    "insert obj/s": round(size / elapsed, 1),
+                    "epochs": cold.current_epoch(),
+                    "checkpoint ms": round(1e3 * ckpt_s, 1),
+                    "replayed": recovery.replayed,
+                    "recover ms": round(1e3 * rec_s, 1),
+                }
+            )
+            cold.close()
+    return rows
+
+
+def _append_trajectory(path: Path, scale_name: str, rows) -> None:
+    """Append this run's rows to a ``BENCH_*.json`` trajectory.
 
     The file is a JSON list of records, newest last, capped at
     ``TRAJECTORY_KEEP`` so the perf curve across revisions stays
     readable without growing unboundedly.
     """
     records = []
-    if CLUSTER_TRAJECTORY.exists():
+    if path.exists():
         try:
-            records = json.loads(CLUSTER_TRAJECTORY.read_text())
+            records = json.loads(path.read_text())
         except (ValueError, OSError):
             records = []
     if not isinstance(records, list):
@@ -209,7 +258,15 @@ def append_cluster_trajectory(scale_name: str, rows) -> None:
         }
     )
     records = records[-TRAJECTORY_KEEP:]
-    CLUSTER_TRAJECTORY.write_text(json.dumps(records, indent=2) + "\n")
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def append_cluster_trajectory(scale_name: str, rows) -> None:
+    _append_trajectory(CLUSTER_TRAJECTORY, scale_name, rows)
+
+
+def append_ingest_trajectory(scale_name: str, rows) -> None:
+    _append_trajectory(INGEST_TRAJECTORY, scale_name, rows)
 
 
 def test_ext_service_throughput(benchmark, scale, show):
@@ -297,3 +354,32 @@ def test_ext_cluster_scaling(benchmark, scale, show):
     assert any(row["pruned %"] > 0.0 for row in rows[1:])
     append_cluster_trajectory(scale.name, rows)
     assert CLUSTER_TRAJECTORY.exists()
+
+
+def test_ext_ingest_rate(benchmark, scale, show):
+    size = max(600, scale.vector_size // 4)
+    rows = benchmark.pedantic(
+        run_ingest_rate,
+        args=(size,),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        format_table(
+            rows,
+            title=(
+                "Extension - sustained ingest rate vs fsync policy "
+                f"({size} objects, batches of {INGEST_BATCH})"
+            ),
+        )
+    )
+    for row in rows:
+        assert row["insert obj/s"] > 0
+        # Recovery replayed exactly the acked-but-uncheckpointed suffix.
+        assert row["replayed"] == min(size, 4 * INGEST_BATCH)
+    always, batched, never = rows
+    # Relaxing durability must not make ingest slower by an order of
+    # magnitude the other way: fsync=always pays the most per batch.
+    assert never["insert obj/s"] >= 0.2 * always["insert obj/s"]
+    append_ingest_trajectory(scale.name, rows)
+    assert INGEST_TRAJECTORY.exists()

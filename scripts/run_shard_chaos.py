@@ -18,7 +18,7 @@ ground truth:
 * every pruning decision carries its exact annulus-count proof and is
   re-verifiable from the shard's pivot-distance profile.
 
-Two lifecycle stages ride along (``--stage`` selects one):
+Three more stages ride along (``--stage`` selects one):
 
 * **lifecycle** — corrupt a shard's vp-tree mid-workload and let
   ``ClusterLifecycle.tick`` walk the whole ladder automatically:
@@ -32,6 +32,11 @@ Two lifecycle stages ride along (``--stage`` selects one):
   one membership epoch (old or new, never a mix); then kill the
   rebalance at every journal step and assert the reopened cluster
   always answers from a single epoch and ``resume()`` always finishes.
+* **ingest** — hammer snapshot-pinned queries against a growing
+  ``IngestService``, kill the process between ack and apply and at
+  every checkpoint step (zero lost acked inserts, every view
+  ground-truth-exact), then feed recovery torn/duplicated/bit-flipped
+  WAL segments and assert the damage taxonomy stays honest.
 
 Exits 0 only when all assertions hold.  CI runs this on a schedule
 (see ``.github/workflows/chaos.yml``); locally it is::
@@ -473,10 +478,171 @@ def stage_rebalance(args, check) -> None:
     )
 
 
+def stage_ingest(args, check) -> None:
+    """Stage 4: durable ingest — kill mid-apply, recover, lose nothing."""
+    from repro.ingest import IngestService
+    from repro.mtree import vector_layout
+    from repro.reliability import WalFaultInjector, fsck_ingest
+
+    size = 120 if args.quick else 360
+    batch = 12
+    data = clustered_dataset(size, 3, seed=43)
+    points = list(data.points)
+    layout = vector_layout(3, node_size_bytes=512)
+
+    def reopened(directory):
+        survivor = IngestService(directory, data.metric, layout)
+        recovery = survivor.recover()
+        return survivor, recovery
+
+    def acked_exactly(view, n, what):
+        oids = sorted(oid for oid, _obj in view.tree.iter_objects())
+        check(
+            len(view) == n and oids == list(range(n)),
+            f"{what}: {n} acked inserts present exactly once",
+            quiet=True,
+        )
+        view.tree.validate()
+
+    # 4a. Queries hammer pinned views while the service ingests, then the
+    # process "dies" between ack and apply; recovery replays the log.
+    with tempfile.TemporaryDirectory() as tmp:
+        service = IngestService(tmp, data.metric, layout)
+        service.recover()
+        stop = threading.Event()
+        bad_answers = []
+
+        def reader():
+            rng = np.random.default_rng(43)
+            radius = 0.3 * data.d_plus
+            while not stop.is_set():
+                view = service.view()
+                if len(view) == 0:
+                    continue
+                q = points[int(rng.integers(0, size))]
+                got = sorted(view.tree.range_query(q, radius).oids())
+                truth = sorted(
+                    i
+                    for i in range(len(view))
+                    if data.metric.distance(points[i], q) <= radius
+                )
+                if got != truth:
+                    bad_answers.append((view.epoch, got, truth))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        applied = size - 2 * batch
+        try:
+            for lo in range(0, applied, batch):
+                service.append(points[lo : lo + batch])
+                service.apply()
+            service.checkpoint()
+            # Acked but never applied: the crash window the WAL covers.
+            service.append(points[applied:])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        check(
+            not bad_answers,
+            "every pinned view answered ground-truth-exactly during ingest",
+        )
+        service.close()  # kill between ack and apply
+        survivor, recovery = reopened(tmp)
+        check(
+            recovery.replayed >= 2 * batch and not recovery.lost_ranges,
+            "recovery replayed the acked-but-unapplied suffix",
+        )
+        acked_exactly(survivor.view(), size, "kill mid-apply")
+        survivor.close()
+        print(f"ingest stage: {size} inserts, kill between ack and apply")
+
+    # 4b. Kill the checkpoint at every step: old-or-new, never in between.
+    with tempfile.TemporaryDirectory() as probe_dir:
+        probe = IngestService(probe_dir, data.metric, layout)
+        total = probe.total_checkpoint_steps()
+        probe.close()
+    steps = range(0, total, 2) if args.quick else range(total)
+    for k in steps:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = IngestService(tmp, data.metric, layout)
+            service.recover()
+            service.append(points[: size // 2])
+            service.apply()
+            service.checkpoint()
+            service.append(points[size // 2 :])
+            service.apply()
+            crashed = False
+            try:
+                service.checkpoint(crash_after_step=k)
+            except SimulatedCrashError:
+                crashed = True
+            check(crashed, f"kill step {k}: crash fired", quiet=True)
+            service.close()
+            survivor, recovery = reopened(tmp)
+            check(
+                not recovery.lost_ranges,
+                f"kill step {k}: no acked insert lost",
+                quiet=True,
+            )
+            acked_exactly(survivor.view(), size, f"kill step {k}")
+            check(
+                fsck_ingest(tmp).ok,
+                f"kill step {k}: fsck clean after recovery",
+                quiet=True,
+            )
+            survivor.close()
+    print(
+        f"kill-at-every-step: {len(list(steps))} crash points over "
+        f"{total} checkpoint steps, acked-exactly-once at every one"
+    )
+
+    # 4c. Hostile WAL artifacts: torn tail + duplicate seq absorbed,
+    # bit flip detected and quarantined — acked data before the damage
+    # survives every time.
+    with tempfile.TemporaryDirectory() as tmp:
+        service = IngestService(tmp, data.metric, layout)
+        service.recover()
+        service.append(points[:batch])
+        service.close()
+        injector = WalFaultInjector(Path(tmp) / "wal")
+        # Two duplicates of the same record: the tear eats the second, a
+        # complete duplicate survives for replay to skip.
+        injector.duplicate_record(record=3)
+        injector.duplicate_record(record=-1)
+        injector.tear_tail(drop_bytes=5)
+        survivor, recovery = reopened(tmp)
+        check(
+            recovery.torn_tail and recovery.duplicates_skipped >= 1,
+            "torn tail absorbed, duplicate seq replayed once",
+        )
+        acked_exactly(survivor.view(), batch, "torn tail")
+        survivor.append(points[batch : 2 * batch])
+        survivor.close()
+        WalFaultInjector(Path(tmp) / "wal").flip_bit(record=-4, bit=2)
+        report = fsck_ingest(tmp)
+        check(
+            not report.ok
+            and any(f.kind == "wal_damage" for f in report.faults),
+            "fsck names the flipped bit before recovery touches it",
+        )
+        survivor, recovery = reopened(tmp)
+        check(
+            bool(recovery.debris),
+            "bit-flipped segment quarantined as debris",
+        )
+        survivor.view().tree.validate()
+        survivor.close()
+        print("hostile WAL artifacts: torn/duplicate/bit-flip all honest")
+
+
 STAGES = {
     "scatter": stage_scatter,
     "lifecycle": stage_lifecycle,
     "rebalance": stage_rebalance,
+    "ingest": stage_ingest,
 }
 
 

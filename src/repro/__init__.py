@@ -31,6 +31,7 @@ from . import (
     core,
     datasets,
     gist,
+    ingest,
     metrics,
     mtree,
     observability,
@@ -66,6 +67,7 @@ __all__ = [
     "core",
     "datasets",
     "gist",
+    "ingest",
     "metrics",
     "mtree",
     "observability",

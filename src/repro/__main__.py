@@ -12,6 +12,7 @@ Usage::
     python -m repro fsck --mtree tree.json --metric l2 --json
     python -m repro scrub --size 2000 --inject shrink_radius --json
     python -m repro serve-bench --quick --metrics
+    python -m repro ingest-bench --quick
     python -m repro figure1 --quick --metrics --metrics-out metrics.json
     python -m repro metrics --input metrics.json
     python -m repro metrics --input metrics.json --json
@@ -369,6 +370,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink all sizes for a fast smoke run",
     )
     serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect observability counters and print them after the run",
+    )
+    ingest = subparsers.add_parser(
+        "ingest-bench",
+        help="measure the durable ingest path: sustained insert rate per "
+        "fsync policy, checkpoint and WAL-replay recovery timing",
+    )
+    ingest.add_argument(
+        "--objects",
+        type=int,
+        default=4000,
+        help="objects streamed through the service (default 4000)",
+    )
+    ingest.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        help="objects per append batch (default 64)",
+    )
+    ingest.add_argument(
+        "--fsync",
+        default="always,batch,never",
+        help="comma-separated fsync policies to sweep "
+        "(default always,batch,never)",
+    )
+    ingest.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink all sizes for a fast smoke run",
+    )
+    ingest.add_argument(
         "--metrics",
         action="store_true",
         help="collect observability counters and print them after the run",
@@ -877,6 +911,99 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest_bench(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .ingest import IngestService
+    from .metrics import L2
+    from .mtree import vector_layout
+
+    n_objects = 600 if args.quick else args.objects
+    batch = max(1, min(args.batch, n_objects))
+    policies = [p.strip() for p in str(args.fsync).split(",") if p.strip()]
+    if args.metrics:
+        from . import observability
+
+        observability.install()
+    rng = np.random.default_rng(19)
+    points = rng.random((n_objects, 8))
+    metric = L2()
+    layout = vector_layout(8)
+    print(
+        f"ingest-bench: {n_objects} objects, batches of {batch}, "
+        f"fsync sweep {','.join(policies)}"
+    )
+    print("\n-- sustained append+apply rate vs fsync policy")
+    for policy in policies:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = IngestService(
+                Path(tmp), metric, layout, fsync=policy
+            )
+            service.recover()
+            started = time.perf_counter()
+            for lo in range(0, n_objects, batch):
+                service.append(points[lo : lo + batch])
+                service.apply()
+            elapsed = time.perf_counter() - started
+            view = service.view()
+            print(
+                f"fsync={policy:<7} {n_objects / elapsed:>9.0f} obj/s  "
+                f"({elapsed * 1e3:7.1f} ms, epoch {view.epoch}, "
+                f"seq {view.seq})"
+            )
+            service.close()
+    print("\n-- checkpoint + recovery (fsync=always)")
+    with tempfile.TemporaryDirectory() as tmp:
+        service = IngestService(Path(tmp), metric, layout, fsync="always")
+        service.recover()
+        half = n_objects // 2
+        service.append(points[:half])
+        service.apply()
+        started = time.perf_counter()
+        outcome = service.checkpoint()
+        ckpt_ms = (time.perf_counter() - started) * 1e3
+        print(
+            f"checkpoint: {half} objects -> generation "
+            f"{outcome.generation} in {ckpt_ms:.1f} ms "
+            f"({outcome.segments_pruned} WAL segments pruned)"
+        )
+        for lo in range(half, n_objects, batch):
+            service.append(points[lo : lo + batch])
+            service.apply()
+        service.close()
+        cold = IngestService(Path(tmp), metric, layout, fsync="always")
+        started = time.perf_counter()
+        recovery = cold.recover()
+        rec_ms = (time.perf_counter() - started) * 1e3
+        view = cold.view()
+        print(
+            f"recover: snapshot({half}) + WAL replay({recovery.replayed}) "
+            f"-> {len(view)} objects in {rec_ms:.1f} ms "
+            f"(epoch {view.epoch}, store {recovery.store_action})"
+        )
+        n_queries = 50
+        started = time.perf_counter()
+        hits = sum(
+            len(view.tree.range_query(points[i], 0.25))
+            for i in range(n_queries)
+        )
+        query_ms = (time.perf_counter() - started) * 1e3 / n_queries
+        print(
+            f"queries on recovered view: {n_queries} range queries, "
+            f"{hits} hits, {query_ms:.2f} ms/query"
+        )
+        cold.close()
+    if args.metrics:
+        from . import observability
+
+        print("\n== metrics " + "=" * 59)
+        print(observability.snapshot().render())
+    return 0
+
+
 def _run_shard_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -1050,6 +1177,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve_bench(args)
     if args.experiment == "shard-bench":
         return _run_shard_bench(args)
+    if args.experiment == "ingest-bench":
+        return _run_ingest_bench(args)
     if args.quick:
         for key, value in QUICK_OVERRIDES.items():
             setattr(args, key, value)

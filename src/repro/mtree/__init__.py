@@ -7,10 +7,20 @@ from .layout import NodeLayout, string_layout, vector_layout
 from .node import Node
 from .split import SplitOutcome, split_entries
 from .stats import collect_level_stats, collect_node_records, collect_node_stats
-from .tree import KNNResult, MTree, Neighbor, QueryStats, RangeResult
+from .tree import (
+    InsertFailure,
+    InsertReport,
+    KNNResult,
+    MTree,
+    Neighbor,
+    QueryStats,
+    RangeResult,
+)
 
 __all__ = [
     "MTree",
+    "InsertFailure",
+    "InsertReport",
     "bulk_load",
     "NodeLayout",
     "vector_layout",

@@ -29,7 +29,13 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import EmptyTreeError, InvalidParameterError
+from ..exceptions import (
+    DeadlineExceededError,
+    EmptyTreeError,
+    InvalidParameterError,
+    MetricostError,
+    OperationCancelledError,
+)
 from ..metrics import Metric
 from ..observability import state as _obs
 from .entries import LeafEntry, RoutingEntry
@@ -37,7 +43,15 @@ from .layout import NodeLayout
 from .node import Node
 from .split import SplitOutcome, split_entries
 
-__all__ = ["MTree", "QueryStats", "RangeResult", "KNNResult", "Neighbor"]
+__all__ = [
+    "MTree",
+    "QueryStats",
+    "RangeResult",
+    "KNNResult",
+    "Neighbor",
+    "InsertFailure",
+    "InsertReport",
+]
 
 
 @dataclass
@@ -74,6 +88,54 @@ class QueryStats:
             dists_computed=int(
                 registry.counter_value(f"{tree}.dists_computed", kind=kind)
             ),
+        )
+
+
+@dataclass(frozen=True)
+class InsertFailure:
+    """One object a batch insert could not store.
+
+    ``index`` is the object's position in the submitted batch; ``error``
+    is the stringified cause and ``kind`` the exception class name, so a
+    caller (or a WAL replay) can decide whether the failure is
+    deterministic (a malformed object will fail identically on every
+    replay) without keeping the exception object alive.
+    """
+
+    index: int
+    error: str
+    kind: str
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "error": self.error, "kind": self.kind}
+
+
+class InsertReport(list):
+    """Result of :meth:`MTree.insert_many`: the successful oids plus
+    typed per-object failures.
+
+    Behaves exactly like the plain ``List[int]`` of oids the method used
+    to return (equality, iteration, indexing), so existing callers are
+    unaffected; ``failures`` carries an :class:`InsertFailure` per object
+    that could not be inserted.
+    """
+
+    def __init__(self, oids: Iterable[int] = (), failures: Iterable[InsertFailure] = ()):
+        super().__init__(oids)
+        self.failures: List[InsertFailure] = list(failures)
+
+    @property
+    def oids(self) -> List[int]:
+        return list(self)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InsertReport(inserted={len(self)}, "
+            f"failed={len(self.failures)})"
         )
 
 
@@ -151,7 +213,7 @@ class MTree:
         self._rng = np.random.default_rng(seed)
         self._root: Optional[Node] = None
         self._n_objects = 0
-        self._next_oid = itertools.count()
+        self._next_oid = 0
         self._subtree_count_cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -193,23 +255,57 @@ class MTree:
 
     def insert(self, obj: Any, oid: Optional[int] = None) -> int:
         """Insert one object; returns its oid."""
-        oid = next(self._next_oid) if oid is None else oid
+        if oid is None:
+            oid = self._next_oid
+        self._next_oid = max(self._next_oid, oid + 1)
+        reg = _obs.registry
         if self._root is None:
             self._root = Node(is_leaf=True)
             self._root.add(LeafEntry(obj, oid, dist_to_parent=0.0))
             self._n_objects = 1
             self._invalidate_caches()
+            if reg is not None:
+                reg.inc("mtree.inserts")
             return oid
         split = self._insert_into(self._root, obj, oid, parent_obj=None)
         if split is not None:
             self._grow_root(split)
         self._n_objects += 1
         self._invalidate_caches()
+        if reg is not None:
+            reg.inc("mtree.inserts")
         return oid
 
-    def insert_many(self, objects: Iterable[Any]) -> List[int]:
-        """Insert a batch of objects one by one; returns their oids."""
-        return [self.insert(obj) for obj in objects]
+    def insert_many(self, objects: Iterable[Any]) -> "InsertReport":
+        """Insert a batch of objects one by one; returns an
+        :class:`InsertReport` — a list of the successful oids (so callers
+        that expect the old ``List[int]`` keep working unchanged) with
+        per-object :class:`InsertFailure` entries for the rest.
+
+        One malformed object (wrong dimensionality, wrong type, a metric
+        that rejects it) no longer aborts the remaining batch: the error
+        is captured and insertion continues.  A failed insert leaves the
+        tree valid — any covering radius already enlarged on the failed
+        object's behalf remains a correct (merely loose) upper bound.
+        Deadline expiry and cooperative cancellation still propagate:
+        they describe the *caller's* budget, not the object.
+        """
+        reg = _obs.registry
+        report = InsertReport()
+        for index, obj in enumerate(objects):
+            try:
+                report.append(self.insert(obj))
+            except (DeadlineExceededError, OperationCancelledError):
+                raise
+            except (MetricostError, TypeError, ValueError) as exc:
+                report.failures.append(
+                    InsertFailure(
+                        index=index, error=str(exc), kind=type(exc).__name__
+                    )
+                )
+                if reg is not None:
+                    reg.inc("mtree.insert_failures")
+        return report
 
     def _capacity(self, node: Node) -> int:
         return (
@@ -231,11 +327,13 @@ class MTree:
     ) -> Optional[SplitOutcome]:
         """Recursive insert; returns a split outcome if ``node`` overflowed."""
         if node.is_leaf:
-            dist_to_parent = (
-                self.metric.distance(obj, parent_obj)
-                if parent_obj is not None
-                else 0.0
-            )
+            if parent_obj is not None:
+                dist_to_parent = self.metric.distance(obj, parent_obj)
+                reg = _obs.registry
+                if reg is not None:
+                    reg.inc("mtree.dists_computed", kind="insert")
+            else:
+                dist_to_parent = 0.0
             node.add(LeafEntry(obj, oid, dist_to_parent))
         else:
             entry = self._choose_subtree(node, obj)
@@ -254,12 +352,29 @@ class MTree:
 
     def _choose_subtree(self, node: Node, obj: Any) -> RoutingEntry:
         """VLDB'97 ChooseSubtree: prefer a covering entry at minimum
-        distance; otherwise minimise the radius enlargement (and enlarge)."""
+        distance; otherwise minimise the radius enlargement (and enlarge).
+
+        All routing distances of the node are evaluated in one batched
+        kernel call (``Metric.one_to_many``), exactly as the query
+        traversals do; a single-entry node keeps the scalar path.  The
+        number of distances computed is identical to the old
+        entry-at-a-time loop — pinned by the golden insert counters.
+        """
+        entries = node.entries
+        if len(entries) == 1:
+            dists = [self.metric.distance(obj, entries[0].obj)]
+        else:
+            dists = self.metric.one_to_many(
+                obj, [entry.obj for entry in entries]
+            )
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("mtree.dists_computed", len(entries), kind="insert")
         best_covering: Optional[Tuple[float, RoutingEntry]] = None
         best_enlarging: Optional[Tuple[float, float, RoutingEntry]] = None
-        for entry in node.entries:
+        for entry, dist in zip(entries, dists):
             assert isinstance(entry, RoutingEntry)
-            dist = self.metric.distance(obj, entry.obj)
+            dist = float(dist)
             if dist <= entry.radius:
                 if best_covering is None or dist < best_covering[0]:
                     best_covering = (dist, entry)
@@ -317,8 +432,20 @@ class MTree:
         return bool(entries) and isinstance(entries[0], LeafEntry)
 
     def _refresh_parent_distances(self, node: Node, routing_obj: Any) -> None:
-        for entry in node.entries:
-            entry.dist_to_parent = self.metric.distance(entry.obj, routing_obj)
+        entries = node.entries
+        if not entries:
+            return
+        if len(entries) == 1:
+            dists = [self.metric.distance(entries[0].obj, routing_obj)]
+        else:
+            dists = self.metric.one_to_many(
+                routing_obj, [entry.obj for entry in entries]
+            )
+        reg = _obs.registry
+        if reg is not None:
+            reg.inc("mtree.dists_computed", len(entries), kind="insert")
+        for entry, dist in zip(entries, dists):
+            entry.dist_to_parent = float(dist)
 
     def _grow_root(self, split: SplitOutcome) -> None:
         """Root split: the tree grows one level."""
@@ -341,8 +468,50 @@ class MTree:
         """Install a bulk-loaded subtree as this tree's root (internal)."""
         self._root = root
         self._n_objects = n_objects
-        self._next_oid = itertools.count(n_objects)
+        self._next_oid = n_objects
         self._invalidate_caches()
+
+    def clone(self) -> "MTree":
+        """A deep structural copy sharing the stored object payloads.
+
+        Insertion mutates nodes and entries in place (covering radii are
+        enlarged, parent distances rewritten), so a snapshot that must
+        stay immutable while the original keeps growing — the ingest
+        layer's epoch-pinned views — needs its own node/entry graph.
+        The objects themselves are shared (they are never mutated by the
+        tree), which keeps a clone far cheaper than re-inserting: no
+        distance is computed.
+
+        The clone gets a fresh RNG; split sampling only consults it
+        above the exhaustive-pair threshold, and the default ``mm_rad``
+        policy is deterministic below it.
+        """
+
+        def copy_node(node: Node) -> Node:
+            twin = Node(is_leaf=node.is_leaf)
+            if node.is_leaf:
+                twin.entries = [
+                    LeafEntry(entry.obj, entry.oid, entry.dist_to_parent)
+                    for entry in node.entries
+                ]
+            else:
+                twin.entries = [
+                    RoutingEntry(
+                        entry.obj,
+                        entry.radius,
+                        copy_node(entry.child),
+                        entry.dist_to_parent,
+                    )
+                    for entry in node.entries
+                ]
+            return twin
+
+        twin = MTree(self.metric, self.layout, split_policy=self.split_policy)
+        if self._root is not None:
+            twin._root = copy_node(self._root)
+        twin._n_objects = self._n_objects
+        twin._next_oid = self._next_oid
+        return twin
 
     # ------------------------------------------------------------------
     # Queries

@@ -31,6 +31,7 @@ from .faults import (
     ShardFaultInjector,
     StructuralFaultInjector,
     TornPage,
+    WalFaultInjector,
 )
 from .fsck import (
     FAULT_KINDS,
@@ -40,6 +41,7 @@ from .fsck import (
     StructuralFault,
     check_mtree_unit,
     check_vptree_unit,
+    fsck_ingest,
     fsck_mtree,
     fsck_page_graph,
     fsck_vptree,
@@ -71,6 +73,7 @@ __all__ = [
     "StructuralFaultInjector",
     "ShardChaos",
     "ShardFaultInjector",
+    "WalFaultInjector",
     "RetryPolicy",
     "RetryAttempt",
     "RetryStats",
@@ -94,6 +97,7 @@ __all__ = [
     "fsck_vptree",
     "materialize_page_graph",
     "fsck_page_graph",
+    "fsck_ingest",
     "RepairOutcome",
     "repair_mtree",
     "repair_vptree",

@@ -38,6 +38,7 @@ __all__ = [
     "StructuralFaultInjector",
     "ShardChaos",
     "ShardFaultInjector",
+    "WalFaultInjector",
 ]
 
 
@@ -637,3 +638,140 @@ class ShardFaultInjector:
         """Lift any injected chaos on the shard (structure stays damaged)."""
         shard.chaos.heal()
         return self._record(shard, "shard_healed")
+
+
+class WalFaultInjector:
+    """Deterministic byte-level damage to on-disk WAL segments.
+
+    The hostile-artifact counterpart of :class:`FaultPolicy` for the
+    ingest write-ahead log (:mod:`repro.ingest.wal`): every method edits
+    segment files in place, at explicit offsets, so chaos drills and
+    tests replay the exact same damage every run.  Methods return the
+    name of the segment they damaged.
+    """
+
+    def __init__(self, directory: Any):
+        from pathlib import Path
+
+        self.directory = Path(directory)
+
+    def _segments(self) -> list:
+        found = [
+            path
+            for path in self.directory.iterdir()
+            if path.name.startswith("wal-") and path.name.endswith(".log")
+        ]
+        if not found:
+            raise InvalidParameterError(
+                f"no WAL segments under {self.directory}"
+            )
+        return sorted(found)
+
+    def _record_lines(self) -> list:
+        """Every complete record as ``(path, start_offset, line_bytes)``."""
+        out = []
+        for path in self._segments():
+            data = path.read_bytes()
+            offset = 0
+            while True:
+                newline = data.find(b"\n", offset)
+                if newline < 0:
+                    break
+                out.append((path, offset, data[offset:newline]))
+                offset = newline + 1
+        if not out:
+            raise InvalidParameterError("WAL holds no complete record")
+        return out
+
+    def tear_tail(self, drop_bytes: int = 7) -> str:
+        """Crash-mid-append: drop the final bytes of the last segment.
+
+        Leaves the last record truncated without its newline — the
+        benign torn-tail signature recovery must absorb.
+        """
+        if drop_bytes < 1:
+            raise InvalidParameterError(
+                f"drop_bytes must be >= 1, got {drop_bytes}"
+            )
+        path = self._segments()[-1]
+        data = path.read_bytes()
+        if len(data) <= drop_bytes:
+            raise InvalidParameterError(
+                f"segment {path.name} has only {len(data)} byte(s)"
+            )
+        path.write_bytes(data[:-drop_bytes])
+        if _obs.registry is not None:
+            _obs.registry.inc(
+                "reliability.wal_faults_injected", kind="torn_tail"
+            )
+        return path.name
+
+    def truncate_segment(self, keep_records: int = 0) -> str:
+        """Cut the last segment down to its first ``keep_records`` records
+        (newline intact — mid-log truncation, *not* a benign torn tail
+        unless it is the final segment's tail)."""
+        if keep_records < 0:
+            raise InvalidParameterError(
+                f"keep_records must be >= 0, got {keep_records}"
+            )
+        path = self._segments()[-1]
+        data = path.read_bytes()
+        offset = 0
+        for _ in range(keep_records):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                raise InvalidParameterError(
+                    f"segment {path.name} has fewer than "
+                    f"{keep_records} record(s)"
+                )
+            offset = newline + 1
+        path.write_bytes(data[:offset])
+        if _obs.registry is not None:
+            _obs.registry.inc(
+                "reliability.wal_faults_injected", kind="truncated_segment"
+            )
+        return path.name
+
+    def flip_bit(self, record: int = 0, bit: int = 1) -> str:
+        """Flip one bit inside the body of the ``record``-th record
+        (log order, negative indexes from the end) — silent bit rot the
+        CRC frame must catch."""
+        lines = self._record_lines()
+        path, offset, line = lines[record]
+        # The body starts after the 4th space (magic seq len crc body).
+        spaces = 0
+        body_at = 0
+        for pos, byte in enumerate(line):
+            if byte == 0x20:
+                spaces += 1
+                if spaces == 4:
+                    body_at = pos + 1
+                    break
+        if spaces < 4 or body_at >= len(line):
+            raise InvalidParameterError(
+                f"record {record} in {path.name} has no body to damage"
+            )
+        data = bytearray(path.read_bytes())
+        target = offset + body_at
+        data[target] ^= 1 << (bit % 8)
+        path.write_bytes(bytes(data))
+        if _obs.registry is not None:
+            _obs.registry.inc(
+                "reliability.wal_faults_injected", kind="bit_flip"
+            )
+        return path.name
+
+    def duplicate_record(self, record: int = -1) -> str:
+        """Re-append a byte-identical copy of an existing record to the
+        last segment — the duplicate-sequence shape idempotent replay
+        must skip."""
+        lines = self._record_lines()
+        _src, _offset, line = lines[record]
+        path = self._segments()[-1]
+        with open(path, "ab") as fh:
+            fh.write(line + b"\n")
+        if _obs.registry is not None:
+            _obs.registry.inc(
+                "reliability.wal_faults_injected", kind="duplicate_record"
+            )
+        return path.name

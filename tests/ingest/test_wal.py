@@ -1,0 +1,201 @@
+"""The WAL under hostile artifacts: framing, damage taxonomy, recovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CorruptedDataError, InvalidParameterError
+from repro.ingest import (
+    FSYNC_POLICIES,
+    WAL_MAGIC,
+    WalWriter,
+    decode_record,
+    encode_record,
+    quarantine_debris,
+    read_wal,
+)
+from repro.reliability import WalFaultInjector
+
+PAYLOADS = [{"obj": {"t": "vec", "v": [float(i), 0.5]}} for i in range(40)]
+
+
+def _fill(directory, n=40, **kwargs):
+    writer = WalWriter(directory, **kwargs)
+    for payload in PAYLOADS[:n]:
+        writer.append("insert", payload)
+    writer.close()
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_record(7, "insert", {"obj": [1.0, 2.0]})
+        assert frame.startswith(WAL_MAGIC)
+        assert frame.endswith(b"\n")
+        record = decode_record(frame.rstrip(b"\n"))
+        assert record.seq == 7
+        assert record.op == "insert"
+        assert record.payload == {"obj": [1.0, 2.0]}
+
+    @given(
+        seq=st.integers(min_value=1, max_value=2**53),
+        op=st.sampled_from(["insert", "tombstone", "noop"]),
+        payload=st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(-(2**31), 2**31),
+                st.floats(-1e9, 1e9, allow_nan=False),
+                st.text(max_size=20),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=8), children, max_size=4),
+            ),
+            max_leaves=12,
+        ),
+    )
+    def test_property_roundtrip(self, seq, op, payload):
+        record = decode_record(
+            encode_record(seq, op, payload).rstrip(b"\n")
+        )
+        assert (record.seq, record.op, record.payload) == (
+            seq,
+            op,
+            payload,
+        )
+
+    def test_bad_magic_rejected(self):
+        frame = encode_record(1, "insert", {})
+        with pytest.raises(CorruptedDataError, match="bad_magic"):
+            decode_record(
+                (b"XXWAL1" + frame[len(WAL_MAGIC) :]).rstrip(b"\n")
+            )
+
+    def test_flipped_body_bit_rejected(self):
+        frame = bytearray(
+            encode_record(1, "insert", {"obj": "abcdef"}).rstrip(b"\n")
+        )
+        frame[-3] ^= 0x08
+        with pytest.raises(CorruptedDataError, match="crc_mismatch"):
+            decode_record(bytes(frame))
+
+
+class TestWriter:
+    def test_append_assigns_monotonic_seqs(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        seqs = [writer.append("insert", {"i": i}) for i in range(10)]
+        writer.close()
+        assert seqs == list(range(1, 11))
+        report = read_wal(tmp_path)
+        assert report.ok
+        assert [r.seq for r in report.records] == seqs
+
+    def test_append_batch_is_one_contiguous_run(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        seqs = writer.append_batch(
+            [("insert", {"i": i}) for i in range(25)]
+        )
+        writer.close()
+        assert seqs == list(range(1, 26))
+        assert read_wal(tmp_path).last_seq == 25
+
+    def test_rotation_and_prune(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=256)
+        for i in range(40):
+            writer.append("insert", {"i": i})
+        segments = sorted(p.name for p in tmp_path.glob("wal-*.log"))
+        assert len(segments) > 1
+        writer.prune(upto_seq=read_wal(tmp_path).last_seq)
+        survivors = sorted(p.name for p in tmp_path.glob("wal-*.log"))
+        # The open segment is never pruned; everything closed is gone.
+        assert survivors == [segments[-1]]
+        writer.close()
+        assert read_wal(tmp_path).ok
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        assert FSYNC_POLICIES == ("always", "batch", "never")
+        with pytest.raises(InvalidParameterError):
+            WalWriter(tmp_path, fsync="sometimes")
+
+    def test_resume_at_start_seq(self, tmp_path):
+        _fill(tmp_path, n=5)
+        writer = WalWriter(tmp_path, start_seq=6)
+        assert writer.append("insert", {"i": 5}) == 6
+        writer.close()
+        report = read_wal(tmp_path)
+        assert report.ok
+        assert report.last_seq == 6
+
+
+class TestHostileArtifacts:
+    def test_torn_final_record_is_benign(self, tmp_path):
+        _fill(tmp_path, n=10)
+        WalFaultInjector(tmp_path).tear_tail(drop_bytes=7)
+        report = read_wal(tmp_path)
+        assert report.torn_tail
+        assert not report.damage
+        assert report.last_seq == 9
+        assert len(report.records) == 9
+
+    def test_truncated_segment_reports_gap(self, tmp_path):
+        _fill(tmp_path, n=30, segment_max_bytes=256)
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) >= 2
+        WalFaultInjector(tmp_path).truncate_segment(keep_records=0)
+        report = read_wal(tmp_path)
+        # The final segment lost its whole tail: benign torn classification
+        # but the records are gone.
+        assert report.last_seq < 30
+
+    def test_bit_flip_cuts_and_quarantines(self, tmp_path):
+        _fill(tmp_path, n=20)
+        WalFaultInjector(tmp_path).flip_bit(record=10, bit=3)
+        report = read_wal(tmp_path)
+        assert not report.ok
+        assert report.damage
+        assert report.damage[0].reason == "crc_mismatch"
+        assert report.cut is not None
+        # Everything before the flip survives; everything after is debris.
+        assert [r.seq for r in report.records] == list(range(1, 11))
+        assert report.quarantined_records == 9
+        debris = quarantine_debris(tmp_path, report)
+        assert debris
+        assert list(tmp_path.glob("*.debris"))
+        # After quarantine the surviving prefix reads back clean.
+        healed = read_wal(tmp_path)
+        assert healed.ok
+        assert [r.seq for r in healed.records] == list(range(1, 11))
+
+    def test_mid_log_tear_is_not_benign(self, tmp_path):
+        _fill(tmp_path, n=20, segment_max_bytes=256)
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) >= 2
+        # Damage the FIRST segment: a torn frame there is real damage, not
+        # a crash-mid-append tail.
+        data = segments[0].read_bytes()
+        segments[0].write_bytes(data[:-9])
+        report = read_wal(tmp_path)
+        assert not report.torn_tail
+        assert report.damage
+        assert report.gaps == [] or report.quarantined_records > 0
+
+    def test_duplicate_sequence_detected(self, tmp_path):
+        _fill(tmp_path, n=12)
+        WalFaultInjector(tmp_path).duplicate_record(record=-1)
+        report = read_wal(tmp_path)
+        assert report.duplicate_seqs == 1
+        # Duplicates are not damage: the log still parses end to end.
+        assert not report.damage
+
+    def test_sequence_gap_detected(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append("insert", {"i": 0})
+        writer.close()
+        writer = WalWriter(tmp_path, start_seq=5)
+        writer.append("insert", {"i": 4})
+        writer.close()
+        report = read_wal(tmp_path)
+        assert report.gaps == [(2, 4)]
+        assert not report.ok

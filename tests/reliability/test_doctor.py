@@ -26,6 +26,7 @@ EXPECTED_CHECKS = {
     "scrub quarantine",
     "router partial answers",
     "lifecycle gc",
+    "ingest wal",
     "static analysis",
 }
 

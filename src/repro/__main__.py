@@ -170,7 +170,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json",
         action="store_true",
-        help="emit the machine-readable report instead of text",
+        help="emit the machine-readable report instead of text "
+        "(alias for --format json)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        dest="format",
+        help="output format (default: text; sarif for code-scanning "
+        "upload)",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="incremental mode: run per-module rules only on files "
+        "changed vs git HEAD (project-wide rules still see the whole "
+        "tree)",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline dropping entries that no longer "
+        "match any finding, and exit 0",
+    )
+    lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="skip this file or directory subtree (repeatable; e.g. "
+        "the seeded violation corpus under tests/)",
     )
     lint.add_argument(
         "--baseline",
@@ -1106,11 +1136,45 @@ def _run_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files(root: "Path") -> Optional[list]:
+    """Python files changed vs git HEAD (staged, unstaged, untracked),
+    absolute paths; ``None`` when git is unavailable or this is not a
+    work tree."""
+    import subprocess
+
+    changed: set = set()
+    for cmd in (
+        ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
+        [
+            "git",
+            "-C",
+            str(root),
+            "ls-files",
+            "--others",
+            "--exclude-standard",
+        ],
+    ):
+        try:
+            out = subprocess.run(
+                cmd,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        for line in out.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                changed.add(root / line)
+    return sorted(changed)
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .analysis import Baseline, all_rules, analyze_paths
-    from .analysis.report import render_json, render_text
+    from .analysis.report import render_json, render_sarif, render_text
 
     if args.list_rules:
         for rule in all_rules():
@@ -1145,7 +1209,24 @@ def _run_lint(args: argparse.Namespace) -> int:
             ).is_file():
                 root = candidate
                 break
-    report = analyze_paths(args.paths, rules=rules, baseline=baseline, root=root)
+    changed = None
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print(
+                "lint --changed needs a git work tree at the project "
+                "root; run without --changed instead",
+                file=sys.stderr,
+            )
+            return 2
+    report = analyze_paths(
+        args.paths,
+        rules=rules,
+        baseline=baseline,
+        root=root,
+        changed=changed,
+        exclude=args.exclude,
+    )
     if args.write_baseline:
         Baseline.from_findings(report.findings).save(baseline_path)
         print(
@@ -1154,7 +1235,28 @@ def _run_lint(args: argparse.Namespace) -> int:
             f"{baseline_path} — add a justification to each"
         )
         return 0
-    output = render_json(report) if args.json else render_text(report)
+    if args.prune_baseline:
+        if baseline is None:
+            print(
+                f"no baseline at {baseline_path}; nothing to prune",
+                file=sys.stderr,
+            )
+            return 2
+        removed = baseline.prune(report.unused_baseline)
+        baseline.save(baseline_path)
+        print(
+            f"pruned {removed} stale entr"
+            f"{'y' if removed == 1 else 'ies'} from {baseline_path} "
+            f"({len(baseline)} remain)"
+        )
+        return 0
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
+        output = render_json(report)
+    elif fmt == "sarif":
+        output = render_sarif(report)
+    else:
+        output = render_text(report)
     print(output, end="")
     return 0 if report.ok else 1
 

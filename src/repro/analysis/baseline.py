@@ -101,10 +101,30 @@ class Baseline:
             encoding="utf-8",
         )
 
+    def prune(self, fingerprints: Sequence[str]) -> int:
+        """Drop the listed entries (stale ones, per ``split``'s third
+        return value); returns how many were actually removed."""
+        removed = 0
+        for fingerprint in fingerprints:
+            if fingerprint in self.entries:
+                del self.entries[fingerprint]
+                removed += 1
+        return removed
+
     def split(
         self, findings: Sequence[Finding]
     ) -> Tuple[List[Finding], List[Finding], List[str]]:
-        """Partition findings into (new, baselined) + unused fingerprints."""
+        """Partition findings into (new, baselined) + unused fingerprints.
+
+        Matching is two-pass.  The exact pass compares content
+        fingerprints (rule + path + snippet + occurrence), which already
+        survive line renumbering.  A *move* pass then pairs remaining
+        findings with unused entries that carry the same rule and
+        snippet but a different recorded path — so renaming a file does
+        not spill its grandfathered findings back into the failure set.
+        Each unused entry vouches for at most one finding, entries in
+        fingerprint order, findings in sorted order (deterministic).
+        """
         new: List[Finding] = []
         baselined: List[Finding] = []
         seen: set = set()
@@ -114,5 +134,32 @@ class Baseline:
                 seen.add(fingerprint)
             else:
                 new.append(finding)
-        unused = sorted(set(self.entries) - seen)
+        unused_set = set(self.entries) - seen
+        if unused_set and new:
+            movable: Dict[Tuple[str, str], List[str]] = {}
+            for fingerprint in sorted(unused_set):
+                entry = self.entries[fingerprint]
+                rule = entry.get("rule")
+                snippet = entry.get("snippet")
+                if isinstance(rule, str) and isinstance(snippet, str):
+                    movable.setdefault((rule, snippet), []).append(
+                        fingerprint
+                    )
+            still_new: List[Finding] = []
+            for finding in new:
+                candidates = movable.get((finding.rule, finding.snippet))
+                matched = None
+                for fingerprint in candidates or ():
+                    if self.entries[fingerprint].get("path") != finding.path:
+                        matched = fingerprint
+                        break
+                if matched is not None and candidates is not None:
+                    candidates.remove(matched)
+                    unused_set.discard(matched)
+                    baselined.append(finding)
+                else:
+                    still_new.append(finding)
+            new = still_new
+            baselined.sort()
+        unused = sorted(unused_set)
         return new, baselined, unused

@@ -12,19 +12,27 @@ from __future__ import annotations
 from . import (  # noqa: F401 — imported for their @register side effects
     api_surface,
     cancellation,
+    deadline_propagation,
+    durability_protocol,
+    epoch_fence,
     exception_hierarchy,
     float_discipline,
     lock_discipline,
     lock_order,
+    lockset_race,
     observability_guard,
 )
 
 __all__ = [
     "api_surface",
     "cancellation",
+    "deadline_propagation",
+    "durability_protocol",
+    "epoch_fence",
     "exception_hierarchy",
     "float_discipline",
     "lock_discipline",
     "lock_order",
+    "lockset_race",
     "observability_guard",
 ]

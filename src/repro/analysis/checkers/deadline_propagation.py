@@ -1,0 +1,158 @@
+"""deadline-propagation: deadlines thread all the way to the I/O edge.
+
+The cost model's latency story (§4's response-time surface) only holds
+if a query's time budget reaches the code that actually spends the
+time: page reads through :mod:`repro.storage.pager` and the batched
+metric kernels.  A function that *accepts* a ``deadline``/``ctx`` and
+then calls an I/O-reaching callee without passing it on silently
+converts a bounded query into an unbounded one — the caller believes
+the budget is enforced, the storage layer never hears about it.
+
+Using the flow core's call graph, this rule computes the set of
+functions that transitively reach page I/O or the kernels, and flags:
+
+* a function that accepts a deadline-ish parameter (``deadline``,
+  ``ctx``, ``context``) and calls a *resolved, deadline-accepting,
+  I/O-reaching* project callee without forwarding any deadline-ish
+  argument — the drop site;
+* a function that accepts a deadline-ish parameter, reaches I/O, and
+  never references the parameter at all — the budget is decorative.
+
+Unresolvable callees produce no findings (conservative), and callees
+that cannot accept a deadline are not blamed on their callers here —
+widening a signature is a design decision, not a lint fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List, Set
+
+from ..findings import Finding
+from ..flow import CallSite, FunctionInfo, get_flow
+from ..registry import Checker, register
+
+__all__ = ["DeadlinePropagationChecker"]
+
+#: parameter names that carry a Deadline/Context budget
+DEADLINE_PARAMS = ("deadline", "ctx", "context")
+
+#: batched metric kernel entry points (distinctive names, receivers are
+#: often metric objects the resolver cannot type)
+KERNEL_NAMES = {
+    "one_to_many",
+    "one_to_many_bounded",
+    "pairwise",
+    "rowwise",
+}
+
+PAGER_MODULE = "repro.storage.pager."
+
+
+def _is_io_site(site: CallSite) -> bool:
+    if site.callee is not None and site.callee.startswith(PAGER_MODULE):
+        return True
+    return site.final_name in KERNEL_NAMES
+
+
+def _deadline_params(info: FunctionInfo) -> List[str]:
+    return [p for p in info.params if p in DEADLINE_PARAMS]
+
+
+def _expr_carries_deadline(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and (
+            "deadline" in child.id or child.id in ("ctx", "context")
+        ):
+            return True
+        if isinstance(child, ast.Attribute) and (
+            "deadline" in child.attr or child.attr in ("ctx", "context")
+        ):
+            return True
+    return False
+
+
+def _call_threads_deadline(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg in DEADLINE_PARAMS or (
+            keyword.arg is not None and "deadline" in keyword.arg
+        ):
+            return True
+        if keyword.arg is None and _expr_carries_deadline(keyword.value):
+            return True  # **kwargs forwarding
+    return any(_expr_carries_deadline(arg) for arg in call.args) or any(
+        _expr_carries_deadline(kw.value) for kw in call.keywords
+    )
+
+
+@register
+class DeadlinePropagationChecker(Checker):
+    rule = "deadline-propagation"
+    description = (
+        "functions reaching page I/O or metric kernels must thread "
+        "their Deadline/Context instead of dropping it"
+    )
+
+    def check_project(self, context: Any) -> Iterable[Finding]:
+        flow = get_flow(context)
+        reaching = flow.functions_reaching(_is_io_site)
+        findings: List[Finding] = []
+        for info in flow.functions.values():
+            if info.qname not in reaching:
+                continue
+            params = _deadline_params(info)
+            if not params:
+                continue
+            if not self._references_any(info, params):
+                findings.append(
+                    info.module.finding(
+                        self.rule,
+                        info.node,
+                        f"{info.name}() accepts "
+                        f"{'/'.join(params)} and reaches page I/O or "
+                        "metric kernels but never reads it — the "
+                        "budget is decorative; thread it to the "
+                        "callees or drop the parameter",
+                    )
+                )
+                continue
+            findings.extend(self._check_drop_sites(flow, info, reaching))
+        return sorted(findings)
+
+    @staticmethod
+    def _references_any(info: FunctionInfo, params: List[str]) -> bool:
+        # Parameter declarations are ast.arg nodes, so any ast.Name hit
+        # is a genuine use in the body.
+        wanted = set(params)
+        return any(
+            isinstance(node, ast.Name) and node.id in wanted
+            for node in ast.walk(info.node)
+        )
+
+    def _check_drop_sites(
+        self,
+        flow: Any,
+        info: FunctionInfo,
+        reaching: Set[str],
+    ) -> Iterable[Finding]:
+        seen_lines: Set[int] = set()
+        for site in info.calls:
+            if site.callee is None or site.callee not in reaching:
+                continue
+            callee = flow.functions.get(site.callee)
+            if callee is None or not _deadline_params(callee):
+                continue
+            if _call_threads_deadline(site.node):
+                continue
+            line = getattr(site.node, "lineno", 1)
+            if line in seen_lines:
+                continue
+            seen_lines.add(line)
+            yield info.module.finding(
+                self.rule,
+                site.node,
+                f"{info.name}() holds a deadline but calls "
+                f"{callee.name}() — which accepts one and reaches "
+                "page I/O or metric kernels — without passing it; "
+                "the budget stops propagating here",
+            )

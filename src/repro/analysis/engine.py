@@ -76,6 +76,10 @@ class ProjectContext:
 
     root: Path
     modules: List[SourceModule]
+    #: scratch space shared by project checkers within one run — the
+    #: interprocedural flow core memoises itself here (see
+    #: :func:`repro.analysis.flow.get_flow`).
+    flow_cache: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -169,16 +173,30 @@ def load_module(
     )
 
 
-def _collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+def _collect_files(
+    paths: Sequence[Union[str, Path]],
+    exclude: Optional[Sequence[Union[str, Path]]] = None,
+) -> List[Path]:
+    excluded = [Path(e).resolve() for e in exclude or ()]
+
+    def is_excluded(path: Path) -> bool:
+        resolved = path.resolve()
+        return any(
+            resolved == e or e in resolved.parents for e in excluded
+        )
+
     files: List[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
-                if not _EXCLUDED_DIRS.intersection(candidate.parts):
+                if _EXCLUDED_DIRS.intersection(candidate.parts):
+                    continue
+                if not is_excluded(candidate):
                     files.append(candidate)
         elif path.is_file():
-            files.append(path)
+            if not is_excluded(path):
+                files.append(path)
         else:
             raise InvalidParameterError(f"no such file or directory: {path}")
     # De-duplicate while keeping sorted order.
@@ -197,18 +215,28 @@ def analyze_paths(
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[Union[str, Path]] = None,
+    changed: Optional[Sequence[Union[str, Path]]] = None,
+    exclude: Optional[Sequence[Union[str, Path]]] = None,
 ) -> AnalysisReport:
     """Run the registered checkers over ``paths``.
 
     ``root`` anchors relative paths in findings (defaults to the current
     directory) and is where project-level checkers look for ``docs/``.
     ``baseline`` entries demote matching findings to ``baselined``.
+    ``changed`` (incremental mode) restricts *per-module* checkers to
+    the listed files; every file is still parsed so that project-wide
+    checkers — the call graph, the lock graph — see the whole program.
+    ``exclude`` drops files and directory subtrees from collection
+    entirely (seeded violation corpora, vendored code).
     """
     root = Path(root) if root is not None else Path.cwd()
     checkers = create_checkers(rules)
+    changed_set: Optional[set] = None
+    if changed is not None:
+        changed_set = {Path(p).resolve() for p in changed}
     modules: List[SourceModule] = []
     raw_findings: List[Finding] = []
-    for path in _collect_files(paths):
+    for path in _collect_files(paths, exclude=exclude):
         try:
             modules.append(load_module(path, root=root))
         except SyntaxError as exc:
@@ -226,6 +254,11 @@ def analyze_paths(
                 )
             )
     for module in modules:
+        if (
+            changed_set is not None
+            and module.path.resolve() not in changed_set
+        ):
+            continue
         for checker in checkers:
             raw_findings.extend(checker.check_module(module))
     context = ProjectContext(root=root, modules=modules)

@@ -8,14 +8,91 @@ paths — so output is reproducible across machines and runs.
 
 from __future__ import annotations
 
-from typing import Any
+import json
+from typing import Any, Dict, List
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_json(report: Any, indent: int = 2) -> str:
     """The canonical JSON payload (sorted keys, trailing newline)."""
     return report.to_json(indent=indent) + "\n"
+
+
+def render_sarif(report: Any, indent: int = 2) -> str:
+    """SARIF 2.1.0 — the interchange format GitHub code scanning
+    ingests, so lint findings render as PR annotations.
+
+    Like the other reporters this is a pure function of the report:
+    stable ordering, no timestamps, relative URIs only.  Active
+    findings become ``results``; baselined ones are included with a
+    ``suppressions`` entry so scanners show them as reviewed.
+    """
+    from .registry import all_rules, create_checkers
+
+    known = set(all_rules())
+    rules_run = [rule for rule in report.rules_run if rule in known]
+    rule_meta: List[Dict[str, Any]] = [
+        {
+            "id": checker.rule,
+            "shortDescription": {"text": checker.description},
+        }
+        for checker in create_checkers(rules_run)
+    ]
+
+    def result(finding: Any, suppressed: bool) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                            "snippet": {"text": finding.snippet},
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed:
+            payload["suppressions"] = [
+                {"kind": "external", "justification": "metalint baseline"}
+            ]
+        return payload
+
+    results = [result(f, suppressed=False) for f in report.findings]
+    results += [result(f, suppressed=True) for f in report.baselined]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "metricost-metalint",
+                        "rules": rule_meta,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True) + "\n"
 
 
 def render_text(report: Any) -> str:

@@ -196,6 +196,9 @@ class ClusterLifecycle:
         their abandoned index is no longer health-relevant.
         """
         membership = self.router.membership
+        # metalint: ignore[epoch-fence] — epoch used as a cache-invalidation
+        # key for the scrubber set; no query results are merged across the
+        # comparison and staleness here only delays a rebuild by one tick.
         if self._scrub_epoch == membership.epoch:
             return
         scrubbers: Dict[int, Scrubber] = {}

@@ -496,7 +496,13 @@ class IngestService:
         recovery skips.
         """
         self._ensure_open()
-        view = self.view()
+        # Snapshot the view *and* the WAL handle under one lock hold:
+        # close()/recovery rebind self._wal, so dereferencing it later
+        # through self would race the rebind (lockset-race).
+        with self._lock:
+            view = self._view
+            wal = self._wal
+        assert view is not None and wal is not None
         tracer = _obs.tracer
         span = (
             tracer.span("ingest.checkpoint", seq=view.seq)
@@ -533,8 +539,7 @@ class IngestService:
                     f"{self.total_checkpoint_steps()} (before WAL prune)",
                     step=save_steps,
                 )
-            assert self._wal is not None
-            pruned = self._wal.prune(view.seq)
+            pruned = wal.prune(view.seq)
         reg = _obs.registry
         if reg is not None:
             reg.inc("ingest.checkpoints")

@@ -371,10 +371,14 @@ def _self_test(seed: int) -> List[DoctorCheck]:
                 [package_dir],
                 rules=[
                     "cancellation-hygiene",
+                    "deadline-propagation",
+                    "durability-protocol",
+                    "epoch-fence",
                     "exception-hierarchy",
                     "float-discipline",
                     "lock-discipline",
                     "lock-order",
+                    "lockset-race",
                     "observability-guard",
                 ],
                 root=package_dir,

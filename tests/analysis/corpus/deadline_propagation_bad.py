@@ -1,0 +1,16 @@
+"""Seeded deadline-propagation violations: dropped and decorative budgets."""
+
+# metalint: module=repro.service.corpus_deadline_bad
+
+
+def scan(metric, items, query, deadline):
+    # Decorative budget: accepts a deadline, runs the batched kernel,
+    # never reads the parameter.
+    return metric.one_to_many(query, items)
+
+
+def search(metric, items, query, deadline):
+    deadline.check()
+    # Drop site: scan() accepts a deadline and reaches the kernels, but
+    # the budget is not forwarded — the query becomes unbounded below.
+    return scan(metric, items, query, None)

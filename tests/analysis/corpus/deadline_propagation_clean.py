@@ -1,0 +1,20 @@
+"""Deadline-propagation clean corpus: the budget threads to the edge."""
+
+# metalint: module=repro.service.corpus_deadline_clean
+
+
+def scan(metric, items, query, deadline):
+    if deadline is not None:
+        deadline.check()
+    return metric.one_to_many(query, items)
+
+
+def search(metric, items, query, deadline):
+    deadline.check()
+    return scan(metric, items, query, deadline)
+
+
+def estimate(metric, items, query):
+    # No deadline parameter at all: nothing to drop, nothing to flag —
+    # widening a signature is a design decision, not a lint fix.
+    return metric.one_to_many(query, items)

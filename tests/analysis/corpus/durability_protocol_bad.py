@@ -1,0 +1,43 @@
+"""Seeded durability-protocol violations: raw I/O and unfsynced acks."""
+
+# metalint: module=repro.ingest.corpus_durability_bad
+
+import os
+
+
+class AppendAck:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class BatchAck:
+    def __init__(self, count):
+        self.count = count
+
+
+def write_manifest(path, payload):
+    # Raw writing-mode open outside a blessed helper: a crash between
+    # write and close leaves a torn manifest.
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def swap_segment(tmp, final):
+    # Raw os.replace outside a blessed helper: the commit point of the
+    # atomic-write protocol, used naked.
+    os.replace(tmp, final)
+
+
+def append(fh, record):
+    # Ack before any fsync: the classic unfsynced-ack bug.
+    fh.write(record)
+    return AppendAck(seq=1)
+
+
+def append_batch(fh, records, sync):
+    for record in records:
+        fh.write(record)
+    if sync:
+        os.fsync(fh.fileno())
+    # fsync only happens on one branch, so no return is dominated by it.
+    return BatchAck(len(records))

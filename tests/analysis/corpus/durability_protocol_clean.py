@@ -1,0 +1,46 @@
+"""Durability-protocol clean corpus: blessed helpers, fsync-before-ack."""
+
+# metalint: module=repro.ingest.corpus_durability_clean
+
+import os
+
+
+class AppendAck:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def _atomic_write_text(path, payload):
+    # Blessed helper: writing-mode open and the rename commit point are
+    # allowed here — this *is* the protocol.
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def open_segment(path):
+    # Append mode is fine: the WAL appends and then fsyncs.
+    return open(path, "ab")
+
+
+def append(fh, record):
+    fh.write(record)
+    os.fsync(fh.fileno())
+    return AppendAck(seq=1)
+
+
+def checkpoint(path, payload):
+    # Durable via a resolved callee that reaches os.fsync.
+    _atomic_write_text(path, payload)
+    return AppendAck(seq=2)
+
+
+def append_guarded(fh, record, sync):
+    fh.write(record)
+    if sync:
+        os.fsync(fh.fileno())
+        return AppendAck(seq=3)
+    raise RuntimeError  # metalint: ignore[exception-hierarchy] — corpus

@@ -1,0 +1,21 @@
+"""Seeded epoch-fence violations: silent comparisons and epoch merges."""
+
+# metalint: module=repro.cluster.corpus_epoch_bad
+
+
+def serve_cached(view, cached):
+    # Unfenced equality: a stale hit silently falls through to the
+    # cached answer instead of raising StaleEpochError.
+    if cached.epoch == view.epoch:
+        return cached
+    return view
+
+
+def merge_outcomes(left, right):
+    # max() over epochs manufactures a world no shard ever observed.
+    return max(left.epoch, right.epoch)
+
+
+def combined_epoch(left, right):
+    # Arithmetic over two epochs: epochs are identities, not quantities.
+    return left.epoch + right.epoch

@@ -1,0 +1,27 @@
+"""Epoch-fence clean corpus: fenced comparisons, monotonic bumps."""
+
+# metalint: module=repro.cluster.corpus_epoch_clean
+
+from repro.exceptions import InvalidParameterError, StaleEpochError
+
+
+def require_epoch(view, epoch):
+    # Fenced: mismatch raises StaleEpochError, callers re-pin and retry.
+    if view.epoch != epoch:
+        raise StaleEpochError(
+            f"epoch {epoch} superseded by {view.epoch}",
+            epoch=view.epoch,
+        )
+    return view
+
+
+def install(previous, membership):
+    # Fenced: non-monotonic installs are rejected with a raise.
+    if membership.epoch <= previous.epoch:
+        raise InvalidParameterError("membership epoch must increase")
+    return membership
+
+
+def bump(view):
+    # The monotonic bump is the one meaningful epoch arithmetic.
+    return view.epoch + 1

@@ -1,0 +1,33 @@
+"""Seeded lockset-race violations: inconsistent locksets across sites."""
+
+import threading
+
+
+class WalHolder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._segments = []
+        self._wal = open("/dev/null")  # rebound below: lifecycle-managed
+
+    def rotate(self):
+        with self._lock:
+            self._segments.append(self._wal)
+            self._wal = open("/dev/null")
+
+    def forget(self, segment):
+        # Unlocked write of guarded state: _segments is mutated under
+        # the lock in rotate() but with an empty lockset here.
+        self._segments.remove(segment)
+
+    def checkpoint(self):
+        # Unlocked dereference: _wal is rebound by rotate(), so this
+        # single-expression deref races the rebind.
+        return self._wal.fileno()
+
+    def _flush_locked(self):
+        self._segments.clear()
+
+    def flush(self):
+        # Naked *_locked call: the helper assumes self._lock is held,
+        # the caller provably does not hold it.
+        self._flush_locked()

@@ -34,6 +34,18 @@ RULE_FIXTURES = {
         "observability_guard_clean.py",
     ),
     "api-surface": ("api_surface_bad.py", 1, "api_surface_clean.py"),
+    "lockset-race": ("lockset_race_bad.py", 3, "lockset_race_clean.py"),
+    "durability-protocol": (
+        "durability_protocol_bad.py",
+        4,
+        "durability_protocol_clean.py",
+    ),
+    "epoch-fence": ("epoch_fence_bad.py", 3, "epoch_fence_clean.py"),
+    "deadline-propagation": (
+        "deadline_propagation_bad.py",
+        2,
+        "deadline_propagation_clean.py",
+    ),
 }
 
 
@@ -98,3 +110,47 @@ def test_exception_hierarchy_suggests_project_replacement():
     report = _run("exception-hierarchy", "exception_hierarchy_bad.py")
     messages = " ".join(f.message for f in report.findings)
     assert "InvalidParameterError" in messages
+
+
+def test_lockset_race_names_all_three_bug_families():
+    report = _run("lockset-race", "lockset_race_bad.py")
+    messages = sorted(f.message for f in report.findings)
+    assert any("empty lockset" in m and "mutates" in m for m in messages)
+    assert any("unlocked dereference" in m for m in messages)
+    assert any("_flush_locked" in m for m in messages)
+
+
+def test_lockset_race_sees_through_always_held_helpers():
+    """The interprocedural upgrade over lock-discipline: a plain-named
+    helper whose every call site holds the lock is not a race, even
+    though the same-method heuristic cannot prove it."""
+    clean = CORPUS / "lockset_race_clean.py"
+    race = analyze_paths([clean], rules=["lockset-race"], root=REPO_ROOT)
+    assert race.findings == [], race.render()
+    old = analyze_paths([clean], rules=["lock-discipline"], root=REPO_ROOT)
+    assert any(
+        "_append_impl" in f.message for f in old.findings
+    ), "fixture should exhibit the very false positive the flow core removes"
+
+
+def test_durability_flags_both_raw_io_and_unfsynced_acks():
+    report = _run("durability-protocol", "durability_protocol_bad.py")
+    messages = sorted(f.message for f in report.findings)
+    assert any("raw open" in m for m in messages)
+    assert any("os.replace" in m for m in messages)
+    assert sum("not dominated" in m for m in messages) == 2
+
+
+def test_epoch_fence_distinguishes_compare_and_merge():
+    report = _run("epoch-fence", "epoch_fence_bad.py")
+    messages = sorted(f.message for f in report.findings)
+    assert any("unfenced epoch comparison" in m for m in messages)
+    assert any("max() over epochs" in m for m in messages)
+    assert any("arithmetic combining" in m for m in messages)
+
+
+def test_deadline_propagation_names_drop_and_decorative_sites():
+    report = _run("deadline-propagation", "deadline_propagation_bad.py")
+    messages = sorted(f.message for f in report.findings)
+    assert any("never reads it" in m for m in messages)
+    assert any("without passing it" in m for m in messages)

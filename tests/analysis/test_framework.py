@@ -133,6 +133,102 @@ class TestBaseline:
         assert again.ok
         assert len(again.baselined) == 1
 
+    def test_fingerprint_survives_file_move(self, tmp_path):
+        path = _write(tmp_path, "case.py", FLOAT_BAD)
+        report = analyze_paths([path], rules=["float-discipline"], root=tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+
+        # Rename the file: the exact fingerprint (which embeds the
+        # path) no longer matches, but the move pass pairs the finding
+        # with the stale entry by (rule, snippet).
+        moved = tmp_path / "renamed_case.py"
+        path.rename(moved)
+        again = analyze_paths(
+            [moved], rules=["float-discipline"], baseline=baseline, root=tmp_path
+        )
+        assert again.ok, again.render()
+        assert len(again.baselined) == 1
+        assert again.unused_baseline == []
+
+    def test_move_matching_vouches_once_per_entry(self, tmp_path):
+        # One grandfathered finding, then the violation is *duplicated*
+        # in a second file: the single stale entry may cover one of the
+        # two, never both.
+        path = _write(tmp_path, "case.py", FLOAT_BAD)
+        report = analyze_paths([path], rules=["float-discipline"], root=tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+
+        moved = tmp_path / "renamed_case.py"
+        path.rename(moved)
+        copy = _write(tmp_path, "copied_case.py", FLOAT_BAD)
+        again = analyze_paths(
+            [moved, copy],
+            rules=["float-discipline"],
+            baseline=baseline,
+            root=tmp_path,
+        )
+        assert len(again.baselined) == 1
+        assert len(again.findings) == 1
+
+    def test_prune_drops_only_stale_entries(self, tmp_path):
+        path = _write(tmp_path, "case.py", FLOAT_BAD)
+        report = analyze_paths([path], rules=["float-discipline"], root=tmp_path)
+        baseline = Baseline.from_findings(report.findings, "known debt")
+        baseline.entries["deadbeefdeadbeef"] = {
+            "fingerprint": "deadbeefdeadbeef"
+        }
+        again = analyze_paths(
+            [path], rules=["float-discipline"], baseline=baseline, root=tmp_path
+        )
+        assert again.unused_baseline == ["deadbeefdeadbeef"]
+        assert baseline.prune(again.unused_baseline) == 1
+        assert len(baseline) == 1
+        assert "deadbeefdeadbeef" not in baseline
+
+    def test_suppressed_finding_does_not_enter_baseline(self, tmp_path):
+        # Suppression beats baseline-writing: a comment-suppressed
+        # violation is invisible to --write-baseline...
+        suppressed_text = FLOAT_BAD.replace(
+            "dist == threshold",
+            "dist == threshold  # metalint: ignore[float-discipline]",
+        )
+        path = _write(tmp_path, "case.py", suppressed_text)
+        report = analyze_paths([path], rules=["float-discipline"], root=tmp_path)
+        assert report.suppressed == 1
+        baseline = Baseline.from_findings(report.findings)
+        assert len(baseline) == 0
+
+        # ...and removing the suppression resurfaces it as a *new*
+        # finding, not a baselined one.
+        path.write_text(FLOAT_BAD, encoding="utf-8")
+        again = analyze_paths(
+            [path], rules=["float-discipline"], baseline=baseline, root=tmp_path
+        )
+        assert len(again.findings) == 1
+        assert again.baselined == []
+
+    def test_suppression_wins_over_matching_baseline_entry(self, tmp_path):
+        # A finding that is both baselined *and* comment-suppressed
+        # counts as suppressed — it must not consume the baseline entry,
+        # which is then reported stale.
+        path = _write(tmp_path, "case.py", FLOAT_BAD)
+        report = analyze_paths([path], rules=["float-discipline"], root=tmp_path)
+        baseline = Baseline.from_findings(report.findings, "known debt")
+
+        path.write_text(
+            FLOAT_BAD.replace(
+                "dist == threshold",
+                "dist == threshold  # metalint: ignore[float-discipline]",
+            ),
+            encoding="utf-8",
+        )
+        again = analyze_paths(
+            [path], rules=["float-discipline"], baseline=baseline, root=tmp_path
+        )
+        assert again.suppressed == 1
+        assert again.baselined == []
+        assert len(again.unused_baseline) == 1
+
     def test_unused_entries_are_reported(self, tmp_path):
         path = _write(tmp_path, "clean.py", "x = 1\n")
         baseline = Baseline(
@@ -172,10 +268,14 @@ class TestRegistryAndEngine:
         assert {
             "api-surface",
             "cancellation-hygiene",
+            "deadline-propagation",
+            "durability-protocol",
+            "epoch-fence",
             "exception-hierarchy",
             "float-discipline",
             "lock-discipline",
             "lock-order",
+            "lockset-race",
             "observability-guard",
         } <= set(all_rules())
 

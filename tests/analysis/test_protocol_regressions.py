@@ -1,0 +1,143 @@
+"""Adversarial regressions: the protocol rules vs. the named bug shapes.
+
+PR 10 fixed one real pre-existing violation (``IngestService.checkpoint``
+dereferenced ``self._wal`` outside the lock) and hardened the tree
+against the historical bug families the checkers exist for.  Each test
+here re-plants one of those shapes in a scratch module and proves the
+rule still catches it — so a future refactor that weakens a checker
+shows up as a failing regression, not as silent blindness.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _lint(tmp_path, name, text, rules):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return analyze_paths([path], rules=rules, root=REPO_ROOT)
+
+
+# The literal pre-fix shape of IngestService.checkpoint: _wal is bound
+# under the lock during recovery/close but pruned through self outside
+# any lock hold.
+PRE_FIX_CHECKPOINT = """\
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wal = None
+
+    def _recover(self, wal):
+        with self._lock:
+            self._wal = wal
+
+    def close(self):
+        with self._lock:
+            self._wal = None
+
+    def checkpoint(self, seq):
+        assert self._wal is not None
+        return self._wal.prune(seq)
+"""
+
+
+def test_lockset_race_catches_the_pre_fix_checkpoint_shape(tmp_path):
+    report = _lint(
+        tmp_path, "pre_fix.py", PRE_FIX_CHECKPOINT, ["lockset-race"]
+    )
+    assert any(
+        "unlocked dereference" in f.message and "_wal" in f.message
+        for f in report.findings
+    ), report.render()
+
+
+def test_live_ingest_is_clean_after_the_checkpoint_fix():
+    report = analyze_paths(
+        [REPO_ROOT / "src" / "repro" / "ingest"],
+        rules=["lockset-race"],
+        root=REPO_ROOT,
+    )
+    assert report.findings == [], report.render()
+
+
+# The unfsynced-ack shape: an ingest-style append that acknowledges
+# durability without the WAL write ever being guaranteed.
+UNFSYNCED_ACK = """\
+# metalint: module=repro.ingest.adversarial_append
+import threading
+
+
+class IngestAck:
+    def __init__(self, accepted):
+        self.accepted = accepted
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def append(self, items):
+        with self._lock:
+            self._pending.extend(items)
+        return IngestAck(len(items))
+"""
+
+
+def test_durability_catches_the_unfsynced_ack_shape(tmp_path):
+    report = _lint(
+        tmp_path, "unfsynced.py", UNFSYNCED_ACK, ["durability-protocol"]
+    )
+    assert any(
+        "not dominated" in f.message for f in report.findings
+    ), report.render()
+
+
+# The unfenced-epoch shape: a publish that silently keeps serving when
+# the world moved instead of raising StaleEpochError.
+UNFENCED_EPOCH = """\
+# metalint: module=repro.ingest.adversarial_publish
+
+
+def publish(current, base, view):
+    if current.epoch != base.epoch:
+        return current
+    return view
+"""
+
+
+def test_epoch_fence_catches_the_unfenced_publish_shape(tmp_path):
+    report = _lint(
+        tmp_path, "unfenced.py", UNFENCED_EPOCH, ["epoch-fence"]
+    )
+    assert any(
+        "unfenced epoch comparison" in f.message for f in report.findings
+    ), report.render()
+
+
+def test_live_src_is_clean_under_all_protocol_rules():
+    """The live-src-clean meta-test, scoped to the four new rules (the
+    all-rules version lives in test_live_src.py)."""
+    report = analyze_paths(
+        [REPO_ROOT / "src"],
+        rules=[
+            "deadline-propagation",
+            "durability-protocol",
+            "epoch-fence",
+            "lockset-race",
+        ],
+        root=REPO_ROOT,
+    )
+    assert report.findings == [], report.render()
+    assert set(report.rules_run) == {
+        "deadline-propagation",
+        "durability-protocol",
+        "epoch-fence",
+        "lockset-race",
+    }

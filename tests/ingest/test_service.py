@@ -240,6 +240,33 @@ class TestRecovery:
             assert fsck_ingest(directory).ok
             survivor.close()
 
+    def test_checkpoint_racing_close_fails_typed(self, tmp_path):
+        """Regression for the checkpoint/close lockset race.
+
+        checkpoint() used to re-read ``self._wal`` outside the lock
+        after the generation save; a concurrent close() nulling the
+        attribute turned the prune into an AssertionError on a torn
+        read.  The fix snapshots the view *and* the WAL handle under
+        one lock hold, so a close that lands mid-checkpoint surfaces
+        as the WAL's typed closed error instead.
+        """
+        points = _points(12)
+        service = _service(tmp_path)
+        service.append(points)
+        service.apply()
+        real_save = service.store.save
+
+        def save_then_close(artifacts, crash_after_step=None):
+            generation = real_save(
+                artifacts, crash_after_step=crash_after_step
+            )
+            service.close()  # the racing thread wins here
+            return generation
+
+        service.store.save = save_then_close
+        with pytest.raises(InvalidParameterError, match="closed"):
+            service.checkpoint()
+
     def test_recover_then_continue_appending(self, tmp_path):
         points = _points(20)
         service = _service(tmp_path)

@@ -116,6 +116,8 @@ class TestEstimateDegradation:
 
         class BrokenScan(LinearScanPlan):
             def estimate_range(self, radius, disk):
+                # metalint: ignore[exception-hierarchy] — deliberately
+                # foreign fault: degradation must survive untyped errors
                 raise ZeroDivisionError("disk model exploded")
 
         scan = BrokenScan(LinearScanBaseline(points, L2(), 32, 4096))
